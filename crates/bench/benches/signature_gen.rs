@@ -1,0 +1,55 @@
+//! Microbenchmark: ITR signature generation throughput.
+//!
+//! The signature generator sits on the dispatch path of every
+//! instruction, so its cost must be negligible; this bench demonstrates
+//! the XOR fold runs at instruction-stream rates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use itr_core::{SignatureGen, TraceBuilder};
+use itr_isa::{DecodeSignals, Instruction, Opcode};
+
+fn signal_mix() -> Vec<DecodeSignals> {
+    [
+        Instruction::rrr(Opcode::Add, 1, 2, 3),
+        Instruction::mem(Opcode::Lw, 4, 29, 8),
+        Instruction::rri(Opcode::Addi, 5, 5, 1),
+        Instruction::shift(Opcode::Sll, 6, 5, 2),
+        Instruction::mem(Opcode::Sw, 4, 29, 12),
+        Instruction::rrr(Opcode::Xor, 7, 6, 5),
+        Instruction::branch(Opcode::Bne, 5, 6, -6),
+    ]
+    .iter()
+    .map(DecodeSignals::from_instruction)
+    .collect()
+}
+
+fn bench_signature(c: &mut Criterion) {
+    let signals = signal_mix();
+    let mut group = c.benchmark_group("signature");
+    group.throughput(Throughput::Elements(signals.len() as u64));
+    group.bench_function("xor_fold", |b| {
+        b.iter(|| {
+            let mut g = SignatureGen::new();
+            for s in &signals {
+                g.fold(black_box(s));
+            }
+            black_box(g.value())
+        })
+    });
+    group.bench_function("trace_builder", |b| {
+        b.iter(|| {
+            let mut tb = TraceBuilder::new(16);
+            let mut out = 0u64;
+            for (i, s) in signals.iter().enumerate() {
+                if let Some(t) = tb.push(0x400 + i as u64 * 4, black_box(s)) {
+                    out ^= t.signature;
+                }
+            }
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_signature);
+criterion_main!(benches);

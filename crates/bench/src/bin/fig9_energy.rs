@@ -1,0 +1,64 @@
+//! Figure 9: energy of the ITR cache (single- and dual-ported) versus the
+//! redundant second instruction-cache fetch of structural duplication /
+//! conventional time redundancy.
+//!
+//! Each benchmark runs on the cycle-level pipeline with the ITR unit
+//! enabled; access counts come from the real frontend (one I-cache access
+//! per fetch group) and the real ITR unit (one read per dispatched trace,
+//! one write per missed trace at commit). Per-access energies come from
+//! the CACTI-lite model of `itr-power`.
+//!
+//! Regenerate with:
+//! `cargo run -p itr-bench --bin fig9_energy --release`
+
+use itr_bench::{write_csv, Args};
+use itr_power::EnergyRow;
+use itr_sim::{Pipeline, PipelineConfig};
+use itr_workloads::{generate_mimic_sized, profiles};
+
+fn main() {
+    let args = Args::parse();
+    let instrs = args.extra_or("program-instrs", 300_000);
+    println!("=== Figure 9: energy of ITR cache vs I-cache second fetch (mJ) ===");
+    println!(
+        "{:<10} {:>12} {:>12} {:>14} {:>14} {:>14} {:>8}",
+        "bench", "itr-acc", "ic-acc", "ITR 1rd/wr", "ITR 1rd+1wr", "I-cache", "saving"
+    );
+    let mut rows = Vec::new();
+    for profile in profiles::all() {
+        let program = generate_mimic_sized(profile, args.seed, instrs);
+        let mut pipe = Pipeline::new(&program, PipelineConfig::with_itr());
+        pipe.run(instrs * 10);
+        let unit = pipe.itr().expect("itr enabled");
+        let itr_accesses = unit.cache().stats().reads + unit.cache().stats().writes;
+        let icache_accesses = pipe.stats().icache_accesses;
+        let row = EnergyRow::from_counts(profile.name, itr_accesses, icache_accesses);
+        println!(
+            "{:<10} {:>12} {:>12} {:>14.3} {:>14.3} {:>14.3} {:>7.1}x",
+            row.name,
+            row.itr_accesses,
+            row.icache_accesses,
+            row.itr_single_port_mj,
+            row.itr_dual_port_mj,
+            row.icache_refetch_mj,
+            row.saving_factor()
+        );
+        rows.push(format!(
+            "{},{},{},{:.5},{:.5},{:.5}",
+            row.name,
+            row.itr_accesses,
+            row.icache_accesses,
+            row.itr_single_port_mj,
+            row.itr_dual_port_mj,
+            row.icache_refetch_mj
+        ));
+    }
+    println!("\nPaper shape: the ITR cache is far more energy-efficient than fetching every");
+    println!("instruction twice from the I-cache, for every benchmark.");
+    write_csv(
+        &args,
+        "fig9_energy.csv",
+        "bench,itr_accesses,icache_accesses,itr_single_mj,itr_dual_mj,icache_mj",
+        &rows,
+    );
+}

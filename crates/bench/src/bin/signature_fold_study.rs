@@ -1,0 +1,157 @@
+//! Signature fold-function study (§2.1: *"Signature generation could be
+//! done in many ways. We chose to simply bitwise XOR the signals."*).
+//!
+//! Quantifies the two documented blind spots of the XOR fold against the
+//! rotate-XOR alternative, over the real static traces of a mimic
+//! benchmark:
+//!
+//! * **single-event upsets** — both folds must detect 100% (the paper's
+//!   operating model);
+//! * **same-bit double faults** — two flips of the same signal bit within
+//!   one trace: XOR cancels by construction; rotate-XOR separates them;
+//! * **instruction reorder** — two adjacent instructions swapped by a
+//!   fetch fault: XOR is order-insensitive; rotate-XOR is not.
+//!
+//! Regenerate with:
+//! `cargo run -p itr-bench --bin signature_fold_study --release`
+
+use itr_bench::{write_csv, Args};
+use itr_core::{FoldKind, SignatureGen};
+use itr_isa::{decode, DecodeSignals};
+use itr_sim::{Memory, TraceStream};
+use itr_workloads::{generate_mimic_sized, profiles};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Decoded signal sequence of one static trace.
+fn trace_signals(mem: &Memory, start_pc: u64, max_len: u32) -> Option<Vec<DecodeSignals>> {
+    let mut out = Vec::new();
+    let mut pc = start_pc;
+    for _ in 0..max_len {
+        let inst = decode(mem.read_u32(pc)).ok()?;
+        let sig = DecodeSignals::from_instruction(&inst);
+        let ends = inst.op.ends_trace();
+        out.push(sig);
+        if ends {
+            break;
+        }
+        pc += 4;
+    }
+    Some(out)
+}
+
+fn signature(kind: FoldKind, sigs: &[DecodeSignals]) -> u64 {
+    let mut g = SignatureGen::with_kind(kind);
+    for s in sigs {
+        g.fold(s);
+    }
+    g.value()
+}
+
+fn main() {
+    let args = Args::parse();
+    let samples = args.extra_or("samples", 20_000) as usize;
+    let profile = profiles::by_name("gap").expect("known");
+    let program = generate_mimic_sized(profile, args.seed, 100_000);
+    let mem = Memory::with_program(&program);
+
+    // Collect the executed static traces with at least two instructions.
+    let starts: HashSet<u64> = TraceStream::new(&program, 100_000).map(|t| t.start_pc).collect();
+    let traces: Vec<Vec<DecodeSignals>> = starts
+        .iter()
+        .filter_map(|&pc| trace_signals(&mem, pc, 16))
+        .filter(|t| t.len() >= 2)
+        .collect();
+    println!(
+        "=== Signature fold study: {} static traces of `{}`, {samples} samples/scenario ===",
+        traces.len(),
+        profile.name
+    );
+
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xF01D);
+    let kinds = [FoldKind::Xor, FoldKind::RotateXor];
+    let mut rows = Vec::new();
+    println!("{:<28} {:>12} {:>12}", "scenario", "XOR", "rotate-XOR");
+
+    let run = |name: &str, detected: [u64; 2], total: u64, rows: &mut Vec<String>| {
+        let pct = |d: u64| d as f64 * 100.0 / total as f64;
+        println!(
+            "{name:<28} {:>11.2}% {:>11.2}%",
+            pct(detected[0]),
+            pct(detected[1])
+        );
+        rows.push(format!("{name},{:.3},{:.3}", pct(detected[0]), pct(detected[1])));
+    };
+
+    // Scenario 1: single bit flips.
+    let mut det = [0u64; 2];
+    for _ in 0..samples {
+        let t = &traces[rng.gen_range(0..traces.len())];
+        let victim = rng.gen_range(0..t.len());
+        let bit = rng.gen_range(0..64);
+        for (k, kind) in kinds.into_iter().enumerate() {
+            let clean = signature(kind, t);
+            let mut faulty = t.clone();
+            faulty[victim] = faulty[victim].with_bit_flipped(bit);
+            if signature(kind, &faulty) != clean {
+                det[k] += 1;
+            }
+        }
+    }
+    run("single-event upset", det, samples as u64, &mut rows);
+
+    // Scenario 2: same-bit double faults within one trace.
+    let mut det = [0u64; 2];
+    for _ in 0..samples {
+        let t = &traces[rng.gen_range(0..traces.len())];
+        let a = rng.gen_range(0..t.len());
+        let b = {
+            let mut b = rng.gen_range(0..t.len() - 1);
+            if b >= a {
+                b += 1;
+            }
+            b
+        };
+        let bit = rng.gen_range(0..64);
+        for (k, kind) in kinds.into_iter().enumerate() {
+            let clean = signature(kind, t);
+            let mut faulty = t.clone();
+            faulty[a] = faulty[a].with_bit_flipped(bit);
+            faulty[b] = faulty[b].with_bit_flipped(bit);
+            if signature(kind, &faulty) != clean {
+                det[k] += 1;
+            }
+        }
+    }
+    run("same-bit double fault", det, samples as u64, &mut rows);
+
+    // Scenario 3: adjacent-instruction swap (only pairs whose signals
+    // differ — swapping identical instructions is architecturally
+    // invisible and no signature can see it).
+    let mut det = [0u64; 2];
+    let mut total = 0u64;
+    for _ in 0..samples {
+        let t = &traces[rng.gen_range(0..traces.len())];
+        let i = rng.gen_range(0..t.len() - 1);
+        if t[i] == t[i + 1] {
+            continue;
+        }
+        total += 1;
+        for (k, kind) in kinds.into_iter().enumerate() {
+            let clean = signature(kind, t);
+            let mut faulty = t.clone();
+            faulty.swap(i, i + 1);
+            if signature(kind, &faulty) != clean {
+                det[k] += 1;
+            }
+        }
+    }
+    run("adjacent-instruction swap", det, total, &mut rows);
+
+    println!("\nReading: the paper's XOR choice is perfect under its single-event-upset");
+    println!("model and free; rotate-XOR additionally covers multi-event and reorder");
+    println!("faults for the cost of a rotator. (Swaps of *identical* instructions are");
+    println!("architecturally invisible and excluded.)");
+    write_csv(&args, "signature_fold_study.csv", "scenario,xor_pct,rotxor_pct", &rows);
+}

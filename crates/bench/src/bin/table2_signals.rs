@@ -1,0 +1,20 @@
+//! Table 2: the decode-signal fields and widths carried into the ITR
+//! signature — printed from the implementation so documentation and code
+//! cannot drift apart.
+//!
+//! Regenerate with:
+//! `cargo run -p itr-bench --bin table2_signals`
+
+use itr_isa::{SIGNAL_FIELDS, TOTAL_SIGNAL_BITS};
+
+fn main() {
+    println!("=== Table 2: list of decode signals ===");
+    println!("{:<10} {:<42} {:>5}", "field", "description", "width");
+    let mut total = 0;
+    for f in SIGNAL_FIELDS {
+        println!("{:<10} {:<42} {:>5}", f.name, f.description, f.width);
+        total += f.width;
+    }
+    println!("{:<10} {:<42} {:>5}", "total", "", total);
+    assert_eq!(total, TOTAL_SIGNAL_BITS);
+}

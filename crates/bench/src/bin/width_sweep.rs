@@ -1,0 +1,51 @@
+//! Superscalar width sweep: does the ITR machinery scale with the core?
+//!
+//! The commit interlock polls per instruction and the ITR ROB fills with
+//! one entry per in-flight trace; neither should become a bottleneck as
+//! the machine gets wider. This sweep measures IPC at widths 1/2/4/8 with
+//! and without the ITR unit on a mixed workload.
+//!
+//! Regenerate with:
+//! `cargo run -p itr-bench --bin width_sweep --release`
+
+use itr_bench::{write_csv, Args};
+use itr_sim::{Pipeline, PipelineConfig};
+use itr_workloads::suite;
+
+fn main() {
+    let args = Args::parse();
+    let instrs = args.extra_or("program-instrs", 100_000);
+    let workloads = {
+        let mut v = suite::all_kernels();
+        v.extend(suite::all_mimics(args.seed, instrs).into_iter().filter(|w| {
+            matches!(w.name.as_str(), "gap" | "vortex" | "swim")
+        }));
+        v
+    };
+    println!("=== Superscalar width sweep (geometric-mean IPC over {} workloads) ===", workloads.len());
+    println!("{:>6} {:>12} {:>12} {:>10}", "width", "baseline", "ITR", "overhead");
+    let mut rows = Vec::new();
+    for width in [1u32, 2, 4, 8] {
+        let mut ipc = [1.0f64, 1.0];
+        for (k, with_itr) in [false, true].into_iter().enumerate() {
+            for w in &workloads {
+                let base = if with_itr {
+                    PipelineConfig::with_itr()
+                } else {
+                    PipelineConfig::default()
+                };
+                let cfg = PipelineConfig { width, issue_width: width, ..base };
+                let mut pipe = Pipeline::new(&w.program, cfg);
+                pipe.run(instrs * 40);
+                ipc[k] *= pipe.stats().ipc();
+            }
+            ipc[k] = ipc[k].powf(1.0 / workloads.len() as f64);
+        }
+        let overhead = (1.0 - ipc[1] / ipc[0]) * 100.0;
+        println!("{width:>6} {:>12.3} {:>12.3} {overhead:>9.2}%", ipc[0], ipc[1]);
+        rows.push(format!("{width},{:.4},{:.4}", ipc[0], ipc[1]));
+    }
+    println!("\nExpected: the ITR unit's overhead stays negligible at every width — the");
+    println!("dispatch-side check always resolves well before commit.");
+    write_csv(&args, "width_sweep.csv", "width,baseline_ipc,itr_ipc", &rows);
+}

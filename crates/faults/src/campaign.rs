@@ -1,0 +1,405 @@
+//! Campaign runner: golden reference, faulty runs, parallel fan-out.
+
+use crate::classify::{classify, Observation, Outcome};
+use itr_core::{ItrConfig, ItrEvent, ItrMode};
+use itr_isa::Program;
+use itr_sim::{
+    CommitRecord, DecodeFault, FuncSim, Pipeline, PipelineConfig, RunExit, TraceStream,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap};
+
+/// Parameters of one fault-injection campaign (per benchmark).
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of faults to inject (the paper uses 1000).
+    pub faults: u32,
+    /// Observation window in cycles after injection (the paper uses one
+    /// million).
+    pub window_cycles: u64,
+    /// Faults strike a uniformly random decoded instruction in
+    /// `[min_decode, max_decode)`.
+    pub min_decode: u64,
+    /// Exclusive upper bound of the injection point.
+    pub max_decode: u64,
+    /// RNG seed (printed with results for reproducibility).
+    pub seed: u64,
+    /// Worker threads (0 = one per available CPU).
+    pub threads: usize,
+    /// ITR configuration for the monitored pipeline.
+    pub itr: ItrConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            faults: 200,
+            window_cycles: 100_000,
+            min_decode: 100,
+            max_decode: 20_000,
+            seed: 0xD51F_2007,
+            threads: 0,
+            itr: ItrConfig { mode: ItrMode::Passive, ..ItrConfig::paper_default() },
+        }
+    }
+}
+
+/// One injected fault and its classified outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// The injected fault.
+    pub fault: DecodeFault,
+    /// Signal field the flipped bit belongs to.
+    pub field: &'static str,
+    /// Classified outcome.
+    pub outcome: Outcome,
+}
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignResult {
+    /// Every fault with its outcome.
+    pub records: Vec<FaultRecord>,
+    /// Outcome counts.
+    pub counts: BTreeMap<Outcome, u32>,
+}
+
+impl CampaignResult {
+    /// Fraction of faults with the given outcome.
+    pub fn fraction(&self, outcome: Outcome) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        *self.counts.get(&outcome).unwrap_or(&0) as f64 / self.records.len() as f64
+    }
+
+    /// Fraction of faults detected through the ITR cache (the paper
+    /// reports 95.4% on average).
+    pub fn itr_detected_fraction(&self) -> f64 {
+        self.records.iter().filter(|r| r.outcome.itr_detected()).count() as f64
+            / self.records.len().max(1) as f64
+    }
+
+    /// Outcome counts grouped by the Table-2 field the flipped bit
+    /// belongs to — the analysis behind the paper's §4 discussion of
+    /// field-specific behaviour (masked `lat` flips, deadlocking
+    /// `num_rsrc` flips, `is_branch` flips caught by `spc`, …).
+    pub fn by_field(&self) -> BTreeMap<&'static str, BTreeMap<Outcome, u32>> {
+        let mut map: BTreeMap<&'static str, BTreeMap<Outcome, u32>> = BTreeMap::new();
+        for r in &self.records {
+            *map.entry(r.field).or_default().entry(r.outcome).or_insert(0) += 1;
+        }
+        map
+    }
+}
+
+/// Builds the golden references: the committed stream and the per-trace
+/// clean-signature map.
+fn golden_reference(
+    program: &Program,
+    max_instrs: u64,
+) -> (Vec<CommitRecord>, HashMap<u64, u64>) {
+    let mut sim = FuncSim::new(program);
+    let (records, _) = sim.run_collect(max_instrs);
+    let mut sigs = HashMap::new();
+    for t in TraceStream::new(program, max_instrs) {
+        sigs.entry(t.start_pc).or_insert(t.signature);
+    }
+    (records, sigs)
+}
+
+/// Runs one faulty execution in passive-ITR mode and collects the
+/// observation for classification.
+fn observe_fault(
+    program: &Program,
+    fault: DecodeFault,
+    golden: &[CommitRecord],
+    itr: ItrConfig,
+    window_cycles: u64,
+) -> Observation {
+    let cfg = PipelineConfig {
+        itr: Some(ItrConfig { mode: ItrMode::Passive, ..itr }),
+        faults: vec![fault],
+        spc_check: true,
+        ..PipelineConfig::default()
+    };
+    let mut pipe = Pipeline::new(program, cfg);
+
+    let mut sdc = false;
+    let mut commit_idx = 0usize;
+
+    // Phase 1: run until the fault has been injected (or the program ends
+    // first — then the fault never materialized).
+    let chunk = 10_000u64;
+    let inject_cycle = loop {
+        let budget = pipe.cycle() + chunk;
+        let exit = {
+            let golden = &golden;
+            pipe.run_with(budget, |r| {
+                if commit_idx >= golden.len() || golden[commit_idx] != *r {
+                    sdc = true;
+                }
+                commit_idx += 1;
+                true
+            })
+        };
+        if pipe.stats().decoded > fault.nth_decode {
+            break pipe.cycle();
+        }
+        if exit != RunExit::CycleLimit {
+            break pipe.cycle(); // program ended before the injection point
+        }
+        if pipe.cycle() > 50_000_000 {
+            break pipe.cycle(); // safety valve
+        }
+    };
+
+    // Phase 2: observe for `window_cycles` after injection.
+    let limit = inject_cycle + window_cycles;
+    let exit = {
+        let golden = &golden;
+        pipe.run_with(limit, |r| {
+            if commit_idx >= golden.len() || golden[commit_idx] != *r {
+                sdc = true;
+            }
+            commit_idx += 1;
+            true
+        })
+    };
+    // A faulty run that halts/aborts earlier or later than the golden run
+    // is an architectural divergence too.
+    if matches!(exit, RunExit::Halted | RunExit::Aborted(_)) && commit_idx != golden.len() {
+        sdc = true;
+    }
+
+    let first_mismatch = pipe.itr_events().iter().find_map(|(_, e)| match e {
+        ItrEvent::Mismatch { start_pc, cached_signature, new_signature, .. } => {
+            Some((*start_pc, *cached_signature, *new_signature))
+        }
+        _ => None,
+    });
+    let resident_lines = pipe
+        .itr()
+        .map(|u| u.cache().iter_lines().collect())
+        .unwrap_or_default();
+    Observation {
+        sdc,
+        deadlock: exit == RunExit::Deadlock,
+        first_mismatch,
+        spc_fired: !pipe.spc_violations().is_empty(),
+        resident_lines,
+    }
+}
+
+/// Cross-validates a passive classification in *active* recovery mode:
+/// re-runs the fault with the full retry machinery enabled and checks the
+/// architectural outcome the passive taxonomy predicts.
+///
+/// * [`Outcome::ItrSdcR`] / [`Outcome::ItrMask`] / [`Outcome::ItrWdogR`]
+///   — the active run must finish with the golden committed stream (the
+///   retry recovers, or the fault was masked anyway);
+/// * [`Outcome::ItrSdcD`] — the active run must raise a machine check
+///   (the faulty instance already committed; abort is the only option).
+///
+/// Returns `Ok(())` when the prediction holds, or a description of the
+/// divergence.
+pub fn validate_active_recovery(
+    program: &Program,
+    record: &FaultRecord,
+    golden: &[CommitRecord],
+    itr: ItrConfig,
+    window_cycles: u64,
+) -> Result<(), String> {
+    let cfg = PipelineConfig {
+        itr: Some(ItrConfig { mode: ItrMode::Active, ..itr }),
+        faults: vec![record.fault],
+        ..PipelineConfig::default()
+    };
+    let mut pipe = Pipeline::new(program, cfg);
+    let mut diverged = false;
+    let mut idx = 0usize;
+    let exit = pipe.run_with(window_cycles * 4 + 1_000_000, |r| {
+        if idx >= golden.len() || golden[idx] != *r {
+            diverged = true;
+        }
+        idx += 1;
+        true
+    });
+    match record.outcome {
+        Outcome::ItrSdcR | Outcome::ItrMask | Outcome::ItrWdogR => {
+            if diverged {
+                return Err(format!(
+                    "{}: active run diverged at commit {idx} despite predicted recovery",
+                    record.outcome
+                ));
+            }
+            if matches!(exit, RunExit::MachineCheck { .. }) {
+                return Err(format!("{}: unexpected machine check", record.outcome));
+            }
+            Ok(())
+        }
+        Outcome::ItrSdcD => match exit {
+            RunExit::MachineCheck { .. } => Ok(()),
+            other => Err(format!("ItrSdcD: expected machine check, got {other:?}")),
+        },
+        _ => Ok(()), // no active-mode prediction for the other classes
+    }
+}
+
+/// Runs a full campaign over `program`.
+///
+/// Faults are sampled uniformly over `(decode index, signal bit)` pairs;
+/// each faulty run is compared against a shared golden reference and
+/// classified. Runs fan out across `threads` workers.
+pub fn run_campaign(program: &Program, cfg: &CampaignConfig) -> CampaignResult {
+    // Golden streams must cover the longest possible faulty observation:
+    // commits ≤ decodes before injection + width × window cycles.
+    let golden_len = cfg.max_decode + cfg.window_cycles * 4 + 10_000;
+    let (golden, clean_sigs) = golden_reference(program, golden_len);
+
+    // Clamp the injection range to instructions the program actually
+    // decodes (committed length is a lower bound on decoded length), so
+    // every sampled fault materializes.
+    let max_decode = cfg.max_decode.min(golden.len() as u64).max(cfg.min_decode + 1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let faults: Vec<DecodeFault> = (0..cfg.faults)
+        .map(|_| DecodeFault {
+            nth_decode: rng.gen_range(cfg.min_decode..max_decode),
+            bit: rng.gen_range(0..64),
+        })
+        .collect();
+
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        cfg.threads
+    };
+    let chunk_size = faults.len().div_ceil(threads.max(1));
+    let mut records: Vec<FaultRecord> = Vec::with_capacity(faults.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in faults.chunks(chunk_size.max(1)) {
+            let golden = &golden;
+            let clean_sigs = &clean_sigs;
+            let itr = cfg.itr;
+            let window = cfg.window_cycles;
+            handles.push(scope.spawn(move || {
+                chunk
+                    .iter()
+                    .map(|&fault| {
+                        let obs = observe_fault(program, fault, golden, itr, window);
+                        FaultRecord {
+                            fault,
+                            field: itr_isa::DecodeSignals::field_of_bit(fault.bit),
+                            outcome: classify(&obs, clean_sigs),
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            records.extend(h.join().expect("worker panicked"));
+        }
+    });
+
+    let mut counts = BTreeMap::new();
+    for r in &records {
+        *counts.entry(r.outcome).or_insert(0) += 1;
+    }
+    CampaignResult { records, counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itr_isa::asm::assemble;
+    use itr_workloads::kernels;
+
+    fn small_campaign(faults: u32) -> CampaignConfig {
+        CampaignConfig {
+            faults,
+            window_cycles: 20_000,
+            min_decode: 20,
+            max_decode: 2_000,
+            seed: 1,
+            threads: 2,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_classifies_every_fault() {
+        let p = assemble(kernels::SUM_LOOP.source).unwrap();
+        let result = run_campaign(&p, &small_campaign(40));
+        assert_eq!(result.records.len(), 40);
+        let total: u32 = result.counts.values().sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn tight_loop_faults_are_mostly_itr_detected() {
+        // A hot loop re-executes its traces constantly, so the paper's
+        // headline (most faults detected through the ITR cache) must show.
+        let p = assemble(kernels::SUM_LOOP.source).unwrap();
+        let result = run_campaign(&p, &small_campaign(60));
+        let detected = result.itr_detected_fraction();
+        assert!(
+            detected > 0.5,
+            "only {:.0}% ITR-detected in a tight loop; counts: {:?}",
+            detected * 100.0,
+            result.counts
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic_for_a_seed() {
+        let p = assemble(kernels::FIB.source).unwrap();
+        let cfg = small_campaign(20);
+        let a = run_campaign(&p, &cfg);
+        let b = run_campaign(&p, &cfg);
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn active_mode_predictions_hold_for_every_itr_outcome() {
+        // Cross-validate the passive taxonomy against full active-mode
+        // recovery for every ITR-detected fault in a small campaign.
+        let p = assemble(kernels::FIB.source).unwrap();
+        let cfg = small_campaign(50);
+        let golden_len = cfg.max_decode + cfg.window_cycles * 4 + 10_000;
+        let (golden, _) = super::golden_reference(&p, golden_len);
+        let result = run_campaign(&p, &cfg);
+        let mut validated = 0;
+        for r in &result.records {
+            if r.outcome.itr_detected() {
+                validate_active_recovery(&p, r, &golden, cfg.itr, cfg.window_cycles)
+                    .unwrap_or_else(|e| panic!("fault {:?}: {e}", r.fault));
+                validated += 1;
+            }
+        }
+        assert!(validated > 20, "only {validated} ITR-detected faults to validate");
+    }
+
+    #[test]
+    fn recovery_validated_in_active_mode() {
+        // Take a fault classified as recoverable SDC in the passive run
+        // and confirm active-mode ITR actually recovers it end-to-end.
+        let p = assemble(kernels::SUM_LOOP.source).unwrap();
+        let result = run_campaign(&p, &small_campaign(80));
+        let candidate = result
+            .records
+            .iter()
+            .find(|r| r.outcome == Outcome::ItrSdcR)
+            .expect("a recoverable SDC exists in 80 faults");
+        let cfg = PipelineConfig {
+            faults: vec![candidate.fault],
+            ..PipelineConfig::with_itr()
+        };
+        let mut pipe = Pipeline::new(&p, cfg);
+        let exit = pipe.run(5_000_000);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(pipe.output(), kernels::SUM_LOOP.expected_output);
+        assert!(pipe.itr().unwrap().stats().recoveries >= 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! # itr-faults — the fault-injection study of §4
+//!
+//! Reproduces the paper's methodology: for each benchmark, inject
+//! single-event upsets (random bit flips) on the decode signals of random
+//! dynamic instructions, run the faulty processor alongside a golden
+//! (fault-free) reference, and classify each fault by
+//!
+//! * **detection** — detected by an ITR signature mismatch (`ITR`),
+//!   possibly detectable in the future because the faulty signature is
+//!   still resident in the ITR cache (`MayITR`), caught only by the
+//!   sequential-PC check (`spc`), or undetected (`Undet`); and
+//! * **effect** — corrupts architectural state (`SDC`), causes a commit
+//!   deadlock caught by the watchdog (`wdog`), or is masked (`Mask`); and
+//! * for ITR-detected SDCs, **recoverability** — whether the *accessing*
+//!   instance was the faulty one (retry recovers, `+R`) or the faulty
+//!   instance already committed its signature on a miss (`+D`, abort).
+//!
+//! The faulty pipeline runs the ITR unit in *passive* mode (detect,
+//! record, but commit anyway) so a single run observes both the would-be
+//! detection and the would-be architectural outcome; active-mode recovery
+//! is validated separately by `itr-sim`'s pipeline tests and the
+//! `fault_injection` example.
+
+mod campaign;
+mod classify;
+
+pub use campaign::{
+    run_campaign, validate_active_recovery, CampaignConfig, CampaignResult, FaultRecord,
+};
+pub use classify::{classify, Observation, Outcome};

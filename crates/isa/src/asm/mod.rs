@@ -1,0 +1,621 @@
+//! A two-pass text assembler for `rISA`.
+//!
+//! Supported syntax:
+//!
+//! * comments: `#` or `;` to end of line,
+//! * labels: `name:` (multiple per line allowed),
+//! * directives: `.text`, `.data`, `.word v|label, ...`, `.byte v, ...`,
+//!   `.ascii "s"`, `.asciiz "s"`, `.space n`, `.align n`,
+//! * all opcode mnemonics from [`Opcode`], with MIPS-style operand order,
+//! * pseudo-instructions: `li rt, imm`, `la rt, label`, `move rd, rs`,
+//!   `nop`, `halt`, `b label`, `not rd, rs`, `neg rd, rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use itr_isa::asm::assemble;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let p = assemble(
+//!     r#"
+//!     .data
+//!     buf: .space 64
+//!     .text
+//!     main:
+//!         la   r8, buf
+//!         li   r9, 16
+//!     loop:
+//!         sw   r9, 0(r8)
+//!         addi r8, r8, 4
+//!         addi r9, r9, -1
+//!         bgtz r9, loop
+//!         halt
+//!     "#,
+//! )?;
+//! assert_eq!(p.symbol("loop").is_some(), true);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::instruction::Instruction;
+use crate::opcode::{Opcode, Syntax};
+use crate::program::{BuildError, Program, ProgramBuilder};
+use crate::reg::Reg;
+use crate::trap;
+use std::fmt;
+
+/// Error produced by [`assemble`], tagged with a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl AsmError {
+    fn new(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError { line, message: message.into() }
+    }
+}
+
+impl From<BuildError> for AsmError {
+    fn from(e: BuildError) -> AsmError {
+        AsmError { line: 0, message: e.to_string() }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// Assembles `rISA` source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] describing the first syntax error, unknown
+/// mnemonic, malformed operand, or unresolved/duplicate label.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::new();
+    let mut section = Section::Text;
+    for (line_no, raw) in source.lines().enumerate() {
+        let line_no = line_no + 1;
+        let mut line = raw;
+        if let Some(pos) = line.find(['#', ';']) {
+            line = &line[..pos];
+        }
+        let mut rest = line.trim();
+        // Peel leading labels.
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let name = head.trim();
+            if name.is_empty() || !is_ident(name) {
+                break;
+            }
+            let result = match section {
+                Section::Text => b.label(name),
+                Section::Data => b.data_label(name),
+            };
+            result.map_err(|e| AsmError::new(line_no, e.to_string()))?;
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        if let Some(directive) = rest.strip_prefix('.') {
+            parse_directive(&mut b, &mut section, directive, line_no)?;
+            continue;
+        }
+        if section != Section::Text {
+            return Err(AsmError::new(line_no, "instruction outside .text section"));
+        }
+        parse_instruction(&mut b, rest, line_no)?;
+    }
+    b.build().map_err(AsmError::from)
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn parse_directive(
+    b: &mut ProgramBuilder,
+    section: &mut Section,
+    directive: &str,
+    line: usize,
+) -> Result<(), AsmError> {
+    let (name, args) = directive
+        .split_once(char::is_whitespace)
+        .unwrap_or((directive, ""));
+    match name {
+        "text" => *section = Section::Text,
+        "data" => *section = Section::Data,
+        "word" => {
+            for arg in split_args(args) {
+                if let Ok(v) = parse_int(&arg, line) {
+                    b.data_word(v as u32);
+                } else if is_ident(&arg) {
+                    // A label: the word holds its address (jump tables).
+                    b.data_word_addr(&arg);
+                } else {
+                    return Err(AsmError::new(line, format!("invalid .word operand `{arg}`")));
+                }
+            }
+        }
+        "byte" => {
+            for arg in split_args(args) {
+                let v = parse_int(&arg, line)?;
+                b.data_bytes(&[(v & 0xFF) as u8]);
+            }
+        }
+        "ascii" | "asciiz" => {
+            let arg = args.trim();
+            let inner = arg
+                .strip_prefix('"')
+                .and_then(|a| a.strip_suffix('"'))
+                .ok_or_else(|| AsmError::new(line, "string literal expected"))?;
+            let mut bytes = Vec::with_capacity(inner.len());
+            let mut chars = inner.chars();
+            while let Some(c) = chars.next() {
+                let b = if c == '\\' {
+                    match chars.next() {
+                        Some('n') => b'\n',
+                        Some('t') => b'\t',
+                        Some('0') => 0,
+                        Some('\\') => b'\\',
+                        Some('"') => b'"',
+                        _ => return Err(AsmError::new(line, "unknown escape sequence")),
+                    }
+                } else {
+                    c as u8
+                };
+                bytes.push(b);
+            }
+            if name == "asciiz" {
+                bytes.push(0);
+            }
+            b.data_bytes(&bytes);
+        }
+        "space" => {
+            let n = parse_int(args.trim(), line)?;
+            if n < 0 {
+                return Err(AsmError::new(line, ".space size must be non-negative"));
+            }
+            b.data_space(n as usize);
+        }
+        "align" => {
+            let n = parse_int(args.trim(), line)?;
+            if n <= 0 || !(n as usize).is_power_of_two() {
+                return Err(AsmError::new(line, ".align requires a power of two"));
+            }
+            b.data_align(n as usize);
+        }
+        other => return Err(AsmError::new(line, format!("unknown directive `.{other}`"))),
+    }
+    Ok(())
+}
+
+fn split_args(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(|p| p.trim().to_string())
+        .filter(|p| !p.is_empty())
+        .collect()
+}
+
+fn parse_int(s: &str, line: usize) -> Result<i64, AsmError> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| AsmError::new(line, format!("invalid integer `{s}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
+    s.trim()
+        .parse::<Reg>()
+        .map_err(|e| AsmError::new(line, e.to_string()))
+}
+
+fn parse_int_reg(s: &str, line: usize) -> Result<u8, AsmError> {
+    match parse_reg(s, line)? {
+        Reg::Int(i) => Ok(i),
+        Reg::Fp(_) => Err(AsmError::new(line, format!("expected integer register, got `{s}`"))),
+    }
+}
+
+fn parse_fp_reg(s: &str, line: usize) -> Result<u8, AsmError> {
+    match parse_reg(s, line)? {
+        Reg::Fp(i) => Ok(i),
+        Reg::Int(_) => Err(AsmError::new(line, format!("expected FP register, got `{s}`"))),
+    }
+}
+
+/// Parses `imm(reg)` or `(reg)`.
+fn parse_mem_operand(s: &str, line: usize) -> Result<(i32, u8), AsmError> {
+    let s = s.trim();
+    let open = s
+        .find('(')
+        .ok_or_else(|| AsmError::new(line, format!("expected `imm(reg)`, got `{s}`")))?;
+    let close = s
+        .rfind(')')
+        .ok_or_else(|| AsmError::new(line, format!("missing `)` in `{s}`")))?;
+    let off_str = s[..open].trim();
+    let offset = if off_str.is_empty() { 0 } else { parse_int(off_str, line)? as i32 };
+    let base = parse_int_reg(&s[open + 1..close], line)?;
+    Ok((offset, base))
+}
+
+fn expect_args(args: &[String], n: usize, mnem: &str, line: usize) -> Result<(), AsmError> {
+    if args.len() != n {
+        return Err(AsmError::new(
+            line,
+            format!("`{mnem}` expects {n} operand(s), got {}", args.len()),
+        ));
+    }
+    Ok(())
+}
+
+fn parse_instruction(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<(), AsmError> {
+    let (mnem, rest) = text
+        .split_once(char::is_whitespace)
+        .unwrap_or((text, ""));
+    let args = split_args(rest);
+
+    // Pseudo-instructions first.
+    match mnem {
+        "nop" => {
+            b.push(Instruction::nop());
+            return Ok(());
+        }
+        "halt" => {
+            b.push(Instruction::trap(trap::HALT));
+            return Ok(());
+        }
+        "li" => {
+            expect_args(&args, 2, mnem, line)?;
+            let rt = parse_int_reg(&args[0], line)?;
+            let v = parse_int(&args[1], line)?;
+            b.load_imm(rt, v);
+            return Ok(());
+        }
+        "la" => {
+            expect_args(&args, 2, mnem, line)?;
+            let rt = parse_int_reg(&args[0], line)?;
+            b.load_addr(rt, &args[1]);
+            return Ok(());
+        }
+        "move" => {
+            expect_args(&args, 2, mnem, line)?;
+            let rd = parse_int_reg(&args[0], line)?;
+            let rs = parse_int_reg(&args[1], line)?;
+            b.push(Instruction::rrr(Opcode::Or, rd, rs, 0));
+            return Ok(());
+        }
+        "not" => {
+            expect_args(&args, 2, mnem, line)?;
+            let rd = parse_int_reg(&args[0], line)?;
+            let rs = parse_int_reg(&args[1], line)?;
+            b.push(Instruction::rrr(Opcode::Nor, rd, rs, 0));
+            return Ok(());
+        }
+        "neg" => {
+            expect_args(&args, 2, mnem, line)?;
+            let rd = parse_int_reg(&args[0], line)?;
+            let rs = parse_int_reg(&args[1], line)?;
+            b.push(Instruction::rrr(Opcode::Sub, rd, 0, rs));
+            return Ok(());
+        }
+        "b" => {
+            expect_args(&args, 1, mnem, line)?;
+            emit_branch(b, Opcode::Beq, 0, 0, &args[0], line)?;
+            return Ok(());
+        }
+        _ => {}
+    }
+
+    let op = Opcode::from_mnemonic(mnem)
+        .ok_or_else(|| AsmError::new(line, format!("unknown mnemonic `{mnem}`")))?;
+    match op.props().syntax {
+        Syntax::ThreeReg => {
+            expect_args(&args, 3, mnem, line)?;
+            let rd = parse_int_reg(&args[0], line)?;
+            let rs = parse_int_reg(&args[1], line)?;
+            let rt = parse_int_reg(&args[2], line)?;
+            b.push(Instruction::rrr(op, rd, rs, rt));
+        }
+        Syntax::Shift => {
+            expect_args(&args, 3, mnem, line)?;
+            let rd = parse_int_reg(&args[0], line)?;
+            let rt = parse_int_reg(&args[1], line)?;
+            let sh = parse_int(&args[2], line)?;
+            if !(0..32).contains(&sh) {
+                return Err(AsmError::new(line, "shift amount must be 0..31"));
+            }
+            b.push(Instruction::shift(op, rd, rt, sh as u8));
+        }
+        Syntax::ShiftV => {
+            expect_args(&args, 3, mnem, line)?;
+            let rd = parse_int_reg(&args[0], line)?;
+            let rt = parse_int_reg(&args[1], line)?;
+            let rs = parse_int_reg(&args[2], line)?;
+            b.push(Instruction { op, rs, rt, rd, shamt: 0, imm: 0 });
+        }
+        Syntax::TwoRegImm => {
+            expect_args(&args, 3, mnem, line)?;
+            let rt = parse_int_reg(&args[0], line)?;
+            let rs = parse_int_reg(&args[1], line)?;
+            let imm = parse_int(&args[2], line)?;
+            b.push(Instruction::rri(op, rt, rs, imm as i32));
+        }
+        Syntax::RegImm16 => {
+            expect_args(&args, 2, mnem, line)?;
+            let rt = parse_int_reg(&args[0], line)?;
+            let imm = parse_int(&args[1], line)?;
+            b.push(Instruction::rri(op, rt, 0, imm as i32));
+        }
+        Syntax::Mem => {
+            expect_args(&args, 2, mnem, line)?;
+            let rt = parse_int_reg(&args[0], line)?;
+            let (off, base) = parse_mem_operand(&args[1], line)?;
+            b.push(Instruction::mem(op, rt, base, off));
+        }
+        Syntax::FpMem => {
+            expect_args(&args, 2, mnem, line)?;
+            let ft = parse_fp_reg(&args[0], line)?;
+            let (off, base) = parse_mem_operand(&args[1], line)?;
+            b.push(Instruction::mem(op, ft, base, off));
+        }
+        Syntax::Branch2 => {
+            expect_args(&args, 3, mnem, line)?;
+            let rs = parse_int_reg(&args[0], line)?;
+            let rt = parse_int_reg(&args[1], line)?;
+            emit_branch(b, op, rs, rt, &args[2], line)?;
+        }
+        Syntax::Branch1 => {
+            expect_args(&args, 2, mnem, line)?;
+            let rs = parse_int_reg(&args[0], line)?;
+            emit_branch(b, op, rs, 0, &args[1], line)?;
+        }
+        Syntax::FpBranch => {
+            expect_args(&args, 1, mnem, line)?;
+            emit_branch(b, op, 0, 0, &args[0], line)?;
+        }
+        Syntax::Jump => {
+            expect_args(&args, 1, mnem, line)?;
+            if let Ok(addr) = parse_int(&args[0], line) {
+                b.push(Instruction::jump(op, (addr as u64 >> 2) as u32));
+            } else {
+                b.jump_to(op, &args[0]);
+            }
+        }
+        Syntax::OneReg => {
+            expect_args(&args, 1, mnem, line)?;
+            let rs = parse_int_reg(&args[0], line)?;
+            b.push(Instruction { op, rs, rt: 0, rd: 0, shamt: 0, imm: 0 });
+        }
+        Syntax::TwoReg => {
+            expect_args(&args, 2, mnem, line)?;
+            let rd = parse_int_reg(&args[0], line)?;
+            let rs = parse_int_reg(&args[1], line)?;
+            b.push(Instruction { op, rs, rt: 0, rd, shamt: 0, imm: 0 });
+        }
+        Syntax::FpThree => {
+            expect_args(&args, 3, mnem, line)?;
+            let fd = parse_fp_reg(&args[0], line)?;
+            let fs = parse_fp_reg(&args[1], line)?;
+            let ft = parse_fp_reg(&args[2], line)?;
+            b.push(Instruction::rrr(op, fd, fs, ft));
+        }
+        Syntax::FpTwo => {
+            expect_args(&args, 2, mnem, line)?;
+            let fd = parse_fp_reg(&args[0], line)?;
+            let fs = parse_fp_reg(&args[1], line)?;
+            b.push(Instruction { op, rs: fs, rt: 0, rd: fd, shamt: 0, imm: 0 });
+        }
+        Syntax::FpCmp => {
+            expect_args(&args, 2, mnem, line)?;
+            let fs = parse_fp_reg(&args[0], line)?;
+            let ft = parse_fp_reg(&args[1], line)?;
+            b.push(Instruction { op, rs: fs, rt: ft, rd: 0, shamt: 0, imm: 0 });
+        }
+        Syntax::FpMove => {
+            expect_args(&args, 2, mnem, line)?;
+            let rt = parse_int_reg(&args[0], line)?;
+            let fs = parse_fp_reg(&args[1], line)?;
+            b.push(Instruction { op, rs: fs, rt, rd: 0, shamt: 0, imm: 0 });
+        }
+        Syntax::TrapCode => {
+            expect_args(&args, 1, mnem, line)?;
+            let code = parse_int(&args[0], line)?;
+            b.push(Instruction::trap(code as u16));
+        }
+    }
+    Ok(())
+}
+
+fn emit_branch(
+    b: &mut ProgramBuilder,
+    op: Opcode,
+    rs: u8,
+    rt: u8,
+    target: &str,
+    line: usize,
+) -> Result<(), AsmError> {
+    if let Ok(offset) = parse_int(target, line) {
+        b.push(Instruction::branch(op, rs, rt, offset as i32));
+    } else if is_ident(target) {
+        b.branch_to(op, rs, rt, target);
+    } else {
+        return Err(AsmError::new(line, format!("invalid branch target `{target}`")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_a_loop() {
+        let p = assemble(
+            r#"
+            .text
+            main:
+                li r8, 10
+                li r9, 0
+            top:
+                add r9, r9, r8
+                addi r8, r8, -1
+                bgtz r8, top
+                halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.symbol("top"), Some(p.text_base() + 8));
+    }
+
+    #[test]
+    fn data_section_and_la() {
+        let p = assemble(
+            r#"
+            .data
+            nums: .word 1, 2, 3, 0x10
+            pad:  .space 8
+            .text
+            main:
+                la r8, nums
+                lw r9, 4(r8)
+                halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.data().len(), 24);
+        assert_eq!(&p.data()[12..16], &0x10u32.to_le_bytes());
+        assert_eq!(p.symbol("pad"), Some(p.data_base() + 16));
+    }
+
+    #[test]
+    fn fp_instructions() {
+        let p = assemble(
+            r#"
+            main:
+                mtc1 r8, f0
+                cvt.s.w f1, f0
+                add.s f2, f1, f1
+                c.lt.s f1, f2
+                bc1t main
+                halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let err = assemble("main:\n  frobnicate r1, r2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn wrong_operand_count_is_rejected() {
+        let err = assemble("main:\n add r1, r2\n").unwrap_err();
+        assert!(err.message.contains("expects 3"));
+    }
+
+    #[test]
+    fn wrong_register_file_is_rejected() {
+        let err = assemble("main:\n add.s f1, r2, f3\n").unwrap_err();
+        assert!(err.message.contains("expected FP register"));
+    }
+
+    #[test]
+    fn instruction_in_data_section_is_rejected() {
+        let err = assemble(".data\n add r1, r2, r3\n").unwrap_err();
+        assert!(err.message.contains("outside .text"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let p = assemble("# header\nmain: ; entry\n  halt # done\n\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn ascii_directives_emit_bytes() {
+        let p = assemble(".data\nmsg: .asciiz \"hi\\n\"\n.text\nmain:\n halt\n").unwrap();
+        assert_eq!(p.data(), b"hi\n\0");
+    }
+
+    #[test]
+    fn word_directive_accepts_labels() {
+        let p = assemble(
+            ".data\ntbl: .word f, g, 7\n.text\nmain:\n halt\nf:\n halt\ng:\n halt\n",
+        )
+        .unwrap();
+        let tbl = p.symbol("tbl").unwrap();
+        let w = |i: u64| u32::from_le_bytes(
+            p.data()[(tbl - p.data_base() + i * 4) as usize..][..4].try_into().unwrap(),
+        );
+        assert_eq!(w(0) as u64, p.symbol("f").unwrap());
+        assert_eq!(w(1) as u64, p.symbol("g").unwrap());
+        assert_eq!(w(2), 7);
+    }
+
+    #[test]
+    fn mem_operand_without_offset() {
+        let p = assemble("main:\n lw r1, (r2)\n halt\n").unwrap();
+        let lw = p.instruction_at(p.text_base()).unwrap();
+        assert_eq!(lw.imm, 0);
+        assert_eq!(lw.rs, 2);
+    }
+
+    #[test]
+    fn more_malformed_inputs_are_rejected_with_line_numbers() {
+        for (src, needle) in [
+            ("main:\n .word x y\n", "invalid"),
+            ("main:\n .space -4\n", "non-negative"),
+            ("main:\n .align 3\n", "power of two"),
+            ("main:\n .bogus 1\n", "unknown directive"),
+            ("main:\n sll r1, r2, 32\n", "shift amount"),
+            ("main:\n lw r1, 4[r2]\n", "expected `imm(reg)`"),
+            ("main:\n beq r1, r2, 3.5\n", "invalid branch target"),
+            ("main:\nmain:\n halt\n", "duplicate label"),
+            ("main:\n j nowhere\n", "undefined label"),
+        ] {
+            let err = assemble(src).expect_err(src);
+            assert!(
+                err.to_string().contains(needle),
+                "{src:?}: got `{err}`, wanted `{needle}`"
+            );
+        }
+    }
+
+    #[test]
+    fn register_aliases_work() {
+        let p = assemble("main:\n addi sp, sp, -16\n sw ra, 0(sp)\n halt\n").unwrap();
+        let first = p.instruction_at(p.text_base()).unwrap();
+        assert_eq!((first.rt, first.rs), (29, 29));
+    }
+}

@@ -1,0 +1,68 @@
+//! Textual disassembly of instructions.
+
+use crate::instruction::Instruction;
+use crate::opcode::Syntax;
+
+/// Renders an instruction in assembly syntax.
+///
+/// The output parses back to an equal instruction through the
+/// [assembler](crate::asm) for every syntax class except label-relative
+/// branches and jumps, which print numeric offsets/targets.
+pub fn disassemble(inst: &Instruction) -> String {
+    let m = inst.op.mnemonic();
+    match inst.op.props().syntax {
+        Syntax::ThreeReg => format!("{m} r{}, r{}, r{}", inst.rd, inst.rs, inst.rt),
+        Syntax::Shift => format!("{m} r{}, r{}, {}", inst.rd, inst.rt, inst.shamt),
+        Syntax::ShiftV => format!("{m} r{}, r{}, r{}", inst.rd, inst.rt, inst.rs),
+        Syntax::TwoRegImm => format!("{m} r{}, r{}, {}", inst.rt, inst.rs, inst.imm),
+        Syntax::RegImm16 => format!("{m} r{}, {}", inst.rt, inst.imm),
+        Syntax::Mem => format!("{m} r{}, {}(r{})", inst.rt, inst.imm, inst.rs),
+        Syntax::FpMem => format!("{m} f{}, {}(r{})", inst.rt, inst.imm, inst.rs),
+        Syntax::Branch2 => format!("{m} r{}, r{}, {}", inst.rs, inst.rt, inst.imm),
+        Syntax::Branch1 => format!("{m} r{}, {}", inst.rs, inst.imm),
+        Syntax::FpBranch => format!("{m} {}", inst.imm),
+        Syntax::Jump => format!("{m} {:#x}", (inst.imm as u32 as u64) << 2),
+        Syntax::OneReg => format!("{m} r{}", inst.rs),
+        Syntax::TwoReg => format!("{m} r{}, r{}", inst.rd, inst.rs),
+        Syntax::FpThree => format!("{m} f{}, f{}, f{}", inst.rd, inst.rs, inst.rt),
+        Syntax::FpTwo => format!("{m} f{}, f{}", inst.rd, inst.rs),
+        Syntax::FpCmp => format!("{m} f{}, f{}", inst.rs, inst.rt),
+        Syntax::FpMove => format!("{m} r{}, f{}", inst.rt, inst.rs),
+        Syntax::TrapCode => format!("{m} {}", inst.imm),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Opcode;
+
+    #[test]
+    fn common_forms_render() {
+        assert_eq!(
+            disassemble(&Instruction::rrr(Opcode::Add, 1, 2, 3)),
+            "add r1, r2, r3"
+        );
+        assert_eq!(
+            disassemble(&Instruction::mem(Opcode::Lw, 4, 29, -8)),
+            "lw r4, -8(r29)"
+        );
+        assert_eq!(
+            disassemble(&Instruction::shift(Opcode::Sll, 2, 2, 4)),
+            "sll r2, r2, 4"
+        );
+        assert_eq!(disassemble(&Instruction::trap(0)), "trap 0");
+    }
+
+    #[test]
+    fn fp_forms_render() {
+        assert_eq!(
+            disassemble(&Instruction::rrr(Opcode::AddS, 1, 2, 3)),
+            "add.s f1, f2, f3"
+        );
+        assert_eq!(
+            disassemble(&Instruction { op: Opcode::CEqS, rs: 2, rt: 3, rd: 0, shamt: 0, imm: 0 }),
+            "c.eq.s f2, f3"
+        );
+    }
+}

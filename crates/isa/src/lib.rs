@@ -1,0 +1,76 @@
+//! # itr-isa — the `rISA` instruction set
+//!
+//! A 32-bit, MIPS/PISA-like RISC instruction set used as the substrate for
+//! the ITR (Inherent Time Redundancy) reproduction. The crate provides:
+//!
+//! * [`Opcode`] — the full operation list with static properties
+//!   (latency class, operand counts, control flags),
+//! * [`Instruction`] — a decoded instruction record,
+//! * binary [`encode`]/[`decode`] to/from 32-bit words,
+//! * [`DecodeSignals`] — the 64-bit decode-unit output vector replicated
+//!   field-for-field from Table 2 of the DSN 2007 ITR paper; this is the
+//!   value that ITR signatures are folded over and that transient faults
+//!   are injected into,
+//! * a two-pass [assembler](asm) and a [disassembler](disasm),
+//! * [`Program`] — an assembled memory image plus a programmatic
+//!   [`ProgramBuilder`] used by workload
+//!   generators.
+//!
+//! # Example
+//!
+//! ```
+//! use itr_isa::{asm::assemble, DecodeSignals};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble(
+//!     r#"
+//!     .text
+//!     main:
+//!         li   r8, 5
+//!         addi r9, r8, 37
+//!         halt
+//!     "#,
+//! )?;
+//! let first = program.instruction_at(program.entry()).unwrap();
+//! let signals = DecodeSignals::from_instruction(&first);
+//! assert_eq!(signals.pack().count_ones() > 0, true);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod disasm;
+mod encode;
+mod instruction;
+mod opcode;
+mod program;
+mod reg;
+mod signals;
+
+pub use encode::{decode, encode, DecodeError};
+pub use instruction::Instruction;
+pub use opcode::{Format, LatClass, Opcode, Syntax};
+pub use program::{BuildError, Program, ProgramBuilder, SegmentKind, DATA_BASE, STACK_TOP, TEXT_BASE};
+pub use reg::Reg;
+pub use signals::{DecodeSignals, SignalField, SignalFlags, SIGNAL_FIELDS, TOTAL_SIGNAL_BITS};
+
+/// Size of one instruction word in bytes.
+pub const INSTRUCTION_BYTES: u64 = 4;
+
+/// Number of architectural integer registers (`r0` is hardwired to zero).
+pub const NUM_INT_REGS: usize = 32;
+
+/// Number of architectural floating-point registers.
+pub const NUM_FP_REGS: usize = 32;
+
+/// Trap codes carried in the immediate field of [`Opcode::Trap`].
+pub mod trap {
+    /// Terminate the program successfully.
+    pub const HALT: u16 = 0;
+    /// Print the integer in `r4` (a simulator service, not a fault).
+    pub const PUT_INT: u16 = 1;
+    /// Print the low byte of `r4` as a character.
+    pub const PUT_CHAR: u16 = 2;
+    /// Abort the program with the failure code in `r4`.
+    pub const ABORT: u16 = 3;
+}

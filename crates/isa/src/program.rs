@@ -1,0 +1,478 @@
+//! Assembled program images and the programmatic builder API.
+
+use crate::encode::encode;
+use crate::instruction::Instruction;
+use crate::opcode::Opcode;
+use crate::INSTRUCTION_BYTES;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Default base address of the text (code) segment.
+pub const TEXT_BASE: u64 = 0x0040_0000;
+/// Default base address of the data segment.
+pub const DATA_BASE: u64 = 0x1000_0000;
+/// Default initial stack pointer (grows down).
+pub const STACK_TOP: u64 = 0x7FFF_F000;
+
+/// Which segment a symbol or fixup lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegmentKind {
+    /// Code.
+    Text,
+    /// Initialized/uninitialized data.
+    Data,
+}
+
+/// An assembled program: a code image, a data image and a symbol table.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    text_base: u64,
+    data_base: u64,
+    entry: u64,
+    text: Vec<u32>,
+    data: Vec<u8>,
+    symbols: HashMap<String, u64>,
+}
+
+impl Program {
+    /// Base address of the text segment.
+    pub fn text_base(&self) -> u64 {
+        self.text_base
+    }
+
+    /// Base address of the data segment.
+    pub fn data_base(&self) -> u64 {
+        self.data_base
+    }
+
+    /// Entry-point address (the `main` label if defined, else the first
+    /// text address).
+    pub fn entry(&self) -> u64 {
+        self.entry
+    }
+
+    /// Encoded instruction words of the text segment.
+    pub fn text(&self) -> &[u32] {
+        &self.text
+    }
+
+    /// Initial bytes of the data segment.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Number of static instructions in the program.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// Looks up a label address.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All symbols and their addresses.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.symbols.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Decodes the instruction stored at `addr`, if `addr` falls inside the
+    /// text segment and decodes cleanly.
+    pub fn instruction_at(&self, addr: u64) -> Option<Instruction> {
+        if addr < self.text_base || !(addr - self.text_base).is_multiple_of(INSTRUCTION_BYTES) {
+            return None;
+        }
+        let idx = ((addr - self.text_base) / INSTRUCTION_BYTES) as usize;
+        self.text.get(idx).and_then(|&w| crate::decode(w).ok())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "program: {} instructions, {} data bytes, entry {:#x}",
+            self.text.len(),
+            self.data.len(),
+            self.entry
+        )
+    }
+}
+
+/// Unresolved reference recorded while building.
+#[derive(Debug, Clone)]
+enum Fixup {
+    /// PC-relative conditional-branch offset (I-format imm).
+    Branch { text_index: usize, label: String },
+    /// Absolute 26-bit jump target (J-format).
+    Jump { text_index: usize, label: String },
+    /// `lui`+`ori` pair loading a 32-bit address (index of the `lui`).
+    LoadAddr { text_index: usize, label: String },
+    /// A 32-bit data word holding a label's address (jump tables).
+    DataAddr { data_offset: usize, label: String },
+}
+
+/// Error produced when finalizing a [`ProgramBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A conditional-branch displacement overflowed 16 bits.
+    BranchOutOfRange { label: String, offset: i64 },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            BuildError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            BuildError::BranchOutOfRange { label, offset } => {
+                write!(f, "branch to `{label}` out of range (offset {offset} words)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incrementally builds a [`Program`].
+///
+/// Used directly by workload generators and as the backend of the text
+/// [assembler](crate::asm).
+///
+/// # Example
+///
+/// ```
+/// use itr_isa::{Instruction, Opcode, ProgramBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ProgramBuilder::new();
+/// b.label("main")?;
+/// b.push(Instruction::rri(Opcode::Addi, 8, 0, 41));
+/// b.push(Instruction::rri(Opcode::Addi, 8, 8, 1));
+/// b.push(Instruction::trap(itr_isa::trap::HALT));
+/// let program = b.build()?;
+/// assert_eq!(program.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    text: Vec<u32>,
+    data: Vec<u8>,
+    labels: HashMap<String, (SegmentKind, u64)>,
+    fixups: Vec<Fixup>,
+    text_base: u64,
+    data_base: u64,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder with the default segment bases.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder {
+            text_base: TEXT_BASE,
+            data_base: DATA_BASE,
+            ..ProgramBuilder::default()
+        }
+    }
+
+    /// Address the next pushed instruction will occupy.
+    pub fn here(&self) -> u64 {
+        self.text_base + self.text.len() as u64 * INSTRUCTION_BYTES
+    }
+
+    /// Address the next data byte will occupy.
+    pub fn data_here(&self) -> u64 {
+        self.data_base + self.data.len() as u64
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn text_len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Defines `name` at the current text address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateLabel`] if `name` already exists.
+    pub fn label(&mut self, name: &str) -> Result<(), BuildError> {
+        self.define(name, SegmentKind::Text, self.here())
+    }
+
+    /// Defines `name` at the current data address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateLabel`] if `name` already exists.
+    pub fn data_label(&mut self, name: &str) -> Result<(), BuildError> {
+        self.define(name, SegmentKind::Data, self.data_here())
+    }
+
+    fn define(&mut self, name: &str, seg: SegmentKind, addr: u64) -> Result<(), BuildError> {
+        if self
+            .labels
+            .insert(name.to_string(), (seg, addr))
+            .is_some()
+        {
+            return Err(BuildError::DuplicateLabel(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Emits one instruction.
+    pub fn push(&mut self, inst: Instruction) {
+        self.text.push(encode(&inst));
+    }
+
+    /// Emits a conditional branch to `label` (offset patched at build time).
+    pub fn branch_to(&mut self, op: Opcode, rs: u8, rt: u8, label: &str) {
+        self.fixups.push(Fixup::Branch {
+            text_index: self.text.len(),
+            label: label.to_string(),
+        });
+        self.push(Instruction::branch(op, rs, rt, 0));
+    }
+
+    /// Emits `j`/`jal` to `label` (target patched at build time).
+    pub fn jump_to(&mut self, op: Opcode, label: &str) {
+        self.fixups.push(Fixup::Jump {
+            text_index: self.text.len(),
+            label: label.to_string(),
+        });
+        self.push(Instruction::jump(op, 0));
+    }
+
+    /// Emits `li rt, value` (expands to `lui`+`ori`, or a single `addi`/`ori`
+    /// when the value fits in 16 bits).
+    pub fn load_imm(&mut self, rt: u8, value: i64) {
+        let v = value as i32;
+        if (-32768..=32767).contains(&v) {
+            self.push(Instruction::rri(Opcode::Addi, rt, 0, v));
+        } else if (0..=0xFFFF).contains(&v) {
+            self.push(Instruction::rri(Opcode::Ori, rt, 0, v));
+        } else {
+            let hi = ((v as u32) >> 16) as i32;
+            let lo = (v as u32 & 0xFFFF) as i32;
+            self.push(Instruction::rri(Opcode::Lui, rt, 0, hi));
+            self.push(Instruction::rri(Opcode::Ori, rt, rt, lo));
+        }
+    }
+
+    /// Emits `la rt, label` — a `lui`+`ori` pair patched at build time.
+    pub fn load_addr(&mut self, rt: u8, label: &str) {
+        self.fixups.push(Fixup::LoadAddr {
+            text_index: self.text.len(),
+            label: label.to_string(),
+        });
+        self.push(Instruction::rri(Opcode::Lui, rt, 0, 0));
+        self.push(Instruction::rri(Opcode::Ori, rt, rt, 0));
+    }
+
+    /// Appends a 32-bit little-endian word to the data segment.
+    pub fn data_word(&mut self, value: u32) {
+        self.data.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a data word that will hold `label`'s address (patched at
+    /// build time) — the building block of jump tables.
+    pub fn data_word_addr(&mut self, label: &str) {
+        self.fixups.push(Fixup::DataAddr {
+            data_offset: self.data.len(),
+            label: label.to_string(),
+        });
+        self.data_word(0);
+    }
+
+    /// Appends `n` zero bytes to the data segment.
+    pub fn data_space(&mut self, n: usize) {
+        self.data.resize(self.data.len() + n, 0);
+    }
+
+    /// Appends raw bytes to the data segment.
+    pub fn data_bytes(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Pads the data segment to the given power-of-two alignment.
+    pub fn data_align(&mut self, align: usize) {
+        debug_assert!(align.is_power_of_two());
+        while !self.data.len().is_multiple_of(align) {
+            self.data.push(0);
+        }
+    }
+
+    /// Resolves all fixups and produces the final [`Program`].
+    ///
+    /// The entry point is the `main` label if defined, else `text_base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for undefined labels or out-of-range
+    /// branches.
+    pub fn build(mut self) -> Result<Program, BuildError> {
+        let lookup = |labels: &HashMap<String, (SegmentKind, u64)>,
+                      name: &str|
+         -> Result<u64, BuildError> {
+            labels
+                .get(name)
+                .map(|&(_, a)| a)
+                .ok_or_else(|| BuildError::UndefinedLabel(name.to_string()))
+        };
+        for fixup in std::mem::take(&mut self.fixups) {
+            match fixup {
+                Fixup::Branch { text_index, label } => {
+                    let target = lookup(&self.labels, &label)?;
+                    let pc = self.text_base + text_index as u64 * INSTRUCTION_BYTES;
+                    let offset = (target as i64 - (pc as i64 + 4)) / 4;
+                    if !(-32768..=32767).contains(&offset) {
+                        return Err(BuildError::BranchOutOfRange { label, offset });
+                    }
+                    let mut inst = crate::decode(self.text[text_index]).expect("own encoding");
+                    inst.imm = offset as i32;
+                    self.text[text_index] = encode(&inst);
+                }
+                Fixup::Jump { text_index, label } => {
+                    let target = lookup(&self.labels, &label)?;
+                    let mut inst = crate::decode(self.text[text_index]).expect("own encoding");
+                    inst.imm = ((target >> 2) & 0x03FF_FFFF) as i32;
+                    self.text[text_index] = encode(&inst);
+                }
+                Fixup::DataAddr { data_offset, label } => {
+                    let target = lookup(&self.labels, &label)? as u32;
+                    self.data[data_offset..data_offset + 4]
+                        .copy_from_slice(&target.to_le_bytes());
+                }
+                Fixup::LoadAddr { text_index, label } => {
+                    let target = lookup(&self.labels, &label)? as u32;
+                    let mut lui = crate::decode(self.text[text_index]).expect("own encoding");
+                    lui.imm = (target >> 16) as i32;
+                    self.text[text_index] = encode(&lui);
+                    let mut ori = crate::decode(self.text[text_index + 1]).expect("own encoding");
+                    ori.imm = (target & 0xFFFF) as i32;
+                    self.text[text_index + 1] = encode(&ori);
+                }
+            }
+        }
+        let entry = self
+            .labels
+            .get("main")
+            .map(|&(_, a)| a)
+            .unwrap_or(self.text_base);
+        Ok(Program {
+            text_base: self.text_base,
+            data_base: self.data_base,
+            entry,
+            text: self.text,
+            data: self.data,
+            symbols: self.labels.into_iter().map(|(k, (_, a))| (k, a)).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trap;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut b = ProgramBuilder::new();
+        b.label("main").unwrap();
+        b.label("top").unwrap();
+        b.push(Instruction::rri(Opcode::Addi, 8, 8, 1));
+        b.branch_to(Opcode::Bne, 8, 9, "top");
+        b.branch_to(Opcode::Beq, 8, 9, "done");
+        b.push(Instruction::nop());
+        b.label("done").unwrap();
+        b.push(Instruction::trap(trap::HALT));
+        let p = b.build().unwrap();
+        // bne at index 1 targets index 0: offset = (0 - 2) = -2 words.
+        let bne = p.instruction_at(p.text_base() + 4).unwrap();
+        assert_eq!(bne.imm, -2);
+        // beq at index 2 targets index 4: offset = (4 - 3) = 1 word.
+        let beq = p.instruction_at(p.text_base() + 8).unwrap();
+        assert_eq!(beq.imm, 1);
+    }
+
+    #[test]
+    fn jump_fixup_targets_label_address() {
+        let mut b = ProgramBuilder::new();
+        b.label("main").unwrap();
+        b.jump_to(Opcode::J, "end");
+        b.push(Instruction::nop());
+        b.label("end").unwrap();
+        b.push(Instruction::trap(trap::HALT));
+        let p = b.build().unwrap();
+        let j = p.instruction_at(p.text_base()).unwrap();
+        assert_eq!(j.direct_target(p.text_base()), p.symbol("end"));
+    }
+
+    #[test]
+    fn load_addr_materializes_full_address() {
+        let mut b = ProgramBuilder::new();
+        b.label("main").unwrap();
+        b.data_label("table").unwrap();
+        b.data_word(42);
+        b.load_addr(8, "table");
+        b.push(Instruction::trap(trap::HALT));
+        let p = b.build().unwrap();
+        let lui = p.instruction_at(p.text_base()).unwrap();
+        let ori = p.instruction_at(p.text_base() + 4).unwrap();
+        let addr = ((lui.imm as u32) << 16) | (ori.imm as u32 & 0xFFFF);
+        assert_eq!(addr as u64, p.symbol("table").unwrap());
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.jump_to(Opcode::J, "nowhere");
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::UndefinedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.label("x").unwrap();
+        assert!(matches!(b.label("x"), Err(BuildError::DuplicateLabel(_))));
+    }
+
+    #[test]
+    fn entry_defaults_to_text_base_without_main() {
+        let mut b = ProgramBuilder::new();
+        b.push(Instruction::trap(trap::HALT));
+        let p = b.build().unwrap();
+        assert_eq!(p.entry(), p.text_base());
+    }
+
+    #[test]
+    fn load_imm_small_and_large() {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(8, 100); // 1 inst
+        b.load_imm(9, -5); // 1 inst
+        b.load_imm(10, 0x12345678); // 2 insts
+        let p = b.build().unwrap();
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn data_alignment_pads_with_zeros() {
+        let mut b = ProgramBuilder::new();
+        b.data_bytes(&[1, 2, 3]);
+        b.data_align(8);
+        b.data_word(7);
+        let p = b.build().unwrap();
+        assert_eq!(p.data().len(), 12);
+        assert_eq!(&p.data()[8..12], &7u32.to_le_bytes());
+    }
+}

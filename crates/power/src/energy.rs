@@ -1,0 +1,173 @@
+//! CACTI-lite: per-access energy for SRAM structures (0.18 µm).
+//!
+//! The model decomposes an access into a per-row term (bitline swing along
+//! the selected column pairs), a per-column term (wordline drive, sense
+//! amps and output drivers across all ways read in parallel), and a fixed
+//! decoder/control term:
+//!
+//! ```text
+//! E(nJ) = K_ROW · rows + K_COL · ways · line_bits + K_FIXED
+//! ```
+//!
+//! with a port factor of `1 + 0.45·(ports−1)` (CACTI's dual-port arrays
+//! cost ≈1.45× — the same ratio as the paper's 0.84 nJ vs 0.58 nJ ITR
+//! cache numbers). The three constants are calibrated on the two CACTI
+//! 3.0 values the paper publishes; see the module tests.
+
+/// Geometry of an SRAM structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSpec {
+    /// Total data capacity in bytes.
+    pub bytes: u32,
+    /// Line (entry) size in bytes.
+    pub line_bytes: u32,
+    /// Ways per set.
+    pub ways: u32,
+    /// Read/write ports (1 = single shared port).
+    pub ports: u32,
+}
+
+impl CacheSpec {
+    /// Number of sets (rows in the unpartitioned array).
+    pub fn sets(&self) -> u32 {
+        self.bytes / (self.line_bytes * self.ways)
+    }
+
+    /// Data bits read per access (all ways in parallel).
+    pub fn access_bits(&self) -> u32 {
+        self.line_bytes * 8 * self.ways
+    }
+}
+
+/// The IBM Power4 instruction cache used in the paper's comparison:
+/// 64 KiB, direct-mapped, 128-byte lines, one read/write port.
+pub const POWER4_ICACHE: CacheSpec =
+    CacheSpec { bytes: 64 * 1024, line_bytes: 128, ways: 1, ports: 1 };
+
+/// The evaluated ITR cache: 1024 signatures of 8 bytes, 2-way (8 KiB),
+/// one read/write port.
+pub const ITR_CACHE_1024X2: CacheSpec =
+    CacheSpec { bytes: 8 * 1024, line_bytes: 8, ways: 2, ports: 1 };
+
+/// Per-row constant (nJ per set row), calibrated.
+const K_ROW: f64 = 0.000_855_468_75;
+/// Per-column constant (nJ per accessed bit), calibrated.
+const K_COL: f64 = 0.000_323_660_714_285_714_3;
+/// Fixed decoder/control energy (nJ).
+const K_FIXED: f64 = 0.1;
+/// Extra energy fraction per additional port.
+const PORT_FACTOR: f64 = 0.45;
+
+/// Per-access energy in nanojoules.
+///
+/// # Example
+///
+/// ```
+/// use itr_power::{energy_per_access_nj, POWER4_ICACHE, ITR_CACHE_1024X2};
+///
+/// // The paper's published CACTI values.
+/// assert!((energy_per_access_nj(&POWER4_ICACHE) - 0.87).abs() < 0.005);
+/// assert!((energy_per_access_nj(&ITR_CACHE_1024X2) - 0.58).abs() < 0.005);
+/// ```
+pub fn energy_per_access_nj(spec: &CacheSpec) -> f64 {
+    let rows = spec.sets() as f64;
+    let bits = spec.access_bits() as f64;
+    let base = K_ROW * rows + K_COL * bits + K_FIXED;
+    base * (1.0 + PORT_FACTOR * (spec.ports as f64 - 1.0))
+}
+
+/// One row of Figure 9: total energy of the ITR approach (both port
+/// options) against re-fetching every instruction from the I-cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyRow {
+    /// Benchmark name.
+    pub name: String,
+    /// ITR cache accesses performed (reads + writes).
+    pub itr_accesses: u64,
+    /// I-cache accesses a redundant frontend would repeat.
+    pub icache_accesses: u64,
+    /// ITR cache energy, single shared port (mJ).
+    pub itr_single_port_mj: f64,
+    /// ITR cache energy, separate read and write ports (mJ).
+    pub itr_dual_port_mj: f64,
+    /// Energy of the redundant second fetch from the I-cache (mJ).
+    pub icache_refetch_mj: f64,
+}
+
+impl EnergyRow {
+    /// Builds a Figure 9 row from measured access counts.
+    pub fn from_counts(name: &str, itr_accesses: u64, icache_accesses: u64) -> EnergyRow {
+        let single = energy_per_access_nj(&ITR_CACHE_1024X2);
+        let dual = energy_per_access_nj(&CacheSpec { ports: 2, ..ITR_CACHE_1024X2 });
+        let icache = energy_per_access_nj(&POWER4_ICACHE);
+        EnergyRow {
+            name: name.to_string(),
+            itr_accesses,
+            icache_accesses,
+            itr_single_port_mj: itr_accesses as f64 * single * 1e-6,
+            itr_dual_port_mj: itr_accesses as f64 * dual * 1e-6,
+            icache_refetch_mj: icache_accesses as f64 * icache * 1e-6,
+        }
+    }
+
+    /// Energy saving of single-port ITR versus the redundant I-cache
+    /// fetch (× factor).
+    pub fn saving_factor(&self) -> f64 {
+        if self.itr_single_port_mj == 0.0 {
+            return f64::INFINITY;
+        }
+        self.icache_refetch_mj / self.itr_single_port_mj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reproduces_paper_icache_value() {
+        let e = energy_per_access_nj(&POWER4_ICACHE);
+        assert!((e - 0.87).abs() < 0.005, "I-cache {e} nJ != 0.87 nJ");
+    }
+
+    #[test]
+    fn calibration_reproduces_paper_itr_single_port_value() {
+        let e = energy_per_access_nj(&ITR_CACHE_1024X2);
+        assert!((e - 0.58).abs() < 0.005, "ITR {e} nJ != 0.58 nJ");
+    }
+
+    #[test]
+    fn calibration_reproduces_paper_itr_dual_port_value() {
+        let spec = CacheSpec { ports: 2, ..ITR_CACHE_1024X2 };
+        let e = energy_per_access_nj(&spec);
+        assert!((e - 0.84).abs() < 0.01, "dual-port ITR {e} nJ != 0.84 nJ");
+    }
+
+    #[test]
+    fn energy_grows_with_capacity_and_ways() {
+        let small = CacheSpec { bytes: 4 * 1024, line_bytes: 8, ways: 2, ports: 1 };
+        let big = CacheSpec { bytes: 16 * 1024, line_bytes: 8, ways: 2, ports: 1 };
+        assert!(energy_per_access_nj(&big) > energy_per_access_nj(&small));
+        // Associativity trades rows (bitline length) for bits read in
+        // parallel; with narrow 8-byte lines the row term dominates, so
+        // the direct-mapped point costs more per access here. Widening
+        // the line flips the balance.
+        let dm = CacheSpec { bytes: 8 * 1024, line_bytes: 8, ways: 1, ports: 1 };
+        let fa16 = CacheSpec { bytes: 8 * 1024, line_bytes: 8, ways: 16, ports: 1 };
+        assert!(energy_per_access_nj(&fa16) < energy_per_access_nj(&dm));
+        let wide_dm = CacheSpec { bytes: 8 * 1024, line_bytes: 256, ways: 1, ports: 1 };
+        let wide_8w = CacheSpec { bytes: 8 * 1024, line_bytes: 256, ways: 8, ports: 1 };
+        assert!(energy_per_access_nj(&wide_8w) > energy_per_access_nj(&wide_dm));
+    }
+
+    #[test]
+    fn figure9_row_favors_itr_when_access_counts_match() {
+        // With roughly one ITR access per trace (~5 instructions) versus
+        // one I-cache access per fetch group (~3 instructions), the ITR
+        // approach must come out well ahead, as in Figure 9.
+        let row = EnergyRow::from_counts("bzip", 400_000, 700_000);
+        assert!(row.itr_single_port_mj < row.icache_refetch_mj);
+        assert!(row.saving_factor() > 2.0);
+        assert!(row.itr_dual_port_mj > row.itr_single_port_mj);
+    }
+}

@@ -1,0 +1,136 @@
+//! Architectural state and commit records.
+
+use std::fmt;
+
+/// Number of architectural registers: 32 integer + 32 FP + the FP
+/// condition flag.
+pub const NUM_ARCH_REGS: usize = 65;
+
+/// Architectural index of the FP condition flag written by `c.*.s`
+/// compares and read by `bc1t`/`bc1f`.
+pub const FCC_REG: u16 = 64;
+
+/// Architectural register file: integer registers occupy indices 0..32
+/// (index 0 hardwired to zero), FP registers 32..64, and the FCC flag 64.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchState {
+    /// Program counter.
+    pub pc: u64,
+    regs: [u32; NUM_ARCH_REGS],
+}
+
+impl ArchState {
+    /// Zeroed state starting at `pc`.
+    pub fn new(pc: u64) -> ArchState {
+        ArchState { pc, regs: [0; NUM_ARCH_REGS] }
+    }
+
+    /// Reads an architectural register by flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 65`.
+    pub fn reg(&self, idx: u16) -> u32 {
+        self.regs[idx as usize]
+    }
+
+    /// Writes an architectural register; writes to integer register 0 are
+    /// discarded.
+    pub fn set_reg(&mut self, idx: u16, value: u32) {
+        if idx != 0 {
+            self.regs[idx as usize] = value;
+        }
+    }
+
+    /// Reads integer register `rN`.
+    pub fn int_reg(&self, n: u8) -> u32 {
+        self.regs[n as usize]
+    }
+
+    /// Writes integer register `rN` (`r0` stays zero).
+    pub fn set_int_reg(&mut self, n: u8, value: u32) {
+        self.set_reg(n as u16, value);
+    }
+
+    /// Reads FP register `fN` as raw bits.
+    pub fn fp_reg(&self, n: u8) -> u32 {
+        self.regs[32 + n as usize]
+    }
+
+    /// Writes FP register `fN` (raw bits).
+    pub fn set_fp_reg(&mut self, n: u8, bits: u32) {
+        self.regs[32 + n as usize] = bits;
+    }
+
+    /// The FP condition flag.
+    pub fn fcc(&self) -> bool {
+        self.regs[FCC_REG as usize] != 0
+    }
+}
+
+/// One committed instruction's architectural effect — the unit of
+/// comparison between a golden and a faulty run (§4 of the paper compares
+/// committed state to classify silent data corruption).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// PC of the committed instruction.
+    pub pc: u64,
+    /// Destination register and the value written, if any.
+    pub dst: Option<(u16, u32)>,
+    /// Store effect `(address, size, value)`, if any.
+    pub store: Option<(u64, u8, u32)>,
+    /// Next architectural PC after this instruction.
+    pub next_pc: u64,
+}
+
+impl fmt::Display for CommitRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.pc)?;
+        if let Some((r, v)) = self.dst {
+            write!(f, " r{r}<={v:#x}")?;
+        }
+        if let Some((a, s, v)) = self.store {
+            write!(f, " mem[{a:#x};{s}]<={v:#x}")?;
+        }
+        write!(f, " ->{:#010x}", self.next_pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let mut a = ArchState::new(0x400);
+        a.set_int_reg(0, 99);
+        assert_eq!(a.int_reg(0), 0);
+        a.set_reg(0, 99);
+        assert_eq!(a.reg(0), 0);
+    }
+
+    #[test]
+    fn int_and_fp_files_are_disjoint() {
+        let mut a = ArchState::new(0);
+        a.set_int_reg(5, 10);
+        a.set_fp_reg(5, 20);
+        assert_eq!(a.int_reg(5), 10);
+        assert_eq!(a.fp_reg(5), 20);
+    }
+
+    #[test]
+    fn fcc_is_reg_64() {
+        let mut a = ArchState::new(0);
+        assert!(!a.fcc());
+        a.set_reg(FCC_REG, 1);
+        assert!(a.fcc());
+    }
+
+    #[test]
+    fn commit_record_display_is_informative() {
+        let r = CommitRecord { pc: 0x400, dst: Some((3, 7)), store: None, next_pc: 0x404 };
+        let s = r.to_string();
+        assert!(s.contains("0x00000400"));
+        assert!(s.contains("r3"));
+    }
+}

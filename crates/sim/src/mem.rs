@@ -1,0 +1,149 @@
+//! Sparse byte-addressable memory.
+
+use itr_isa::Program;
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Sparse little-endian memory backed by 4 KiB pages.
+///
+/// Reads of unmapped addresses return zero without allocating (so a
+/// faulty wild load cannot exhaust memory); writes allocate on demand.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// An empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// A memory preloaded with a program's text and data segments.
+    pub fn with_program(program: &Program) -> Memory {
+        let mut m = Memory::new();
+        m.load_program(program);
+        m
+    }
+
+    /// Copies a program's text and data segments into memory.
+    pub fn load_program(&mut self, program: &Program) {
+        for (i, word) in program.text().iter().enumerate() {
+            self.write_u32(program.text_base() + i as u64 * 4, *word);
+        }
+        for (i, byte) in program.data().iter().enumerate() {
+            self.write_u8(program.data_base() + i as u64, *byte);
+        }
+    }
+
+    /// Reads one byte (zero if unmapped).
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(page) => page[(addr & (PAGE_SIZE as u64 - 1)) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, allocating the page on demand.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page[(addr & (PAGE_SIZE as u64 - 1)) as usize] = value;
+    }
+
+    /// Reads `size` bytes (1..=4, little-endian) into the low bytes of a
+    /// `u32`. `size == 0` reads nothing and returns 0; sizes above 4 are
+    /// clamped (a faulty `mem_size` signal cannot read more than a word).
+    pub fn read(&self, addr: u64, size: u8) -> u32 {
+        let size = size.min(4);
+        let mut v = 0u32;
+        for i in 0..size as u64 {
+            v |= (self.read_u8(addr + i) as u32) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `size` bytes (1..=4, little-endian) of `value`.
+    /// `size == 0` writes nothing; sizes above 4 are clamped.
+    pub fn write(&mut self, addr: u64, size: u8, value: u32) {
+        let size = size.min(4);
+        for i in 0..size as u64 {
+            self.write_u8(addr + i, (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads an aligned-or-not 32-bit word.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        self.read(addr, 4)
+    }
+
+    /// Writes a 32-bit word.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write(addr, 4, value);
+    }
+
+    /// Number of resident pages (each 4 KiB).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_are_zero_and_do_not_allocate() {
+        let m = Memory::new();
+        assert_eq!(m.read_u32(0xDEAD_BEEF), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn little_endian_round_trip() {
+        let mut m = Memory::new();
+        m.write_u32(0x1000, 0x1122_3344);
+        assert_eq!(m.read_u8(0x1000), 0x44);
+        assert_eq!(m.read_u8(0x1003), 0x11);
+        assert_eq!(m.read(0x1000, 2), 0x3344);
+        assert_eq!(m.read_u32(0x1000), 0x1122_3344);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        m.write_u32(0x1FFE, 0xAABB_CCDD);
+        assert_eq!(m.read_u32(0x1FFE), 0xAABB_CCDD);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn partial_write_preserves_neighbors() {
+        let mut m = Memory::new();
+        m.write_u32(0x100, 0xFFFF_FFFF);
+        m.write(0x101, 1, 0x00);
+        assert_eq!(m.read_u32(0x100), 0xFFFF_00FF);
+    }
+
+    #[test]
+    fn size_zero_and_oversize_are_safe() {
+        let mut m = Memory::new();
+        m.write(0x100, 0, 0x42);
+        assert_eq!(m.read_u32(0x100), 0);
+        m.write(0x100, 7, 0x1234_5678);
+        assert_eq!(m.read(0x100, 7), 0x1234_5678);
+    }
+
+    #[test]
+    fn program_loading_places_segments() {
+        use itr_isa::asm::assemble;
+        let p = assemble(".data\nx: .word 99\n.text\nmain:\n halt\n").unwrap();
+        let m = Memory::with_program(&p);
+        assert_eq!(m.read_u32(p.symbol("x").unwrap()), 99);
+        assert_ne!(m.read_u32(p.text_base()), 0, "halt instruction present");
+    }
+}

@@ -1,0 +1,1573 @@
+//! Cycle-level out-of-order superscalar pipeline with embedded ITR support
+//! (Figure 5 of the paper).
+//!
+//! The microarchitecture follows the MIPS-R10K template the paper's
+//! simulator models: a fetch unit with BTB + gshare + return-address
+//! stack, decode producing the Table-2 signal vector, register renaming
+//! through a map table and physical register file, an issue queue with
+//! oldest-first select, a store queue with forwarding, a reorder buffer,
+//! and in-order commit. The shaded ITR components of Figure 5 — signature
+//! generation, ITR ROB, ITR cache, commit interlock, retry recovery — are
+//! provided by [`itr_core::ItrUnit`] and wired in at dispatch and commit.
+//!
+//! Faults are injected by flipping one bit of one instruction's decode
+//! signals ([`DecodeFault`]); every downstream stage consumes the signal
+//! vector, so the fault propagates exactly as a decode-unit upset would.
+
+use crate::arch::CommitRecord;
+use crate::branch::{Btb, Gshare, ReturnStack};
+use crate::cache::TimingCache;
+use crate::config::{DecodeFault, PipelineConfig, RenameFault, SchedulerFault};
+use crate::mem::Memory;
+use crate::semantics::{execute, operand_plan, ExecInput, LoadSource, StoreOp, TrapAction};
+use itr_core::{
+    CoarseCheckpointer, CommitAction, ItrEvent, ItrSnapshot, ItrUnit, SequentialPcChecker,
+    Watchdog,
+};
+use itr_isa::{decode, DecodeSignals, Instruction, Opcode, Program, SignalFlags};
+use std::collections::VecDeque;
+
+/// Why a pipeline run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// `trap HALT` committed.
+    Halted,
+    /// `trap ABORT` committed with the given code.
+    Aborted(u32),
+    /// The ITR unit raised a machine check (§2.2): a faulty trace already
+    /// corrupted architectural state.
+    MachineCheck {
+        /// Start PC of the offending trace.
+        start_pc: u64,
+    },
+    /// The watchdog detected a commit deadlock (§4's `wdog`).
+    Deadlock,
+    /// The cycle budget ran out.
+    CycleLimit,
+    /// The caller's commit callback requested a stop.
+    Stopped,
+}
+
+/// A failed sequential-PC assertion at retirement (§2.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpcViolation {
+    /// Cycle of the violating commit.
+    pub cycle: u64,
+    /// PC of the instruction that failed the check.
+    pub pc: u64,
+}
+
+/// Aggregate pipeline statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Instructions decoded (includes wrong-path).
+    pub decoded: u64,
+    /// Branch mispredictions repaired at execute.
+    pub mispredicts: u64,
+    /// ITR retry flushes performed.
+    pub retry_flushes: u64,
+    /// I-cache accesses (one per productive fetch cycle).
+    pub icache_accesses: u64,
+    /// I-cache misses.
+    pub icache_misses: u64,
+    /// D-cache load accesses.
+    pub dcache_accesses: u64,
+    /// D-cache load misses.
+    pub dcache_misses: u64,
+    /// Fetch groups spent re-fetching missed traces (§3 fallback).
+    pub redundant_fetch_groups: u64,
+    /// Missed traces verified by redundant fetch/decode.
+    pub redundant_verifies: u64,
+    /// Faults caught by the redundant copy (mismatch on re-decode).
+    pub redundant_detects: u64,
+    /// Instructions issued (issue-order index for scheduler faults).
+    pub issued: u64,
+    /// TAC issue-order assertion failures (§1 scheduler check).
+    pub tac_violations: u64,
+    /// Flush-restarts performed by the TAC check.
+    pub tac_recoveries: u64,
+}
+
+impl PipelineStats {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fetched {
+    pc: u64,
+    inst: Instruction,
+    predicted_next: u64,
+    ghr_snapshot: u32,
+    used_gshare: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DstAlloc {
+    arch: u16,
+    phys: u16,
+    prev: u16,
+}
+
+#[derive(Debug, Clone)]
+struct Uop {
+    seq: u64,
+    pc: u64,
+    inst: Instruction,
+    sig: DecodeSignals,
+    srcs: [Option<u16>; 2], // physical tags
+    phantom: bool,
+    dst: Option<DstAlloc>,
+    issued: bool,
+    done: bool,
+    done_cycle: u64,
+    result: u32,
+    next_pc: u64,
+    taken: Option<bool>,
+    predicted_next: u64,
+    ghr_snapshot: u32,
+    used_gshare: bool,
+    store: Option<StoreOp>,
+    trap: Option<TrapAction>,
+    trace_seq: u64,
+    trace_end: bool,
+    itr_snap: Option<ItrSnapshot>,
+}
+
+impl Uop {
+    fn is_load(&self) -> bool {
+        self.sig.opcode_enum().map(|o| o.is_load()).unwrap_or(false)
+    }
+
+    fn is_store(&self) -> bool {
+        self.sig.opcode_enum().map(|o| o.is_store()).unwrap_or(false)
+    }
+}
+
+struct OverlayLoader<'a> {
+    mem: &'a Memory,
+    stores: Vec<StoreOp>,
+}
+
+impl LoadSource for OverlayLoader<'_> {
+    fn load(&self, addr: u64, size: u8) -> u32 {
+        let size = size.min(4) as u64;
+        let mut bytes = [0u8; 4];
+        for (i, b) in bytes.iter_mut().enumerate().take(size as usize) {
+            *b = self.mem.read_u8(addr + i as u64);
+        }
+        for s in &self.stores {
+            for j in 0..s.size.min(4) as u64 {
+                let a = s.addr + j;
+                if a >= addr && a < addr + size {
+                    bytes[(a - addr) as usize] = (s.value >> (8 * j)) as u8;
+                }
+            }
+        }
+        u32::from_le_bytes(bytes)
+    }
+}
+
+/// The cycle-level pipeline.
+#[derive(Debug)]
+pub struct Pipeline {
+    cfg: PipelineConfig,
+    mem: Memory,
+    cycle: u64,
+
+    // Frontend.
+    fetch_pc: u64,
+    icache: TimingCache,
+    icache_stall: u32,
+    fetch_queue: VecDeque<Fetched>,
+    fetch_halted: bool,
+    gshare: Gshare,
+    btb: Btb,
+    ras: ReturnStack,
+
+    // Rename.
+    map: [u16; 65],
+    free_list: VecDeque<u16>,
+    phys_val: Vec<u32>,
+    phys_ready: Vec<bool>,
+
+    // Window.
+    rob: VecDeque<Uop>,
+    head_seq: u64,
+    iq: Vec<u64>,
+    dcache: TimingCache,
+
+    // Checks.
+    itr: Option<ItrUnit>,
+    checkpointer: CoarseCheckpointer,
+    itr_events: Vec<(u64, ItrEvent)>,
+    spc: SequentialPcChecker,
+    spc_violations: Vec<SpcViolation>,
+    wdog: Watchdog,
+
+    // §3 redundant-fetch fallback state: the trace being re-verified and
+    // the cycle its redundant copy completes.
+    redundant_verify: Option<(u64, u64)>,
+    verified_miss: Option<u64>,
+
+    // Fault injection.
+    faults: Vec<DecodeFault>,
+    swap_done: bool,
+
+    // Program interface.
+    output: String,
+    exit: Option<RunExit>,
+    stats: PipelineStats,
+}
+
+impl Pipeline {
+    /// Loads `program` into a fresh pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no headroom of physical registers.
+    pub fn new(program: &Program, cfg: PipelineConfig) -> Pipeline {
+        assert!(cfg.phys_regs as usize > 65, "need more physical than architectural registers");
+        if let Some(itr) = &cfg.itr {
+            // The §2.2 commit interlock stalls every instruction of a
+            // trace until its terminating instruction has dispatched and
+            // checked. The machine's commit-bound windows must therefore
+            // hold at least one full trace, or a fault-free program can
+            // interlock-deadlock (e.g. an LSQ smaller than a trace's
+            // memory instructions). The paper sizes these implicitly; we
+            // enforce the rule.
+            assert!(
+                cfg.rob_entries >= itr.max_trace_len,
+                "ROB must hold a full trace ({} < {})",
+                cfg.rob_entries,
+                itr.max_trace_len
+            );
+            assert!(
+                cfg.lsq_entries >= itr.max_trace_len,
+                "LSQ must hold a full trace of memory instructions ({} < {})",
+                cfg.lsq_entries,
+                itr.max_trace_len
+            );
+        }
+        let mut map = [0u16; 65];
+        for (i, m) in map.iter_mut().enumerate() {
+            *m = i as u16;
+        }
+        let mut phys_val = vec![0u32; cfg.phys_regs as usize];
+        phys_val[29] = itr_isa::STACK_TOP as u32;
+        let phys_ready = vec![true; cfg.phys_regs as usize];
+        let free_list: VecDeque<u16> = (65..cfg.phys_regs as u16).collect();
+        Pipeline {
+            mem: Memory::with_program(program),
+            cycle: 0,
+            fetch_pc: program.entry(),
+            icache: TimingCache::new(cfg.icache),
+            icache_stall: 0,
+            fetch_queue: VecDeque::new(),
+            fetch_halted: false,
+            gshare: Gshare::new(cfg.gshare_bits),
+            btb: Btb::new(cfg.btb_entries),
+            ras: ReturnStack::new(cfg.ras_entries as usize),
+            map,
+            free_list,
+            phys_val,
+            phys_ready,
+            rob: VecDeque::new(),
+            head_seq: 0,
+            iq: Vec::new(),
+            dcache: TimingCache::new(cfg.dcache),
+            itr: cfg.itr.map(ItrUnit::new),
+            checkpointer: CoarseCheckpointer::new(cfg.checkpoint_min_gap),
+            itr_events: Vec::new(),
+            spc: SequentialPcChecker::new(),
+            spc_violations: Vec::new(),
+            wdog: Watchdog::new(cfg.watchdog_cycles),
+            redundant_verify: None,
+            verified_miss: None,
+            faults: cfg.faults.clone(),
+            swap_done: false,
+            output: String::new(),
+            exit: None,
+            stats: PipelineStats::default(),
+            cfg,
+        }
+    }
+
+    /// Runs until program exit or `max_cycles`.
+    pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        self.run_with(max_cycles, |_| true)
+    }
+
+    /// Runs, invoking `on_commit` for every committed instruction; the
+    /// callback may return `false` to stop the run (exit
+    /// [`RunExit::Stopped`]).
+    pub fn run_with<F: FnMut(&CommitRecord) -> bool>(
+        &mut self,
+        max_cycles: u64,
+        mut on_commit: F,
+    ) -> RunExit {
+        while self.exit.is_none() && self.cycle < max_cycles {
+            self.do_cycle(&mut on_commit);
+        }
+        // CycleLimit is not latched: callers may resume with a larger
+        // budget (fault campaigns run in windows).
+        self.exit.unwrap_or(RunExit::CycleLimit)
+    }
+
+    /// The run's terminal state, if it has reached one.
+    pub fn exit(&self) -> Option<RunExit> {
+        self.exit
+    }
+
+    /// Program text written via `trap PUT_INT`/`PUT_CHAR`.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// Pipeline statistics.
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// The embedded ITR unit, when configured.
+    pub fn itr(&self) -> Option<&ItrUnit> {
+        self.itr.as_ref()
+    }
+
+    /// Mutable access to the ITR unit (for §2.4 cache-fault experiments).
+    pub fn itr_mut(&mut self) -> Option<&mut ItrUnit> {
+        self.itr.as_mut()
+    }
+
+    /// ITR events paired with the cycle they surfaced in.
+    pub fn itr_events(&self) -> &[(u64, ItrEvent)] {
+        &self.itr_events
+    }
+
+    /// Sequential-PC check violations observed at retirement.
+    pub fn spc_violations(&self) -> &[SpcViolation] {
+        &self.spc_violations
+    }
+
+    /// The §2.3 coarse-grain checkpointing tracker (opportunities arise
+    /// whenever the ITR cache holds no unchecked lines).
+    pub fn checkpointer(&self) -> &CoarseCheckpointer {
+        &self.checkpointer
+    }
+
+    /// Memory contents (e.g. to inspect results after a run).
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn do_cycle<F: FnMut(&CommitRecord) -> bool>(&mut self, on_commit: &mut F) {
+        if let Some(unit) = &mut self.itr {
+            unit.advance(self.cycle);
+        }
+        self.commit(on_commit);
+        if self.exit.is_none() {
+            self.complete();
+            self.issue();
+            self.dispatch();
+            self.fetch();
+        }
+        if let Some(unit) = &mut self.itr {
+            let cycle = self.cycle;
+            self.itr_events.extend(unit.drain_events().into_iter().map(|e| (cycle, e)));
+        }
+        if self.exit.is_none() && self.wdog.expired(self.cycle) {
+            self.exit = Some(RunExit::Deadlock);
+        }
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+    }
+
+    // ---------------------------------------------------------------- fetch
+
+    fn predecode(&mut self, pc: u64, inst: Instruction) -> Fetched {
+        let ghr_snapshot = self.gshare.history();
+        let mut used_gshare = false;
+        let predicted_next = match inst.op {
+            op if op.is_cond_branch() => {
+                used_gshare = true;
+                let taken = self.gshare.predict_and_update_history(pc);
+                if taken {
+                    inst.direct_target(pc).unwrap_or(pc + 4)
+                } else {
+                    pc + 4
+                }
+            }
+            Opcode::J => inst.direct_target(pc).unwrap_or(pc + 4),
+            Opcode::Jal => {
+                self.ras.push(pc + 4);
+                inst.direct_target(pc).unwrap_or(pc + 4)
+            }
+            Opcode::Jr => {
+                if inst.rs == 31 {
+                    self.ras.pop().unwrap_or(pc + 4)
+                } else {
+                    self.btb.lookup(pc).unwrap_or(pc + 4)
+                }
+            }
+            Opcode::Jalr => {
+                self.ras.push(pc + 4);
+                self.btb.lookup(pc).unwrap_or(pc + 4)
+            }
+            _ => pc + 4,
+        };
+        Fetched { pc, inst, predicted_next, ghr_snapshot, used_gshare }
+    }
+
+    fn fetch(&mut self) {
+        if self.fetch_halted {
+            return;
+        }
+        if self.icache_stall > 0 {
+            self.icache_stall -= 1;
+            return;
+        }
+        if self.fetch_queue.len() as u32 >= self.cfg.fetch_queue {
+            return;
+        }
+        // One I-cache access per productive fetch cycle (the unit of the
+        // §5 energy accounting).
+        let hit = self.icache.access(self.fetch_pc);
+        self.stats.icache_accesses += 1;
+        if !hit {
+            self.stats.icache_misses += 1;
+            self.icache_stall = self.cfg.icache_miss_penalty;
+            return;
+        }
+        for _ in 0..self.cfg.width {
+            if self.fetch_queue.len() as u32 >= self.cfg.fetch_queue {
+                break;
+            }
+            let pc = self.fetch_pc;
+            let word = self.mem.read_u32(pc);
+            let Ok(inst) = decode(word) else {
+                // Un-decodable word (wild fetch): stall until a redirect.
+                self.fetch_halted = true;
+                break;
+            };
+            let fetched = self.predecode(pc, inst);
+            let next = fetched.predicted_next;
+            self.fetch_queue.push_back(fetched);
+            self.fetch_pc = next;
+            if next != pc + 4 {
+                break; // predicted-taken redirect ends the fetch group
+            }
+            if !self.icache.same_line(pc, next) {
+                break; // next instruction sits in a different cache line
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- dispatch
+
+    fn dispatch(&mut self) {
+        for _ in 0..self.cfg.width {
+            if self.fetch_queue.is_empty()
+                || self.rob.len() as u32 >= self.cfg.rob_entries
+                || self.iq.len() as u32 >= self.cfg.iq_entries
+                || self.free_list.is_empty()
+            {
+                return;
+            }
+            if let Some(unit) = &self.itr {
+                if unit.rob_full() {
+                    return;
+                }
+            }
+            let lsq_used = self.rob.iter().filter(|u| u.is_load() || u.is_store()).count();
+            if lsq_used as u32 >= self.cfg.lsq_entries {
+                return;
+            }
+            // Fetch-reorder fault: swap the next two instruction words
+            // (their PCs and predictions keep their slots).
+            if let Some(nth) = self.cfg.swap_fault {
+                if !self.swap_done && self.stats.decoded == nth && self.fetch_queue.len() >= 2 {
+                    let inst0 = self.fetch_queue[0].inst;
+                    self.fetch_queue[0].inst = self.fetch_queue[1].inst;
+                    self.fetch_queue[1].inst = inst0;
+                    self.swap_done = true;
+                }
+            }
+            let f = self.fetch_queue.pop_front().expect("checked non-empty");
+
+            // Decode: derive the signal vector, injecting any planned
+            // upsets striking this instruction.
+            let mut sig = DecodeSignals::from_instruction(&f.inst);
+            for fault in &self.faults {
+                if self.stats.decoded == fault.nth_decode {
+                    sig = sig.with_bit_flipped(fault.bit);
+                }
+            }
+            self.stats.decoded += 1;
+
+            // Rename: derive the map-table indexes, strike them with the
+            // planned rename fault if this is the chosen instruction.
+            let plan = operand_plan(&sig);
+            let rename_idx = self.stats.decoded - 1;
+            let perturb = |arch: u16, operand: u8| -> u16 {
+                match self.cfg.rename_fault {
+                    Some(RenameFault { nth_rename, operand: o, bit })
+                        if nth_rename == rename_idx && o == operand =>
+                    {
+                        (arch ^ (1 << (bit % 7)) as u16) % 65
+                    }
+                    _ => arch,
+                }
+            };
+            let src_arch = [
+                plan.srcs[0].map(|a| perturb(a, 0)),
+                plan.srcs[1].map(|a| perturb(a, 1)),
+            ];
+            let dst_arch = plan.dst.map(|a| perturb(a, 2)).filter(|&a| a != 0);
+
+            // ITR dispatch tap (§2.1/§2.2), optionally folding the rename
+            // indexes actually used (§1 rename-unit extension).
+            let extra = if self.cfg.rename_protection {
+                Self::rename_extra(src_arch, dst_arch)
+            } else {
+                0
+            };
+            let (trace_seq, trace_end) = match &mut self.itr {
+                Some(unit) => {
+                    let r = unit.on_dispatch_extended(f.pc, &sig, extra);
+                    (r.trace_seq, r.trace_end)
+                }
+                None => (0, false),
+            };
+
+            let srcs = src_arch.map(|o| o.map(|arch| self.map[arch as usize]));
+            let dst = dst_arch.map(|arch| {
+                let phys = self.free_list.pop_front().expect("checked non-empty");
+                let prev = self.map[arch as usize];
+                self.map[arch as usize] = phys;
+                self.phys_ready[phys as usize] = false;
+                DstAlloc { arch, phys, prev }
+            });
+
+            let seq = self.head_seq + self.rob.len() as u64;
+            // Snapshot ITR state after any control-flow-affecting
+            // instruction dispatches, for misprediction rollback.
+            let may_redirect = f.inst.op.ends_trace();
+            let itr_snap = if may_redirect {
+                self.itr.as_ref().map(|u| u.snapshot())
+            } else {
+                None
+            };
+            self.rob.push_back(Uop {
+                seq,
+                pc: f.pc,
+                inst: f.inst,
+                sig,
+                srcs,
+                phantom: plan.phantom_src,
+                dst,
+                issued: false,
+                done: false,
+                done_cycle: 0,
+                result: 0,
+                next_pc: f.pc + 4,
+                taken: None,
+                predicted_next: f.predicted_next,
+                ghr_snapshot: f.ghr_snapshot,
+                used_gshare: f.used_gshare,
+                store: None,
+                trap: None,
+                trace_seq,
+                trace_end,
+                itr_snap,
+            });
+            self.iq.push(seq);
+        }
+    }
+
+    // ---------------------------------------------------------------- issue
+
+    fn idx(&self, seq: u64) -> usize {
+        (seq - self.head_seq) as usize
+    }
+
+    fn idx_checked(&self, seq: u64) -> Option<usize> {
+        let off = seq.checked_sub(self.head_seq)?;
+        ((off as usize) < self.rob.len()).then_some(off as usize)
+    }
+
+    fn srcs_ready(&self, u: &Uop) -> bool {
+        !u.phantom && u.srcs.iter().flatten().all(|&p| self.phys_ready[p as usize])
+    }
+
+    fn older_stores_done(&self, seq: u64) -> bool {
+        self.rob
+            .iter()
+            .take_while(|u| u.seq < seq)
+            .all(|u| !u.is_store() || u.issued)
+    }
+
+    fn collect_older_stores(&self, seq: u64) -> Vec<StoreOp> {
+        self.rob
+            .iter()
+            .take_while(|u| u.seq < seq)
+            .filter_map(|u| if u.is_store() { u.store } else { None })
+            .collect()
+    }
+
+    fn issue(&mut self) {
+        // Oldest-first select among ready instructions.
+        let mut candidates: Vec<u64> = self
+            .iq
+            .iter()
+            .copied()
+            .filter(|&seq| {
+                let u = &self.rob[self.idx(seq)];
+                self.srcs_ready(u) && (!u.is_load() || self.older_stores_done(seq))
+            })
+            .collect();
+        candidates.sort_unstable();
+        candidates.truncate(self.cfg.issue_width as usize);
+
+        // Scheduler fault: at the chosen issue index the select logic
+        // wrongly grabs the oldest not-ready instruction instead.
+        if let Some(SchedulerFault { nth_issue }) = self.cfg.scheduler_fault {
+            let in_window = self.stats.issued <= nth_issue
+                && nth_issue < self.stats.issued + candidates.len().max(1) as u64;
+            if in_window {
+                let victim = self
+                    .iq
+                    .iter()
+                    .copied()
+                    .filter(|&seq| {
+                        let u = &self.rob[self.idx(seq)];
+                        !u.phantom && !self.srcs_ready(u) && !u.is_load() && !u.is_store()
+                    })
+                    .min();
+                if let Some(v) = victim {
+                    let slot = (nth_issue - self.stats.issued) as usize;
+                    if slot < candidates.len() {
+                        candidates[slot] = v;
+                    } else {
+                        candidates.push(v);
+                    }
+                    candidates.sort_unstable();
+                    candidates.dedup();
+                }
+            }
+        }
+
+        for seq in candidates {
+            let Some(i) = self.idx_checked(seq) else { continue };
+            self.stats.issued += 1;
+            // TAC-style issue-order assertion (§1): the sources of an
+            // issuing instruction must be ready. A violation means the
+            // select logic mis-fired; squash from the offender and
+            // restart (its re-execution issues correctly).
+            if self.cfg.tac_check && !self.srcs_ready(&self.rob[i]) {
+                self.stats.tac_violations += 1;
+                self.stats.tac_recoveries += 1;
+                let restart_pc = self.rob[i].pc;
+                if let Some(unit) = &mut self.itr {
+                    unit.on_full_flush();
+                }
+                self.full_flush_to(restart_pc);
+                return;
+            }
+            let u = &self.rob[i];
+            let src = |o: Option<u16>| o.map_or(0, |p| self.phys_val[p as usize]);
+            let input = ExecInput {
+                sig: &u.sig,
+                pc: u.pc,
+                raw_jump_target: u.inst.direct_target(u.pc),
+                src1: src(u.srcs[0]),
+                src2: src(u.srcs[1]),
+            };
+            let out = if u.is_load() {
+                let overlay = OverlayLoader {
+                    mem: &self.mem,
+                    stores: self.collect_older_stores(seq),
+                };
+                execute(input, &overlay)
+            } else {
+                execute(input, &self.mem)
+            };
+
+            let mut latency = u.sig.lat_class().cycles();
+            if let Some((addr, _)) = out.load {
+                self.stats.dcache_accesses += 1;
+                if !self.dcache.access(addr) {
+                    self.stats.dcache_misses += 1;
+                    latency += self.cfg.dcache_miss_penalty as u64;
+                }
+            }
+
+            let cycle = self.cycle;
+            let u = &mut self.rob[i];
+            u.issued = true;
+            u.done_cycle = cycle + latency.max(1);
+            u.result = out.value;
+            u.next_pc = out.next_pc;
+            u.taken = out.taken;
+            u.store = out.store;
+            u.trap = out.trap;
+            if let Some(d) = u.dst {
+                self.phys_val[d.phys as usize] = out.value;
+            }
+            self.iq.retain(|&s| s != seq);
+        }
+    }
+
+    // ------------------------------------------------------------- complete
+
+    fn complete(&mut self) {
+        // Completions in age order; a misprediction squashes everything
+        // younger, including any later completions this cycle.
+        let completing: Vec<u64> = {
+            let mut v: Vec<u64> = self
+                .rob
+                .iter()
+                .filter(|u| u.issued && !u.done && u.done_cycle <= self.cycle)
+                .map(|u| u.seq)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        for seq in completing {
+            let Some(i) = self.idx_checked(seq) else {
+                continue; // squashed by an older completion this cycle
+            };
+            self.rob[i].done = true;
+            if let Some(d) = self.rob[i].dst {
+                self.phys_ready[d.phys as usize] = true;
+            }
+            let u = &self.rob[i];
+            if u.taken.is_some() && u.next_pc != u.predicted_next {
+                self.stats.mispredicts += 1;
+                self.repair_mispredict(seq);
+            }
+        }
+    }
+
+    fn repair_mispredict(&mut self, branch_seq: u64) {
+        // Squash younger than the branch, walking the ROB tail backwards
+        // to undo renaming.
+        while let Some(u) = self.rob.back() {
+            if u.seq <= branch_seq {
+                break;
+            }
+            let u = self.rob.pop_back().expect("checked non-empty");
+            if let Some(d) = u.dst {
+                self.map[d.arch as usize] = d.prev;
+                self.free_list.push_front(d.phys);
+            }
+        }
+        self.iq.retain(|&s| s <= branch_seq);
+        self.fetch_queue.clear();
+        self.fetch_halted = false;
+        self.icache_stall = 0;
+
+        let i = self.idx(branch_seq);
+        let (snap, used_gshare, taken, target, itr_snap) = {
+            let u = &self.rob[i];
+            (u.ghr_snapshot, u.used_gshare, u.taken == Some(true), u.next_pc, u.itr_snap)
+        };
+        if used_gshare {
+            self.gshare.repair(snap, taken);
+        }
+        if let (Some(unit), Some(snap)) = (&mut self.itr, itr_snap.as_ref()) {
+            unit.restore(snap);
+        }
+        self.fetch_pc = target;
+        // Mark the prediction repaired so the uop does not re-trigger.
+        self.rob[i].predicted_next = target;
+    }
+
+    // --------------------------------------------------------------- commit
+
+    fn full_flush_to(&mut self, restart_pc: u64) {
+        while let Some(u) = self.rob.pop_back() {
+            if let Some(d) = u.dst {
+                self.map[d.arch as usize] = d.prev;
+                self.free_list.push_front(d.phys);
+            }
+        }
+        self.iq.clear();
+        self.fetch_queue.clear();
+        self.fetch_halted = false;
+        self.icache_stall = 0;
+        self.fetch_pc = restart_pc;
+        self.spc.reseed(restart_pc);
+    }
+
+    /// Encoding of the rename map-table indexes folded into the
+    /// signature under `rename_protection` (must be identical wherever a
+    /// signature is (re)generated).
+    fn rename_extra(src_arch: [Option<u16>; 2], dst_arch: Option<u16>) -> u64 {
+        let enc = |o: Option<u16>| o.map_or(0x7F, u64::from);
+        (enc(src_arch[0]) | (enc(src_arch[1]) << 7) | (enc(dst_arch) << 14)).rotate_left(23)
+    }
+
+    /// Re-decodes the static trace at `start_pc` straight from memory —
+    /// the redundant copy of the §3 fallback. Returns its signature
+    /// (ground truth under a single-event-upset model: the second fetch
+    /// and decode are fault-free) and its instruction count.
+    fn redecode_trace(&self, start_pc: u64, max_len: u32) -> Option<(u64, u32)> {
+        let fold = self.itr.as_ref().map(|u| u.config().fold).unwrap_or_default();
+        let mut builder = itr_core::TraceBuilder::with_kind(max_len, fold);
+        let mut pc = start_pc;
+        for _ in 0..max_len {
+            let inst = decode(self.mem.read_u32(pc)).ok()?;
+            let sig = DecodeSignals::from_instruction(&inst);
+            let extra = if self.cfg.rename_protection {
+                let plan = operand_plan(&sig);
+                Self::rename_extra(plan.srcs, plan.dst)
+            } else {
+                0
+            };
+            if let Some(t) = builder.push_with_extra(pc, &sig, extra) {
+                return Some((t.signature, t.len));
+            }
+            pc += 4;
+        }
+        None
+    }
+
+    /// §3 fallback: before any instruction of a missed trace commits,
+    /// re-fetch and re-decode the trace and compare the two copies.
+    /// Returns `true` if commit must stall this cycle.
+    fn redundant_verify_stall(&mut self, trace_seq: u64) -> bool {
+        let Some(unit) = &self.itr else { return false };
+        if !unit.config().redundant_fetch_on_miss {
+            return false;
+        }
+        if self.verified_miss == Some(trace_seq) {
+            return false;
+        }
+        let Some(entry) = unit.rob_entry(trace_seq) else { return false };
+        if entry.state != itr_core::ControlState::Miss {
+            return false;
+        }
+        let (start_pc, len, in_flight_sig) = (entry.start_pc, entry.len, entry.signature);
+        let max_len = unit.config().max_trace_len;
+        match self.redundant_verify {
+            None => {
+                // Launch the redundant fetch: frontend depth plus one
+                // fetch group per `width` instructions.
+                let groups = (len as u64).div_ceil(self.cfg.width as u64);
+                self.stats.redundant_fetch_groups += groups;
+                self.redundant_verify = Some((trace_seq, self.cycle + 6 + groups));
+                true
+            }
+            Some((seq, done)) if seq == trace_seq => {
+                if self.cycle < done {
+                    return true;
+                }
+                self.redundant_verify = None;
+                self.stats.redundant_verifies += 1;
+                let clean = self.redecode_trace(start_pc, max_len);
+                if clean.map(|(sig, _)| sig) == Some(in_flight_sig) {
+                    self.verified_miss = Some(trace_seq);
+                    false
+                } else {
+                    // The in-flight copy is faulty: flush before anything
+                    // commits and refetch, exactly like an ITR retry.
+                    self.stats.redundant_detects += 1;
+                    self.stats.retry_flushes += 1;
+                    self.itr.as_mut().expect("checked").on_retry_flush(start_pc);
+                    self.full_flush_to(start_pc);
+                    true
+                }
+            }
+            Some(_) => {
+                // A stale verify for a squashed trace: restart.
+                self.redundant_verify = None;
+                true
+            }
+        }
+    }
+
+    fn commit<F: FnMut(&CommitRecord) -> bool>(&mut self, on_commit: &mut F) {
+        for _ in 0..self.cfg.width {
+            if self.rob.front().is_none() {
+                return;
+            }
+
+            // ITR commit interlock (§2.2). Consulted before the completion
+            // check: a retry can rescue a deadlocked trace (ITR+wdog+R).
+            if self.itr.is_some() {
+                let trace_seq = self.rob.front().expect("checked").trace_seq;
+                let action = self.itr.as_ref().expect("checked").commit_action(trace_seq);
+                match action {
+                    CommitAction::Proceed => {}
+                    CommitAction::Stall => return,
+                    CommitAction::Retry { start_pc } => {
+                        self.stats.retry_flushes += 1;
+                        self.itr.as_mut().expect("checked").on_retry_flush(start_pc);
+                        self.full_flush_to(start_pc);
+                        return;
+                    }
+                    CommitAction::MachineCheck { start_pc } => {
+                        self.itr.as_mut().expect("checked").on_machine_check(start_pc);
+                        self.exit = Some(RunExit::MachineCheck { start_pc });
+                        return;
+                    }
+                }
+            }
+
+            if self.itr.is_some() {
+                let trace_seq = self.rob.front().expect("checked").trace_seq;
+                if self.redundant_verify_stall(trace_seq) {
+                    return;
+                }
+            }
+
+            if !self.rob.front().expect("checked").done {
+                return;
+            }
+            let u = self.rob.pop_front().expect("checked");
+            self.head_seq = u.seq + 1;
+
+            // Sequential-PC check (§2.5).
+            if self.cfg.spc_check {
+                let is_branch_flag = u.sig.flags.contains(SignalFlags::IS_BRANCH);
+                if !self.spc.check_and_advance(u.pc, is_branch_flag, u.next_pc) {
+                    self.spc_violations.push(SpcViolation { cycle: self.cycle, pc: u.pc });
+                }
+            }
+
+            // Architectural effects.
+            let mut record = CommitRecord { pc: u.pc, dst: None, store: None, next_pc: u.next_pc };
+            if let Some(d) = u.dst {
+                record.dst = Some((d.arch, u.result));
+                self.free_list.push_back(d.prev);
+            }
+            if let Some(s) = u.store {
+                self.mem.write(s.addr, s.size, s.value);
+                record.store = Some((s.addr, s.size, s.value));
+            }
+            match u.trap {
+                Some(TrapAction::Halt) => self.exit = Some(RunExit::Halted),
+                Some(TrapAction::Abort(code)) => self.exit = Some(RunExit::Aborted(code)),
+                Some(TrapAction::PutInt(v)) => self.output.push_str(&(v as i32).to_string()),
+                Some(TrapAction::PutChar(c)) => self.output.push(c as char),
+                Some(TrapAction::Nop) | None => {}
+            }
+
+            // Predictor training.
+            if u.used_gshare {
+                if let Some(taken) = u.taken {
+                    self.gshare.train(u.pc, u.ghr_snapshot, taken);
+                }
+            }
+            if matches!(u.inst.op, Opcode::Jr | Opcode::Jalr) && u.taken == Some(true) {
+                self.btb.update(u.pc, u.next_pc);
+            }
+
+            self.wdog.pet(self.cycle);
+            self.stats.committed += 1;
+            if u.trace_end {
+                if let Some(unit) = &mut self.itr {
+                    unit.on_trace_end_commit(u.trace_seq);
+                    // §2.3: a coarse-grain checkpoint is safe whenever no
+                    // unchecked (unreferenced) lines are resident.
+                    self.checkpointer
+                        .observe(unit.cache().unreferenced_count(), self.stats.committed);
+                }
+            }
+            if !on_commit(&record) {
+                self.exit = Some(RunExit::Stopped);
+                return;
+            }
+            if self.exit.is_some() {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{FuncSim, StopReason};
+    use itr_isa::asm::assemble;
+
+    const SUM_LOOP: &str = r#"
+        main:
+            li r8, 100
+            li r9, 0
+        top:
+            add r9, r9, r8
+            addi r8, r8, -1
+            bgtz r8, top
+            move r4, r9
+            trap 1
+            halt
+    "#;
+
+    fn run_pipeline(src: &str, cfg: PipelineConfig) -> (Pipeline, RunExit) {
+        let p = assemble(src).expect("assembles");
+        let mut pipe = Pipeline::new(&p, cfg);
+        let exit = pipe.run(2_000_000);
+        (pipe, exit)
+    }
+
+    #[test]
+    fn sum_loop_halts_with_correct_output() {
+        let (pipe, exit) = run_pipeline(SUM_LOOP, PipelineConfig::default());
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(pipe.output(), "5050");
+        assert!(pipe.stats().ipc() > 0.5, "ipc = {}", pipe.stats().ipc());
+    }
+
+    #[test]
+    fn itr_enabled_run_is_architecturally_identical() {
+        let (plain, e1) = run_pipeline(SUM_LOOP, PipelineConfig::default());
+        let (itr, e2) = run_pipeline(SUM_LOOP, PipelineConfig::with_itr());
+        assert_eq!(e1, RunExit::Halted);
+        assert_eq!(e2, RunExit::Halted);
+        assert_eq!(plain.output(), itr.output());
+        let unit = itr.itr().expect("unit present");
+        assert_eq!(unit.stats().mismatches, 0, "fault-free run never mismatches");
+        assert!(unit.stats().traces_committed > 100);
+    }
+
+    #[test]
+    fn pipeline_matches_functional_commit_stream() {
+        let src = r#"
+            .data
+            arr: .word 9, 2, 7, 4, 5, 1, 8, 3
+            .text
+            main:
+                la r8, arr
+                li r9, 8
+                li r10, 0
+                li r11, 0
+            loop:
+                lw r12, 0(r8)
+                add r10, r10, r12
+                andi r13, r12, 1
+                beq r13, r0, skip
+                addi r11, r11, 1
+            skip:
+                sw r10, 0(r8)
+                addi r8, r8, 4
+                addi r9, r9, -1
+                bgtz r9, loop
+                halt
+        "#;
+        let p = assemble(src).unwrap();
+        let mut golden = FuncSim::new(&p);
+        let (grecs, greason) = golden.run_collect(100_000);
+        assert_eq!(greason, StopReason::Halted);
+
+        let mut precs = Vec::new();
+        let mut pipe = Pipeline::new(&p, PipelineConfig::with_itr());
+        let exit = pipe.run_with(1_000_000, |r| {
+            precs.push(*r);
+            true
+        });
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(precs.len(), grecs.len(), "same dynamic instruction count");
+        for (i, (a, b)) in precs.iter().zip(&grecs).enumerate() {
+            assert_eq!(a, b, "commit {i} diverged: pipeline {a} vs functional {b}");
+        }
+    }
+
+    #[test]
+    fn indirect_calls_and_returns_work() {
+        let src = r#"
+            main:
+                li r16, 0
+                li r17, 5
+            call_loop:
+                move r4, r17
+                jal double
+                move r17, r2
+                addi r16, r16, 1
+                slti r9, r16, 4
+                bgtz r9, call_loop
+                move r4, r17
+                trap 1
+                halt
+            double:
+                add r2, r4, r4
+                jr ra
+        "#;
+        let (pipe, exit) = run_pipeline(src, PipelineConfig::with_itr());
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(pipe.output(), "80", "5 doubled 4 times");
+    }
+
+    #[test]
+    fn store_load_forwarding_is_correct() {
+        let src = r#"
+            .data
+            buf: .space 16
+            .text
+            main:
+                la r8, buf
+                li r9, 0x1234
+                sw r9, 0(r8)
+                lw r10, 0(r8)    # must see the in-flight store
+                sb r0, 1(r8)
+                lw r11, 0(r8)    # partially overwritten
+                move r4, r10
+                trap 1
+                move r4, r11
+                trap 1
+                halt
+        "#;
+        let (pipe, exit) = run_pipeline(src, PipelineConfig::default());
+        assert_eq!(exit, RunExit::Halted);
+        // 0x1234 = bytes [34, 12, 00, 00]; zeroing byte 1 gives 0x0034.
+        assert_eq!(pipe.output(), format!("{}{}", 0x1234, 0x0034));
+    }
+
+    #[test]
+    fn deadlock_fault_is_caught_by_watchdog() {
+        // Flip num_rsrc of a loop-body add to 3: phantom operand. num_rsrc
+        // field lsb = 58; add has num_rsrc=2 (0b10); flipping bit 58 gives
+        // 0b11 = 3.
+        let cfg = PipelineConfig {
+            faults: vec![DecodeFault { nth_decode: 2, bit: 58 }],
+            watchdog_cycles: 2_000,
+            ..PipelineConfig::default()
+        };
+        let (_, exit) = run_pipeline(SUM_LOOP, cfg);
+        assert_eq!(exit, RunExit::Deadlock);
+    }
+
+    #[test]
+    fn itr_retry_recovers_from_transient_fault() {
+        // Inject into a mid-loop instruction after the loop trace has been
+        // cached; ITR detects the mismatch at commit and the retry flush
+        // re-executes cleanly, so the program output is unaffected.
+        let cfg = PipelineConfig {
+            faults: vec![DecodeFault { nth_decode: 50, bit: 25 }], // rsrc1 bit
+            ..PipelineConfig::with_itr()
+        };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(pipe.output(), "5050", "recovery preserved the result");
+        let unit = pipe.itr().unwrap();
+        assert!(unit.stats().mismatches >= 1, "fault detected");
+        assert_eq!(unit.stats().recoveries, 1, "recovered via retry");
+        assert_eq!(unit.stats().machine_checks, 0);
+    }
+
+    #[test]
+    fn unprotected_pipeline_corrupts_on_the_same_fault() {
+        // The same fault without ITR: the wrong-source add corrupts r9.
+        let cfg = PipelineConfig {
+            faults: vec![DecodeFault { nth_decode: 50, bit: 25 }],
+            ..PipelineConfig::default()
+        };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+        assert_eq!(exit, RunExit::Halted);
+        assert_ne!(pipe.output(), "5050", "fault silently corrupted data");
+    }
+
+    #[test]
+    fn cycle_limit_is_reported() {
+        let p = assemble("main:\n j main\n").unwrap();
+        let mut pipe = Pipeline::new(&p, PipelineConfig::default());
+        assert_eq!(pipe.run(1_000), RunExit::CycleLimit);
+    }
+
+    #[test]
+    fn commit_callback_can_stop_the_run() {
+        let p = assemble(SUM_LOOP).unwrap();
+        let mut pipe = Pipeline::new(&p, PipelineConfig::default());
+        let mut n = 0;
+        let exit = pipe.run_with(1_000_000, |_| {
+            n += 1;
+            n < 10
+        });
+        assert_eq!(exit, RunExit::Stopped);
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn redundant_fetch_fallback_runs_cleanly() {
+        use itr_core::ItrConfig;
+        let cfg = PipelineConfig {
+            itr: Some(ItrConfig { redundant_fetch_on_miss: true, ..ItrConfig::paper_default() }),
+            ..PipelineConfig::default()
+        };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(pipe.output(), "5050");
+        let s = pipe.stats();
+        assert!(s.redundant_verifies > 0, "misses were re-verified");
+        assert_eq!(s.redundant_detects, 0, "no faults to catch");
+        assert!(s.redundant_fetch_groups > 0);
+    }
+
+    #[test]
+    fn redundant_fetch_catches_faults_on_first_instance_traces() {
+        use itr_core::ItrConfig;
+        // Inject into the very first dynamic instance of the program's
+        // first trace: plain ITR can only detect this later (the faulty
+        // signature enters the cache); the §3 fallback catches it before
+        // commit and recovers.
+        let faults = vec![DecodeFault { nth_decode: 0, bit: 35 }]; // rdst bit
+        let plain = PipelineConfig { faults: faults.clone(), ..PipelineConfig::with_itr() };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, plain);
+        assert_eq!(exit, RunExit::Halted);
+        assert_ne!(pipe.output(), "5050", "plain ITR misses the cold-trace fault");
+
+        let fallback = PipelineConfig {
+            faults,
+            itr: Some(ItrConfig { redundant_fetch_on_miss: true, ..ItrConfig::paper_default() }),
+            ..PipelineConfig::default()
+        };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, fallback);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(pipe.output(), "5050", "fallback recovers the cold-trace fault");
+        assert!(pipe.stats().redundant_detects >= 1);
+    }
+
+    #[test]
+    fn same_bit_double_fault_evades_xor_but_not_rotate_xor() {
+        use itr_core::{FoldKind, ItrConfig};
+        // Two flips of the same signal bit on adjacent instructions of one
+        // hot-loop trace instance (SUM_LOOP decodes architecturally until
+        // the final mispredict, so iteration 17's add/addi are decodes
+        // #53/#54; bit 30 = rsrc2, which corrupts the add but is masked
+        // on the addi): the XOR fold cancels (§2.1's documented
+        // limitation), the rotate-XOR fold does not.
+        let faults = vec![
+            DecodeFault { nth_decode: 53, bit: 30 },
+            DecodeFault { nth_decode: 54, bit: 30 },
+        ];
+        let xor_cfg = PipelineConfig { faults: faults.clone(), ..PipelineConfig::with_itr() };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, xor_cfg);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(pipe.itr().unwrap().stats().mismatches, 0, "XOR is blind");
+        assert_ne!(pipe.output(), "5050", "yet the double fault corrupts");
+
+        let rot_cfg = PipelineConfig {
+            faults,
+            itr: Some(ItrConfig { fold: FoldKind::RotateXor, ..ItrConfig::paper_default() }),
+            ..PipelineConfig::default()
+        };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, rot_cfg);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(pipe.output(), "5050", "rotate-XOR detects and recovers");
+        assert!(pipe.itr().unwrap().stats().mismatches >= 1);
+    }
+
+    #[test]
+    fn fetch_reorder_fault_evades_xor_but_not_rotate_xor() {
+        use itr_core::{FoldKind, ItrConfig};
+        // Swap two adjacent non-branch instructions inside the cached hot
+        // loop trace: same signal multiset, different order.
+        let swap_at = 53u64; // iteration 17's add/addi pair (same trace)
+        let xor_cfg = PipelineConfig { swap_fault: Some(swap_at), ..PipelineConfig::with_itr() };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, xor_cfg);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(
+            pipe.itr().unwrap().stats().mismatches,
+            0,
+            "XOR cannot see a within-trace swap"
+        );
+
+        let rot_cfg = PipelineConfig {
+            swap_fault: Some(swap_at),
+            itr: Some(ItrConfig { fold: FoldKind::RotateXor, ..ItrConfig::paper_default() }),
+            ..PipelineConfig::default()
+        };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, rot_cfg);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(pipe.output(), "5050", "rotate-XOR detects and the retry recovers");
+        assert!(pipe.itr().unwrap().stats().mismatches >= 1);
+        assert_eq!(pipe.itr().unwrap().stats().recoveries, 1);
+    }
+
+    #[test]
+    fn tiny_resources_stall_but_never_break() {
+        use itr_core::ItrConfig;
+        // Starve every queue: a 2-entry ITR ROB, minimal IQ, single-entry
+        // LSQ headroom, barely enough physical registers. Dispatch stalls
+        // constantly; architecture must be unaffected.
+        let cfg = PipelineConfig {
+            width: 4,
+            issue_width: 2,
+            rob_entries: 16, // = max trace length, the legal minimum
+            iq_entries: 4,
+            lsq_entries: 16,
+            phys_regs: 96,
+            itr: Some(ItrConfig { rob_entries: 2, ..ItrConfig::paper_default() }),
+            ..PipelineConfig::default()
+        };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(pipe.output(), "5050");
+        assert!(pipe.stats().ipc() < 1.5, "starved machine must be slower");
+    }
+
+    #[test]
+    fn tiny_itr_rob_with_recovery_still_works() {
+        use itr_core::ItrConfig;
+        let cfg = PipelineConfig {
+            faults: vec![DecodeFault { nth_decode: 50, bit: 25 }],
+            itr: Some(ItrConfig { rob_entries: 2, ..ItrConfig::paper_default() }),
+            ..PipelineConfig::default()
+        };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(pipe.output(), "5050");
+        assert_eq!(pipe.itr().unwrap().stats().recoveries, 1);
+    }
+
+    #[test]
+    fn memory_heavy_kernel_survives_single_lsq_slot() {
+        let src = r#"
+            .data
+            buf: .space 64
+            .text
+            main:
+                la r8, buf
+                li r9, 16
+            fill:
+                sw r9, 0(r8)
+                lw r10, 0(r8)
+                add r11, r11, r10
+                addi r8, r8, 4
+                addi r9, r9, -1
+                bgtz r9, fill
+                move r4, r11
+                trap 1
+                halt
+        "#;
+        // The legal minimum LSQ under ITR is one full trace (16); below
+        // that the commit interlock can deadlock a fault-free program —
+        // see the sizing assertions in Pipeline::new.
+        let cfg = PipelineConfig { lsq_entries: 16, ..PipelineConfig::with_itr() };
+        let (pipe, exit) = run_pipeline(src, cfg);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(pipe.output(), "136"); // 16+15+...+1
+    }
+
+    #[test]
+    #[should_panic(expected = "LSQ must hold a full trace")]
+    fn undersized_lsq_with_itr_is_rejected() {
+        let p = assemble(SUM_LOOP).unwrap();
+        let cfg = PipelineConfig { lsq_entries: 4, ..PipelineConfig::with_itr() };
+        let _ = Pipeline::new(&p, cfg);
+    }
+
+    #[test]
+    fn scheduler_fault_corrupts_without_tac() {
+        use crate::config::SchedulerFault;
+        // The mis-selected instruction reads a stale physical register.
+        let cfg = PipelineConfig {
+            scheduler_fault: Some(SchedulerFault { nth_issue: 60 }),
+            ..PipelineConfig::with_itr()
+        };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+        assert_eq!(exit, RunExit::Halted);
+        assert_ne!(pipe.output(), "5050", "stale read corrupts the sum");
+        assert_eq!(
+            pipe.itr().unwrap().stats().mismatches,
+            0,
+            "decode-signal signatures cannot see scheduler faults"
+        );
+    }
+
+    #[test]
+    fn tac_check_detects_and_recovers_scheduler_fault() {
+        use crate::config::SchedulerFault;
+        let cfg = PipelineConfig {
+            scheduler_fault: Some(SchedulerFault { nth_issue: 60 }),
+            tac_check: true,
+            ..PipelineConfig::with_itr()
+        };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(pipe.output(), "5050", "TAC recovery preserves the result");
+        assert_eq!(pipe.stats().tac_violations, 1);
+        assert_eq!(pipe.stats().tac_recoveries, 1);
+    }
+
+    #[test]
+    fn tac_check_is_silent_fault_free() {
+        let cfg = PipelineConfig { tac_check: true, ..PipelineConfig::with_itr() };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(pipe.output(), "5050");
+        assert_eq!(pipe.stats().tac_violations, 0);
+    }
+
+    #[test]
+    fn delayed_itr_cache_reads_preserve_correctness() {
+        use itr_core::ItrConfig;
+        // A realistic 2-cycle SRAM read: absorbed by the dispatch-to-
+        // commit distance, so IPC is essentially unchanged and results
+        // identical.
+        for latency in [2u32, 8, 40] {
+            let cfg = PipelineConfig {
+                itr: Some(ItrConfig {
+                    cache_read_latency: latency,
+                    ..ItrConfig::paper_default()
+                }),
+                ..PipelineConfig::default()
+            };
+            let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+            assert_eq!(exit, RunExit::Halted, "latency {latency}");
+            assert_eq!(pipe.output(), "5050", "latency {latency}");
+            assert_eq!(pipe.itr().unwrap().stats().mismatches, 0);
+        }
+    }
+
+    #[test]
+    fn long_itr_read_latency_stalls_commit_but_stays_correct() {
+        use itr_core::ItrConfig;
+        let fast = {
+            let (pipe, _) = run_pipeline(SUM_LOOP, PipelineConfig::with_itr());
+            pipe.stats().ipc()
+        };
+        let cfg = PipelineConfig {
+            itr: Some(ItrConfig { cache_read_latency: 40, ..ItrConfig::paper_default() }),
+            ..PipelineConfig::default()
+        };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(pipe.output(), "5050");
+        assert!(
+            pipe.stats().ipc() < fast * 0.8,
+            "a 40-cycle read must show in IPC: {} vs {}",
+            pipe.stats().ipc(),
+            fast
+        );
+    }
+
+    #[test]
+    fn recovery_works_with_delayed_reads() {
+        use itr_core::ItrConfig;
+        let cfg = PipelineConfig {
+            faults: vec![DecodeFault { nth_decode: 50, bit: 25 }],
+            itr: Some(ItrConfig { cache_read_latency: 3, ..ItrConfig::paper_default() }),
+            ..PipelineConfig::default()
+        };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(pipe.output(), "5050");
+        assert_eq!(pipe.itr().unwrap().stats().recoveries, 1);
+    }
+
+    #[test]
+    fn rotate_xor_runs_cleanly_fault_free() {
+        use itr_core::{FoldKind, ItrConfig};
+        let cfg = PipelineConfig {
+            itr: Some(ItrConfig { fold: FoldKind::RotateXor, ..ItrConfig::paper_default() }),
+            ..PipelineConfig::default()
+        };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(pipe.output(), "5050");
+        assert_eq!(pipe.itr().unwrap().stats().mismatches, 0);
+    }
+
+    #[test]
+    fn rename_fault_is_invisible_to_plain_itr() {
+        use crate::config::RenameFault;
+        // Strike the rename map index of a hot-loop source operand: the
+        // decode signals are clean, so the plain signature cannot see it.
+        let fault = RenameFault { nth_rename: 50, operand: 0, bit: 1 };
+        let cfg = PipelineConfig {
+            rename_fault: Some(fault),
+            ..PipelineConfig::with_itr()
+        };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+        assert_eq!(exit, RunExit::Halted);
+        assert_ne!(pipe.output(), "5050", "rename fault corrupts the result");
+        assert_eq!(pipe.itr().unwrap().stats().mismatches, 0, "plain ITR is blind to it");
+    }
+
+    #[test]
+    fn rename_protection_detects_and_recovers_rename_faults() {
+        use crate::config::RenameFault;
+        let fault = RenameFault { nth_rename: 50, operand: 0, bit: 1 };
+        let cfg = PipelineConfig {
+            rename_fault: Some(fault),
+            rename_protection: true,
+            ..PipelineConfig::with_itr()
+        };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(pipe.output(), "5050", "extended signature recovers the fault");
+        let s = pipe.itr().unwrap().stats();
+        assert!(s.mismatches >= 1);
+        assert_eq!(s.recoveries, 1);
+    }
+
+    #[test]
+    fn rename_protection_is_transparent_when_fault_free() {
+        let cfg = PipelineConfig { rename_protection: true, ..PipelineConfig::with_itr() };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(pipe.output(), "5050");
+        assert_eq!(pipe.itr().unwrap().stats().mismatches, 0);
+    }
+
+    #[test]
+    fn checkpoint_opportunities_arise_in_hot_loops() {
+        // A workload whose every trace repeats: once the loop trace is
+        // confirmed the ITR cache holds no unchecked lines and §2.3
+        // checkpoints become possible. (Any resident run-once trace
+        // blocks the scheme — the paper's condition is strict.)
+        let src = r#"
+            main:
+                addi r8, r8, 1
+                slti r9, r8, 200
+                bgtz r9, main
+                halt
+        "#;
+        let cfg = PipelineConfig { checkpoint_min_gap: 50, ..PipelineConfig::with_itr() };
+        let (pipe, exit) = run_pipeline(src, cfg);
+        assert_eq!(exit, RunExit::Halted);
+        assert!(
+            pipe.checkpointer().checkpoints_taken() >= 2,
+            "took {} checkpoints over {} opportunities",
+            pipe.checkpointer().checkpoints_taken(),
+            pipe.checkpointer().opportunities()
+        );
+    }
+
+    #[test]
+    fn fp_program_runs_correctly_out_of_order() {
+        let src = r#"
+            main:
+                li r8, 12
+                mtc1 r8, f0
+                cvt.s.w f0, f0
+                li r8, 4
+                mtc1 r8, f1
+                cvt.s.w f1, f1
+                div.s f2, f0, f1
+                cvt.w.s f3, f2
+                mfc1 r4, f3
+                trap 1
+                halt
+        "#;
+        let (pipe, exit) = run_pipeline(src, PipelineConfig::with_itr());
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(pipe.output(), "3");
+    }
+}

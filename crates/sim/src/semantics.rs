@@ -1,0 +1,720 @@
+//! Signal-driven instruction semantics, shared by the functional simulator
+//! and the pipeline's execution units.
+//!
+//! Everything here consumes the [`DecodeSignals`] record rather than the
+//! original instruction word. This is the property that makes fault
+//! injection faithful: flipping a signal bit changes which registers are
+//! read, which operation executes, which address is accessed, whether a
+//! branch is verified — exactly the failure modes §4 of the paper studies
+//! (wrong-source reads, phantom operands that deadlock, unrepaired
+//! mispredictions from a flipped `is_branch`, and plain masked faults).
+//!
+//! The only value not carried in the signals is the 26-bit target of
+//! J-format jumps (Table 2 fixes the `imm` signal at 16 bits); the full
+//! target flows from the fetch unit alongside the instruction, mirroring
+//! the paper's observation that branch targets are protected by the
+//! execution unit's target check rather than by the signature.
+
+use crate::arch::FCC_REG;
+use crate::mem::Memory;
+use itr_isa::{DecodeSignals, Opcode, SignalFlags};
+
+/// Which register file an operand index names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegFile {
+    Int,
+    Fp,
+    Fcc,
+}
+
+fn flat(file: RegFile, idx: u8) -> u16 {
+    match file {
+        RegFile::Int => idx as u16,
+        RegFile::Fp => 32 + idx as u16,
+        RegFile::Fcc => FCC_REG,
+    }
+}
+
+/// Per-opcode operand register files: (src1, src2, dst).
+fn files(op: Option<Opcode>) -> (RegFile, RegFile, RegFile) {
+    use Opcode::*;
+    use RegFile::*;
+    match op {
+        Some(AddS | SubS | MulS | DivS | SqrtS | AbsS | MovS | NegS | CvtSW | CvtWS) => {
+            (Fp, Fp, Fp)
+        }
+        Some(CEqS | CLtS | CLeS) => (Fp, Fp, Fcc),
+        Some(Bc1t | Bc1f) => (Fcc, Int, Int),
+        Some(Mfc1) => (Fp, Int, Int),
+        Some(Mtc1) => (Int, Int, Fp),
+        Some(Lwc1) => (Int, Int, Fp),
+        Some(Swc1) => (Int, Fp, Int),
+        _ => (Int, Int, Int),
+    }
+}
+
+/// Which architectural registers an instruction reads and writes,
+/// honoring the *possibly faulty* `num_rsrc`/`num_rdst` signals.
+///
+/// A faulty `num_rsrc` of 3 (no operation has three register sources)
+/// produces a *phantom* operand whose tag never becomes ready — the
+/// deadlock mechanism the paper's watchdog check exists for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OperandPlan {
+    /// Flat architectural indices of the register sources actually waited
+    /// on and read (unplanned sources read as zero).
+    pub srcs: [Option<u16>; 2],
+    /// `true` when `num_rsrc == 3`: the instruction waits forever.
+    pub phantom_src: bool,
+    /// Flat architectural destination (writes to integer `r0` are
+    /// suppressed here).
+    pub dst: Option<u16>,
+}
+
+/// Computes the operand plan for one instruction's decode signals.
+pub fn operand_plan(sig: &DecodeSignals) -> OperandPlan {
+    let op = sig.opcode_enum();
+    let (f1, f2, fd) = files(op);
+    let n = sig.num_rsrc;
+    let srcs = [
+        (n >= 1).then(|| flat(f1, sig.rsrc1)),
+        (n >= 2).then(|| flat(f2, sig.rsrc2)),
+    ];
+    let dst = if sig.num_rdst >= 1 {
+        let d = flat(fd, sig.rdst);
+        (d != 0).then_some(d)
+    } else {
+        None
+    };
+    OperandPlan { srcs, phantom_src: n == 3, dst }
+}
+
+/// Source of load data. [`Memory`] implements it directly; the pipeline
+/// wraps memory with a store-queue overlay so in-flight stores forward.
+pub trait LoadSource {
+    /// Reads `size` little-endian bytes at `addr`.
+    fn load(&self, addr: u64, size: u8) -> u32;
+}
+
+impl LoadSource for Memory {
+    fn load(&self, addr: u64, size: u8) -> u32 {
+        self.read(addr, size)
+    }
+}
+
+/// A store side-effect to be applied when the instruction commits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOp {
+    /// Byte address.
+    pub addr: u64,
+    /// Bytes written (already clamped to 0..=4 by [`Memory::write`]).
+    pub size: u8,
+    /// Little-endian value (low `size` bytes significant).
+    pub value: u32,
+}
+
+/// A trap side-effect, decoded from the trap code immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapAction {
+    /// Terminate the program successfully.
+    Halt,
+    /// Print the integer argument (`r4`).
+    PutInt(u32),
+    /// Print the low byte of the argument as a character.
+    PutChar(u8),
+    /// Abort with the argument as the failure code.
+    Abort(u32),
+    /// Unknown trap code (possible after a fault): no effect.
+    Nop,
+}
+
+/// Everything the execution stage produces for one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOutput {
+    /// Result value for the destination register (0 when none).
+    pub value: u32,
+    /// Architectural next PC.
+    pub next_pc: u64,
+    /// `Some(direction)` when this instruction was *verified as a branch*
+    /// (its `is_branch` signal is set); `None` means the frontend's
+    /// prediction, if any, goes unrepaired.
+    pub taken: Option<bool>,
+    /// Store to apply at commit.
+    pub store: Option<StoreOp>,
+    /// Load address and size actually accessed (for D-cache timing).
+    pub load: Option<(u64, u8)>,
+    /// Trap side-effect to apply at commit.
+    pub trap: Option<TrapAction>,
+}
+
+/// Inputs to [`execute`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExecInput<'a> {
+    /// The (possibly faulty) decode signals.
+    pub sig: &'a DecodeSignals,
+    /// The instruction's PC.
+    pub pc: u64,
+    /// Full direct target for J-format jumps, from the raw instruction
+    /// word (see module docs).
+    pub raw_jump_target: Option<u64>,
+    /// First source value (0 if unplanned).
+    pub src1: u32,
+    /// Second source value (0 if unplanned).
+    pub src2: u32,
+}
+
+fn mask32(v: i64) -> u64 {
+    (v as u64) & 0xFFFF_FFFF
+}
+
+fn branch_target(pc: u64, imm_ext: i64) -> u64 {
+    mask32(pc as i64 + 4 + imm_ext * 4)
+}
+
+fn mem_addr(src1: u32, imm_ext: i64) -> u64 {
+    mask32(src1 as i64 + imm_ext)
+}
+
+fn f32_of(bits: u32) -> f32 {
+    f32::from_bits(bits)
+}
+
+/// Executes one instruction from its decode signals.
+///
+/// `loader` supplies load data (memory, possibly overlaid with in-flight
+/// stores). Stores and traps are returned as side-effects for the caller
+/// to apply at the architecturally correct time.
+pub fn execute(input: ExecInput<'_>, loader: &dyn LoadSource) -> ExecOutput {
+    use Opcode::*;
+    let sig = input.sig;
+    let pc = input.pc;
+    let (s1, s2) = (input.src1, input.src2);
+    let imm = sig.imm_extended();
+    let seq = pc + 4;
+    let mut out = ExecOutput {
+        value: 0,
+        next_pc: seq,
+        taken: None,
+        store: None,
+        load: None,
+        trap: None,
+    };
+    let verified_branch = sig.flags.contains(SignalFlags::IS_BRANCH);
+
+    let Some(op) = sig.opcode_enum() else {
+        // Undefined opcode after a fault: executes as a NOP (the result
+        // write, if the faulty num_rdst requests one, is zero).
+        return out;
+    };
+
+    match op {
+        // ---- shifts (src1 = rt for immediate forms; rt, rs for variable) ----
+        Sll => out.value = s1 << sig.shamt,
+        Srl => out.value = s1 >> sig.shamt,
+        Sra => out.value = ((s1 as i32) >> sig.shamt) as u32,
+        Sllv => out.value = s1 << (s2 & 31),
+        Srlv => out.value = s1 >> (s2 & 31),
+        Srav => out.value = ((s1 as i32) >> (s2 & 31)) as u32,
+
+        // ---- integer ALU ----
+        Add => out.value = s1.wrapping_add(s2),
+        Sub => out.value = s1.wrapping_sub(s2),
+        Mul => out.value = s1.wrapping_mul(s2),
+        Div => out.value = (s1 as i32).checked_div(s2 as i32).unwrap_or(0) as u32,
+        Rem => out.value = (s1 as i32).checked_rem(s2 as i32).unwrap_or(0) as u32,
+        And => out.value = s1 & s2,
+        Or => out.value = s1 | s2,
+        Xor => out.value = s1 ^ s2,
+        Nor => out.value = !(s1 | s2),
+        Slt => out.value = ((s1 as i32) < (s2 as i32)) as u32,
+        Sltu => out.value = (s1 < s2) as u32,
+        Addi => out.value = (s1 as i64).wrapping_add(imm) as u32,
+        Slti => out.value = ((s1 as i32 as i64) < imm) as u32,
+        Sltiu => out.value = ((s1 as u64) < imm as u64) as u32,
+        Andi => out.value = s1 & imm as u32,
+        Ori => out.value = s1 | imm as u32,
+        Xori => out.value = s1 ^ imm as u32,
+        Lui => out.value = (sig.imm as u32) << 16,
+
+        // ---- loads ----
+        Lb | Lbu | Lh | Lhu | Lw | Lwc1 => {
+            let addr = mem_addr(s1, imm);
+            let raw = loader.load(addr, sig.mem_size);
+            out.load = Some((addr, sig.mem_size));
+            out.value = match op {
+                Lb => raw as u8 as i8 as i32 as u32,
+                Lbu => raw & 0xFF,
+                Lh => raw as u16 as i16 as i32 as u32,
+                Lhu => raw & 0xFFFF,
+                _ => raw,
+            };
+        }
+        Lwl => {
+            // rISA semantics: k = addr & 3; fill bytes [k..4) of the old
+            // destination (src2) from memory starting at addr.
+            let addr = mem_addr(s1, imm);
+            let k = (addr & 3) as u32;
+            let nbytes = 4 - k;
+            let data = loader.load(addr, nbytes as u8);
+            let keep_mask = (1u64 << (8 * k)) - 1;
+            out.load = Some((addr, nbytes as u8));
+            out.value = ((s2 as u64 & keep_mask) | ((data as u64) << (8 * k))) as u32;
+        }
+        Lwr => {
+            // Fill bytes [0..=k] of the old destination from memory ending
+            // at addr.
+            let addr = mem_addr(s1, imm);
+            let k = (addr & 3) as u32;
+            let nbytes = k + 1;
+            let base = addr - k as u64;
+            let data = loader.load(base, nbytes as u8);
+            let fill_mask = if nbytes == 4 { u32::MAX } else { (1u32 << (8 * nbytes)) - 1 };
+            out.load = Some((base, nbytes as u8));
+            out.value = (s2 & !fill_mask) | (data & fill_mask);
+        }
+
+        // ---- stores (src1 = base, src2 = data) ----
+        Sb | Sh | Sw | Swc1 => {
+            out.store = Some(StoreOp {
+                addr: mem_addr(s1, imm),
+                size: sig.mem_size,
+                value: s2,
+            });
+        }
+        Swl => {
+            let addr = mem_addr(s1, imm);
+            let k = (addr & 3) as u32;
+            out.store = Some(StoreOp { addr, size: (4 - k) as u8, value: s2 >> (8 * k) });
+        }
+        Swr => {
+            let addr = mem_addr(s1, imm);
+            let k = (addr & 3) as u32;
+            out.store = Some(StoreOp { addr: addr - k as u64, size: (k + 1) as u8, value: s2 });
+        }
+
+        // ---- conditional branches ----
+        Beq | Bne | Blez | Bgtz | Bltz | Bgez | Bc1t | Bc1f => {
+            let cond = match op {
+                Beq => s1 == s2,
+                Bne => s1 != s2,
+                Blez => (s1 as i32) <= 0,
+                Bgtz => (s1 as i32) > 0,
+                Bltz => (s1 as i32) < 0,
+                Bgez => (s1 as i32) >= 0,
+                Bc1t => s1 != 0,
+                _ => s1 == 0, // Bc1f
+            };
+            if verified_branch {
+                out.taken = Some(cond);
+                out.next_pc = if cond { branch_target(pc, imm) } else { seq };
+            }
+            // A flipped-off is_branch leaves next_pc sequential and the
+            // prediction unverified — the §4 SDC/spc scenario.
+        }
+
+        // ---- jumps ----
+        J | Jal => {
+            if verified_branch {
+                out.taken = Some(true);
+                out.next_pc = input.raw_jump_target.unwrap_or(seq);
+            }
+            if op == Jal {
+                out.value = seq as u32;
+            }
+        }
+        Jr | Jalr => {
+            if verified_branch {
+                out.taken = Some(true);
+                out.next_pc = mask32(s1 as i64);
+            }
+            if op == Jalr {
+                out.value = seq as u32;
+            }
+        }
+
+        // ---- floating point ----
+        AddS => out.value = (f32_of(s1) + f32_of(s2)).to_bits(),
+        SubS => out.value = (f32_of(s1) - f32_of(s2)).to_bits(),
+        MulS => out.value = (f32_of(s1) * f32_of(s2)).to_bits(),
+        DivS => {
+            let d = f32_of(s2);
+            out.value = if d == 0.0 { 0 } else { (f32_of(s1) / d).to_bits() };
+        }
+        SqrtS => {
+            let v = f32_of(s1);
+            out.value = if v < 0.0 { 0 } else { v.sqrt().to_bits() };
+        }
+        AbsS => out.value = f32_of(s1).abs().to_bits(),
+        NegS => out.value = (-f32_of(s1)).to_bits(),
+        MovS | Mfc1 | Mtc1 => out.value = s1,
+        CvtSW => out.value = ((s1 as i32) as f32).to_bits(),
+        CvtWS => out.value = (f32_of(s1) as i32) as u32,
+        CEqS => out.value = (f32_of(s1) == f32_of(s2)) as u32,
+        CLtS => out.value = (f32_of(s1) < f32_of(s2)) as u32,
+        CLeS => out.value = (f32_of(s1) <= f32_of(s2)) as u32,
+
+        // ---- traps ----
+        Trap => {
+            out.trap = Some(match sig.imm {
+                itr_isa::trap::HALT => TrapAction::Halt,
+                itr_isa::trap::PUT_INT => TrapAction::PutInt(s1),
+                itr_isa::trap::PUT_CHAR => TrapAction::PutChar(s1 as u8),
+                itr_isa::trap::ABORT => TrapAction::Abort(s1),
+                _ => TrapAction::Nop,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itr_isa::Instruction;
+
+    fn sig_of(inst: &Instruction) -> DecodeSignals {
+        DecodeSignals::from_instruction(inst)
+    }
+
+    fn run(inst: &Instruction, pc: u64, src1: u32, src2: u32) -> ExecOutput {
+        let sig = sig_of(inst);
+        let mem = Memory::new();
+        execute(
+            ExecInput {
+                sig: &sig,
+                pc,
+                raw_jump_target: inst.direct_target(pc),
+                src1,
+                src2,
+            },
+            &mem,
+        )
+    }
+
+    #[test]
+    fn alu_basics() {
+        assert_eq!(run(&Instruction::rrr(Opcode::Add, 1, 2, 3), 0, 5, 7).value, 12);
+        assert_eq!(run(&Instruction::rrr(Opcode::Sub, 1, 2, 3), 0, 5, 7).value, (-2i32) as u32);
+        assert_eq!(run(&Instruction::rrr(Opcode::Mul, 1, 2, 3), 0, 6, 7).value, 42);
+        assert_eq!(run(&Instruction::rrr(Opcode::Div, 1, 2, 3), 0, 42, 6).value, 7);
+        assert_eq!(run(&Instruction::rrr(Opcode::Div, 1, 2, 3), 0, 42, 0).value, 0, "div by zero");
+        assert_eq!(run(&Instruction::rrr(Opcode::Slt, 1, 2, 3), 0, u32::MAX, 1).value, 1, "-1 < 1 signed");
+        assert_eq!(run(&Instruction::rrr(Opcode::Sltu, 1, 2, 3), 0, u32::MAX, 1).value, 0);
+    }
+
+    #[test]
+    fn shifts_use_shamt_signal() {
+        assert_eq!(run(&Instruction::shift(Opcode::Sll, 1, 2, 4), 0, 3, 0).value, 48);
+        assert_eq!(run(&Instruction::shift(Opcode::Sra, 1, 2, 1), 0, (-4i32) as u32, 0).value, (-2i32) as u32);
+    }
+
+    #[test]
+    fn immediates_extend_correctly() {
+        assert_eq!(run(&Instruction::rri(Opcode::Addi, 1, 2, -3), 0, 10, 0).value, 7);
+        assert_eq!(run(&Instruction::rri(Opcode::Ori, 1, 2, 0xF0F0), 0, 0x0F0F, 0).value, 0xFFFF);
+        assert_eq!(run(&Instruction::rri(Opcode::Lui, 1, 0, 0x1234), 0, 0, 0).value, 0x1234_0000);
+    }
+
+    #[test]
+    fn loads_and_extensions() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x1000, 0xFFFF_FF80);
+        let lb = sig_of(&Instruction::mem(Opcode::Lb, 1, 2, 0));
+        let out = execute(
+            ExecInput { sig: &lb, pc: 0, raw_jump_target: None, src1: 0x1000, src2: 0 },
+            &mem,
+        );
+        assert_eq!(out.value, (-128i32) as u32, "lb sign-extends");
+        let lbu = sig_of(&Instruction::mem(Opcode::Lbu, 1, 2, 0));
+        let out = execute(
+            ExecInput { sig: &lbu, pc: 0, raw_jump_target: None, src1: 0x1000, src2: 0 },
+            &mem,
+        );
+        assert_eq!(out.value, 0x80);
+    }
+
+    #[test]
+    fn store_produces_side_effect_not_memory_write() {
+        let out = run(&Instruction::mem(Opcode::Sw, 9, 8, 4), 0, 0x2000, 0xAB);
+        assert_eq!(out.store, Some(StoreOp { addr: 0x2004, size: 4, value: 0xAB }));
+    }
+
+    #[test]
+    fn lwl_lwr_pair_assembles_unaligned_word() {
+        let mut mem = Memory::new();
+        for i in 0..8 {
+            mem.write_u8(0x1000 + i, 0x10 + i as u8);
+        }
+        // Unaligned word at 0x1001 = bytes 11,12,13,14.
+        let lwr = sig_of(&Instruction::mem(Opcode::Lwr, 1, 2, 0));
+        // lwr at addr 0x1003: k=3 → bytes [0..=3] from 0x1000.. wait, base
+        // = addr-k = 0x1000; that's the aligned word. Use lwl at 0x1001 to
+        // get the upper 3 bytes into [1..4) and lwr at 0x1001+?; simplest
+        // checked here: lwl fills [k..4) from addr.
+        let lwl = sig_of(&Instruction::mem(Opcode::Lwl, 1, 2, 0));
+        let out_l = execute(
+            ExecInput { sig: &lwl, pc: 0, raw_jump_target: None, src1: 0x1001, src2: 0 },
+            &mem,
+        );
+        // k=1: bytes[1..4) = mem[0x1001..0x1004] = 11,12,13.
+        assert_eq!(out_l.value, 0x1312_1100);
+        let out_r = execute(
+            ExecInput {
+                sig: &lwr,
+                pc: 0,
+                raw_jump_target: None,
+                src1: 0x1000,
+                src2: out_l.value,
+            },
+            &mem,
+        );
+        // k=0: byte[0] = mem[0x1000] = 0x10, upper bytes preserved.
+        assert_eq!(out_r.value, 0x1312_1110);
+    }
+
+    #[test]
+    fn branch_direction_and_target() {
+        let beq = Instruction::branch(Opcode::Beq, 1, 2, 3);
+        let out = run(&beq, 0x100, 5, 5);
+        assert_eq!(out.taken, Some(true));
+        assert_eq!(out.next_pc, 0x100 + 4 + 12);
+        let out = run(&beq, 0x100, 5, 6);
+        assert_eq!(out.taken, Some(false));
+        assert_eq!(out.next_pc, 0x104);
+    }
+
+    #[test]
+    fn flipped_is_branch_leaves_prediction_unverified() {
+        let beq = Instruction::branch(Opcode::Beq, 1, 2, 3);
+        let mut sig = sig_of(&beq);
+        // Clear IS_BRANCH (flags lsb is bit 8; IS_BRANCH is flag bit 3).
+        sig = sig.with_bit_flipped(8 + 3);
+        let mem = Memory::new();
+        let out = execute(
+            ExecInput { sig: &sig, pc: 0x100, raw_jump_target: None, src1: 5, src2: 5 },
+            &mem,
+        );
+        assert_eq!(out.taken, None, "no verification");
+        assert_eq!(out.next_pc, 0x104, "treated as sequential");
+    }
+
+    #[test]
+    fn jumps_and_links() {
+        let jal = Instruction::jump(Opcode::Jal, 0x400 >> 2);
+        let out = run(&jal, 0x100, 0, 0);
+        assert_eq!(out.next_pc, 0x400);
+        assert_eq!(out.value, 0x104, "link value");
+        let jr = Instruction { op: Opcode::Jr, rs: 31, rt: 0, rd: 0, shamt: 0, imm: 0 };
+        let out = run(&jr, 0x200, 0x104, 0);
+        assert_eq!(out.next_pc, 0x104);
+    }
+
+    #[test]
+    fn fp_arithmetic() {
+        let a = 2.5f32.to_bits();
+        let b = 0.5f32.to_bits();
+        assert_eq!(f32::from_bits(run(&Instruction::rrr(Opcode::AddS, 1, 2, 3), 0, a, b).value), 3.0);
+        assert_eq!(f32::from_bits(run(&Instruction::rrr(Opcode::MulS, 1, 2, 3), 0, a, b).value), 1.25);
+        assert_eq!(run(&Instruction { op: Opcode::CLtS, rs: 2, rt: 3, rd: 0, shamt: 0, imm: 0 }, 0, b, a).value, 1);
+        let cvt = Instruction { op: Opcode::CvtSW, rs: 1, rt: 0, rd: 2, shamt: 0, imm: 0 };
+        assert_eq!(f32::from_bits(run(&cvt, 0, 7, 0).value), 7.0);
+    }
+
+    #[test]
+    fn trap_actions_decode() {
+        let halt = run(&Instruction::trap(itr_isa::trap::HALT), 0, 0, 0);
+        assert_eq!(halt.trap, Some(TrapAction::Halt));
+        let put = run(&Instruction::trap(itr_isa::trap::PUT_INT), 0, 42, 0);
+        assert_eq!(put.trap, Some(TrapAction::PutInt(42)));
+    }
+
+    #[test]
+    fn undefined_opcode_executes_as_nop() {
+        let mut sig = sig_of(&Instruction::rrr(Opcode::Add, 1, 2, 3));
+        sig.opcode = 0xFF;
+        let mem = Memory::new();
+        let out = execute(
+            ExecInput { sig: &sig, pc: 0x10, raw_jump_target: None, src1: 5, src2: 7 },
+            &mem,
+        );
+        assert_eq!(out.value, 0);
+        assert_eq!(out.next_pc, 0x14);
+        assert_eq!(out.store, None);
+    }
+
+    #[test]
+    fn variable_shifts_mask_to_five_bits() {
+        let sllv = Instruction { op: Opcode::Sllv, rs: 3, rt: 2, rd: 1, shamt: 0, imm: 0 };
+        assert_eq!(run(&sllv, 0, 1, 33).value, 2, "shift amount taken mod 32");
+        let srav = Instruction { op: Opcode::Srav, rs: 3, rt: 2, rd: 1, shamt: 0, imm: 0 };
+        assert_eq!(run(&srav, 0, (-8i32) as u32, 2).value, (-2i32) as u32);
+    }
+
+    #[test]
+    fn rem_and_div_signs() {
+        let rem = Instruction::rrr(Opcode::Rem, 1, 2, 3);
+        assert_eq!(run(&rem, 0, 7, 3).value, 1);
+        assert_eq!(run(&rem, 0, (-7i32) as u32, 3).value, (-1i32) as u32);
+        assert_eq!(run(&rem, 0, 7, 0).value, 0, "rem by zero is defined as 0");
+        let div = Instruction::rrr(Opcode::Div, 1, 2, 3);
+        assert_eq!(run(&div, 0, (-7i32) as u32, 2).value, (-3i32) as u32, "truncating");
+        // i32::MIN / -1 overflows in hardware; we define it as 0.
+        assert_eq!(run(&div, 0, i32::MIN as u32, u32::MAX).value, 0);
+    }
+
+    #[test]
+    fn sltiu_compares_against_sign_extended_immediate_as_unsigned() {
+        // MIPS quirk preserved: the immediate is NOT sign-extended for
+        // sltiu in rISA (IS_SIGNED is clear), so -1 parses as 0xFFFF.
+        let i = Instruction::rri(Opcode::Sltiu, 1, 2, 0x00FF);
+        assert_eq!(run(&i, 0, 0x0010, 0).value, 1);
+        assert_eq!(run(&i, 0, 0x0100, 0).value, 0);
+    }
+
+    #[test]
+    fn swl_swr_pair_stores_unaligned_word() {
+        // swl at addr stores the high bytes, swr the low bytes; together
+        // they write a full word at an unaligned address.
+        let swl = run(&Instruction::mem(Opcode::Swl, 9, 8, 0), 0, 0x1001, 0xAABBCCDD);
+        let st = swl.store.unwrap();
+        assert_eq!((st.addr, st.size), (0x1001, 3), "upper 3 bytes at 0x1001");
+        assert_eq!(st.value, 0x00AABBCC, "value shifted down by k bytes");
+        let swr = run(&Instruction::mem(Opcode::Swr, 9, 8, 0), 0, 0x1000, 0xAABBCCDD);
+        let st = swr.store.unwrap();
+        assert_eq!((st.addr, st.size), (0x1000, 1), "low byte at the aligned base");
+    }
+
+    #[test]
+    fn fp_unary_operations() {
+        let neg = Instruction { op: Opcode::NegS, rs: 2, rt: 0, rd: 1, shamt: 0, imm: 0 };
+        assert_eq!(f32::from_bits(run(&neg, 0, 1.5f32.to_bits(), 0).value), -1.5);
+        let abs = Instruction { op: Opcode::AbsS, rs: 2, rt: 0, rd: 1, shamt: 0, imm: 0 };
+        assert_eq!(f32::from_bits(run(&abs, 0, (-2.25f32).to_bits(), 0).value), 2.25);
+        let sqrt = Instruction { op: Opcode::SqrtS, rs: 2, rt: 0, rd: 1, shamt: 0, imm: 0 };
+        assert_eq!(f32::from_bits(run(&sqrt, 0, 9.0f32.to_bits(), 0).value), 3.0);
+        assert_eq!(run(&sqrt, 0, (-4.0f32).to_bits(), 0).value, 0, "sqrt of negative is 0");
+    }
+
+    #[test]
+    fn fp_division_by_zero_is_zero() {
+        let div = Instruction::rrr(Opcode::DivS, 1, 2, 3);
+        assert_eq!(run(&div, 0, 3.0f32.to_bits(), 0.0f32.to_bits()).value, 0);
+    }
+
+    #[test]
+    fn cvt_ws_saturates_deterministically() {
+        let cvt = Instruction { op: Opcode::CvtWS, rs: 1, rt: 0, rd: 2, shamt: 0, imm: 0 };
+        assert_eq!(run(&cvt, 0, 3.99f32.to_bits(), 0).value, 3, "truncates toward zero");
+        assert_eq!(run(&cvt, 0, (-3.99f32).to_bits(), 0).value, (-3i32) as u32);
+        assert_eq!(run(&cvt, 0, 1e30f32.to_bits(), 0).value, i32::MAX as u32, "saturates");
+    }
+
+    #[test]
+    fn bltz_bgez_directions() {
+        let bltz = Instruction::branch(Opcode::Bltz, 1, 0, 4);
+        assert_eq!(run(&bltz, 0x100, (-1i32) as u32, 0).taken, Some(true));
+        assert_eq!(run(&bltz, 0x100, 0, 0).taken, Some(false));
+        let bgez = Instruction::branch(Opcode::Bgez, 1, 0, 4);
+        assert_eq!(run(&bgez, 0x100, 0, 0).taken, Some(true));
+        assert_eq!(run(&bgez, 0x100, (-1i32) as u32, 0).taken, Some(false));
+    }
+
+    #[test]
+    fn bc1_branches_read_fcc() {
+        let bc1t = Instruction::branch(Opcode::Bc1t, 0, 0, 2);
+        assert_eq!(run(&bc1t, 0x100, 1, 0).taken, Some(true));
+        assert_eq!(run(&bc1t, 0x100, 0, 0).taken, Some(false));
+        let bc1f = Instruction::branch(Opcode::Bc1f, 0, 0, 2);
+        assert_eq!(run(&bc1f, 0x100, 0, 0).taken, Some(true));
+    }
+
+    #[test]
+    fn faulty_mem_size_truncates_or_extends_access() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x1000, 0xAABBCCDD);
+        // lw with mem_size faulted to 2: only two bytes read.
+        let mut sig = sig_of(&Instruction::mem(Opcode::Lw, 1, 2, 0));
+        sig.mem_size = 2;
+        let out = execute(
+            ExecInput { sig: &sig, pc: 0, raw_jump_target: None, src1: 0x1000, src2: 0 },
+            &mem,
+        );
+        assert_eq!(out.value, 0xCCDD, "short read corrupts the upper half");
+        // mem_size 0: reads nothing.
+        sig.mem_size = 0;
+        let out = execute(
+            ExecInput { sig: &sig, pc: 0, raw_jump_target: None, src1: 0x1000, src2: 0 },
+            &mem,
+        );
+        assert_eq!(out.value, 0);
+    }
+
+    #[test]
+    fn faulty_shamt_changes_shift_result() {
+        let sig = sig_of(&Instruction::shift(Opcode::Sll, 1, 2, 3));
+        let faulty = sig.with_bit_flipped(20); // shamt lsb: 3 -> 2
+        let mem = Memory::new();
+        let clean = execute(
+            ExecInput { sig: &sig, pc: 0, raw_jump_target: None, src1: 1, src2: 0 },
+            &mem,
+        );
+        let bad = execute(
+            ExecInput { sig: &faulty, pc: 0, raw_jump_target: None, src1: 1, src2: 0 },
+            &mem,
+        );
+        assert_eq!(clean.value, 8);
+        assert_eq!(bad.value, 4);
+    }
+
+    #[test]
+    fn faulty_imm_changes_branch_target() {
+        let beq = Instruction::branch(Opcode::Beq, 1, 2, 3);
+        let sig = sig_of(&beq);
+        let faulty = sig.with_bit_flipped(42); // imm lsb: offset 3 -> 2
+        let mem = Memory::new();
+        let out = execute(
+            ExecInput { sig: &faulty, pc: 0x100, raw_jump_target: None, src1: 5, src2: 5 },
+            &mem,
+        );
+        assert_eq!(out.next_pc, 0x100 + 4 + 8, "taken to the wrong target");
+    }
+
+    #[test]
+    fn operand_plan_int_fp_and_fcc() {
+        let add = operand_plan(&sig_of(&Instruction::rrr(Opcode::Add, 1, 2, 3)));
+        assert_eq!(add.srcs, [Some(2), Some(3)]);
+        assert_eq!(add.dst, Some(1));
+        let adds = operand_plan(&sig_of(&Instruction::rrr(Opcode::AddS, 1, 2, 3)));
+        assert_eq!(adds.srcs, [Some(34), Some(35)]);
+        assert_eq!(adds.dst, Some(33));
+        let cmp = operand_plan(&sig_of(&Instruction {
+            op: Opcode::CEqS, rs: 2, rt: 3, rd: 0, shamt: 0, imm: 0,
+        }));
+        assert_eq!(cmp.dst, Some(FCC_REG), "compare writes FCC");
+        let bc = operand_plan(&sig_of(&Instruction::branch(Opcode::Bc1t, 0, 0, 1)));
+        assert_eq!(bc.srcs[0], Some(FCC_REG), "bc1t reads FCC");
+    }
+
+    #[test]
+    fn operand_plan_r0_dst_is_suppressed() {
+        let add = operand_plan(&sig_of(&Instruction::rrr(Opcode::Add, 0, 2, 3)));
+        assert_eq!(add.dst, None);
+    }
+
+    #[test]
+    fn faulty_num_rsrc_three_is_phantom() {
+        let mut sig = sig_of(&Instruction::rrr(Opcode::Add, 1, 2, 3));
+        sig.num_rsrc = 3;
+        let plan = operand_plan(&sig);
+        assert!(plan.phantom_src, "deadlock-producing operand");
+    }
+
+    #[test]
+    fn faulty_rsrc_changes_planned_register() {
+        let sig = sig_of(&Instruction::rrr(Opcode::Add, 1, 2, 3));
+        // rsrc1 field lsb = 25.
+        let faulty = sig.with_bit_flipped(25);
+        let plan = operand_plan(&faulty);
+        assert_eq!(plan.srcs[0], Some(3), "register 2 became 3");
+    }
+}

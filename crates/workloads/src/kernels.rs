@@ -1,0 +1,901 @@
+//! Hand-written `rISA` assembly kernels.
+//!
+//! Each kernel is a complete, self-checking program: it computes a result,
+//! prints it with `trap PUT_INT`, and halts. The suite doubles as a
+//! simulator validation corpus (functional vs. pipeline equivalence) and
+//! as realistic small workloads for the fault-injection study.
+
+/// A named kernel with its expected output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Kernel {
+    /// Short name.
+    pub name: &'static str,
+    /// Assembly source.
+    pub source: &'static str,
+    /// Exact expected `PUT_INT`/`PUT_CHAR` output.
+    pub expected_output: &'static str,
+}
+
+/// Sum of 1..=100 in a tight loop.
+pub const SUM_LOOP: Kernel = Kernel {
+    name: "sum_loop",
+    expected_output: "5050",
+    source: r#"
+main:
+    li r8, 100
+    li r9, 0
+top:
+    add r9, r9, r8
+    addi r8, r8, -1
+    bgtz r8, top
+    move r4, r9
+    trap 1
+    halt
+"#,
+};
+
+/// Bubble sort of 12 words, printing the sorted array's checksum
+/// (sum of value*index).
+pub const BUBBLE_SORT: Kernel = Kernel {
+    name: "bubble_sort",
+    expected_output: "4420",
+    source: r#"
+.data
+arr: .word 93, 7, 55, 12, 80, 3, 41, 68, 25, 99, 17, 60
+.text
+main:
+    li r16, 12          # n
+    addi r17, r16, -1   # outer counter
+outer:
+    blez r17, check
+    la r8, arr
+    move r9, r17        # inner counter
+inner:
+    lw r10, 0(r8)
+    lw r11, 4(r8)
+    slt r12, r11, r10
+    beq r12, r0, noswap
+    sw r11, 0(r8)
+    sw r10, 4(r8)
+noswap:
+    addi r8, r8, 4
+    addi r9, r9, -1
+    bgtz r9, inner
+    addi r17, r17, -1
+    j outer
+check:
+    la r8, arr
+    li r9, 0            # index
+    li r10, 0           # checksum
+csum:
+    lw r11, 0(r8)
+    mul r12, r11, r9
+    add r10, r10, r12
+    addi r8, r8, 4
+    addi r9, r9, 1
+    slti r12, r9, 12
+    bgtz r12, csum
+    move r4, r10
+    trap 1
+    halt
+"#,
+};
+
+/// 6x6 integer matrix multiply; prints the trace (sum of diagonal) of the
+/// product of two deterministic matrices.
+pub const MATMUL: Kernel = Kernel {
+    name: "matmul",
+    expected_output: "360",
+    source: r#"
+.data
+a:  .space 144   # 6x6 words
+b:  .space 144
+c:  .space 144
+.text
+main:
+    # Fill a[i][j] = i+j, b[i][j] = i-j+2.
+    li r8, 0         # i
+fill_i:
+    li r9, 0         # j
+fill_j:
+    li r10, 6
+    mul r10, r8, r10
+    add r10, r10, r9
+    sll r10, r10, 2  # offset
+    la r11, a
+    add r11, r11, r10
+    add r12, r8, r9
+    sw r12, 0(r11)
+    la r11, b
+    add r11, r11, r10
+    sub r12, r8, r9
+    addi r12, r12, 2
+    sw r12, 0(r11)
+    addi r9, r9, 1
+    slti r12, r9, 6
+    bgtz r12, fill_j
+    addi r8, r8, 1
+    slti r12, r8, 6
+    bgtz r12, fill_i
+
+    # c = a * b
+    li r8, 0         # i
+mm_i:
+    li r9, 0         # j
+mm_j:
+    li r13, 0        # acc
+    li r14, 0        # k
+mm_k:
+    li r10, 6
+    mul r10, r8, r10
+    add r10, r10, r14
+    sll r10, r10, 2
+    la r11, a
+    add r11, r11, r10
+    lw r15, 0(r11)   # a[i][k]
+    li r10, 6
+    mul r10, r14, r10
+    add r10, r10, r9
+    sll r10, r10, 2
+    la r11, b
+    add r11, r11, r10
+    lw r16, 0(r11)   # b[k][j]
+    mul r15, r15, r16
+    add r13, r13, r15
+    addi r14, r14, 1
+    slti r10, r14, 6
+    bgtz r10, mm_k
+    li r10, 6
+    mul r10, r8, r10
+    add r10, r10, r9
+    sll r10, r10, 2
+    la r11, c
+    add r11, r11, r10
+    sw r13, 0(r11)
+    addi r9, r9, 1
+    slti r10, r9, 6
+    bgtz r10, mm_j
+    addi r8, r8, 1
+    slti r10, r8, 6
+    bgtz r10, mm_i
+
+    # trace of c
+    li r8, 0
+    li r9, 0
+trace:
+    li r10, 7        # 6+1: diagonal stride in words
+    mul r10, r8, r10
+    sll r10, r10, 2
+    la r11, c
+    add r11, r11, r10
+    lw r12, 0(r11)
+    add r9, r9, r12
+    addi r8, r8, 1
+    slti r10, r8, 6
+    bgtz r10, trace
+    move r4, r9
+    trap 1
+    halt
+"#,
+};
+
+/// CRC-32 (reflected, polynomial 0xEDB88320) over 32 bytes, bitwise.
+pub const CRC32: Kernel = Kernel {
+    name: "crc32",
+    expected_output: "-1513192344",
+    source: r#"
+.data
+msg: .byte 0x49, 0x54, 0x52, 0x20, 0x63, 0x61, 0x63, 0x68
+     .byte 0x65, 0x20, 0x73, 0x69, 0x67, 0x6e, 0x61, 0x74
+     .byte 0x75, 0x72, 0x65, 0x73, 0x20, 0x66, 0x6f, 0x72
+     .byte 0x20, 0x44, 0x53, 0x4e, 0x32, 0x30, 0x30, 0x37
+.text
+main:
+    la r8, msg
+    li r9, 32            # byte count
+    li r10, -1           # crc = 0xFFFFFFFF
+    lui r11, 0xEDB8
+    ori r11, r11, 0x8320 # poly
+byte_loop:
+    lbu r12, 0(r8)
+    xor r10, r10, r12
+    li r13, 8
+bit_loop:
+    andi r14, r10, 1
+    srl r10, r10, 1
+    beq r14, r0, no_poly
+    xor r10, r10, r11
+no_poly:
+    addi r13, r13, -1
+    bgtz r13, bit_loop
+    addi r8, r8, 1
+    addi r9, r9, -1
+    bgtz r9, byte_loop
+    not r10, r10
+    move r4, r10
+    trap 1
+    halt
+"#,
+};
+
+/// Sieve of Eratosthenes: count of primes below 200.
+pub const SIEVE: Kernel = Kernel {
+    name: "sieve",
+    expected_output: "46",
+    source: r#"
+.data
+flags: .space 200
+.text
+main:
+    li r8, 2            # candidate
+sieve_outer:
+    la r9, flags
+    add r9, r9, r8
+    lbu r10, 0(r9)
+    bgtz r10, next_candidate
+    # r8 is prime: mark multiples
+    add r11, r8, r8
+mark:
+    slti r12, r11, 200
+    beq r12, r0, next_candidate
+    la r9, flags
+    add r9, r9, r11
+    li r10, 1
+    sb r10, 0(r9)
+    add r11, r11, r8
+    j mark
+next_candidate:
+    addi r8, r8, 1
+    slti r12, r8, 200
+    bgtz r12, sieve_outer
+    # count zeros in flags[2..200]
+    li r8, 2
+    li r13, 0
+count:
+    la r9, flags
+    add r9, r9, r8
+    lbu r10, 0(r9)
+    bgtz r10, not_prime
+    addi r13, r13, 1
+not_prime:
+    addi r8, r8, 1
+    slti r12, r8, 200
+    bgtz r12, count
+    move r4, r13
+    trap 1
+    halt
+"#,
+};
+
+/// Iterative Fibonacci: F(30).
+pub const FIB: Kernel = Kernel {
+    name: "fib",
+    expected_output: "832040",
+    source: r#"
+main:
+    li r8, 0
+    li r9, 1
+    li r10, 30
+fib_loop:
+    add r11, r8, r9
+    move r8, r9
+    move r9, r11
+    addi r10, r10, -1
+    bgtz r10, fib_loop
+    move r4, r8
+    trap 1
+    halt
+"#,
+};
+
+/// Naive substring search: index of "ITR" inside a text buffer.
+pub const STRSEARCH: Kernel = Kernel {
+    name: "strsearch",
+    expected_output: "29",
+    source: r#"
+.data
+text:   .byte 0x74, 0x72, 0x61, 0x6e, 0x73, 0x69, 0x65, 0x6e
+        .byte 0x74, 0x20, 0x66, 0x61, 0x75, 0x6c, 0x74, 0x73
+        .byte 0x20, 0x64, 0x65, 0x74, 0x65, 0x63, 0x74, 0x65
+        .byte 0x64, 0x20, 0x76, 0x69, 0x61, 0x49, 0x54, 0x52
+        .byte 0x20, 0x63, 0x61, 0x63, 0x68, 0x65, 0x00, 0x00
+pat:    .byte 0x49, 0x54, 0x52, 0x00
+.text
+main:
+    li r16, 37           # text length - pattern length + 1 positions
+    li r8, 0             # position
+pos_loop:
+    li r9, 0             # pattern index
+cmp_loop:
+    slti r10, r9, 3
+    beq r10, r0, found   # matched all 3 chars
+    la r11, text
+    add r11, r11, r8
+    add r11, r11, r9
+    lbu r12, 0(r11)
+    la r11, pat
+    add r11, r11, r9
+    lbu r13, 0(r11)
+    bne r12, r13, no_match
+    addi r9, r9, 1
+    j cmp_loop
+no_match:
+    addi r8, r8, 1
+    slt r10, r8, r16
+    bgtz r10, pos_loop
+    li r8, -1
+found:
+    move r4, r8
+    trap 1
+    halt
+"#,
+};
+
+/// Open-addressing hash table: insert 24 keys, count probes on lookups.
+pub const HASHTABLE: Kernel = Kernel {
+    name: "hashtable",
+    expected_output: "24",
+    source: r#"
+.data
+table: .space 256        # 64 slots of one word, 0 = empty
+.text
+main:
+    # Insert keys k = 7, 14, 21, ..., 168 (24 keys, k*2654435761 hashing).
+    li r16, 24
+    li r8, 7
+insert_loop:
+    lui r9, 0x9E37
+    ori r9, r9, 0x79B1
+    mul r10, r8, r9
+    srl r10, r10, 26     # 6-bit slot
+probe_i:
+    sll r11, r10, 2
+    la r12, table
+    add r12, r12, r11
+    lw r13, 0(r12)
+    beq r13, r0, do_insert
+    addi r10, r10, 1
+    andi r10, r10, 63
+    j probe_i
+do_insert:
+    sw r8, 0(r12)
+    addi r8, r8, 7
+    addi r16, r16, -1
+    bgtz r16, insert_loop
+
+    # Look each key up again; count the found ones.
+    li r16, 24
+    li r8, 7
+    li r17, 0            # found count
+lookup_loop:
+    lui r9, 0x9E37
+    ori r9, r9, 0x79B1
+    mul r10, r8, r9
+    srl r10, r10, 26
+probe_l:
+    sll r11, r10, 2
+    la r12, table
+    add r12, r12, r11
+    lw r13, 0(r12)
+    beq r13, r0, miss
+    bne r13, r8, next_slot
+    addi r17, r17, 1
+    j miss
+next_slot:
+    addi r10, r10, 1
+    andi r10, r10, 63
+    j probe_l
+miss:
+    addi r8, r8, 7
+    addi r16, r16, -1
+    bgtz r16, lookup_loop
+    move r4, r17
+    trap 1
+    halt
+"#,
+};
+
+/// Linked list: build 20 nodes in memory, then traverse summing payloads.
+pub const LINKED_LIST: Kernel = Kernel {
+    name: "linked_list",
+    expected_output: "1050",
+    source: r#"
+.data
+pool: .space 256         # 20 nodes * (value, next) + slack
+.text
+main:
+    # Build list: node i at pool + 8*i, value = (i+1)*5, next = node i+1.
+    li r16, 20
+    li r8, 0             # i
+    la r9, pool
+build:
+    addi r10, r8, 1
+    li r11, 5
+    mul r10, r10, r11
+    sw r10, 0(r9)        # value
+    addi r11, r9, 8      # next node address
+    addi r12, r8, 1
+    slti r13, r12, 20
+    bgtz r13, link
+    li r11, 0            # last node: null next
+link:
+    sw r11, 4(r9)
+    addi r9, r9, 8
+    addi r8, r8, 1
+    slti r13, r8, 20
+    bgtz r13, build
+    # Traverse.
+    la r9, pool
+    li r10, 0
+walk:
+    beq r9, r0, finish
+    lw r11, 0(r9)
+    add r10, r10, r11
+    lw r9, 4(r9)
+    j walk
+finish:
+    move r4, r10
+    trap 1
+    halt
+"#,
+};
+
+/// FP dot product of two 16-element vectors (values i and 17-i), printed
+/// as an integer.
+pub const FP_DOT: Kernel = Kernel {
+    name: "fp_dot",
+    expected_output: "816",
+    source: r#"
+main:
+    li r8, 1             # i
+    li r9, 0             # placeholder
+    mtc1 r0, f4
+    cvt.s.w f4, f4       # acc = 0.0
+dot_loop:
+    mtc1 r8, f0
+    cvt.s.w f0, f0       # i as float
+    li r10, 17
+    sub r10, r10, r8
+    mtc1 r10, f1
+    cvt.s.w f1, f1       # (17-i) as float
+    mul.s f2, f0, f1
+    add.s f4, f4, f2
+    addi r8, r8, 1
+    slti r10, r8, 17
+    bgtz r10, dot_loop
+    cvt.w.s f5, f4
+    mfc1 r4, f5
+    trap 1
+    halt
+"#,
+};
+
+/// Newton's method for sqrt(1764) in FP; converges to 42.
+pub const FP_NEWTON: Kernel = Kernel {
+    name: "fp_newton",
+    expected_output: "42",
+    source: r#"
+main:
+    li r8, 1764
+    mtc1 r8, f0
+    cvt.s.w f0, f0       # x = 1764.0
+    li r8, 40
+    mtc1 r8, f1
+    cvt.s.w f1, f1       # guess = 40.0
+    li r8, 2
+    mtc1 r8, f2
+    cvt.s.w f2, f2       # 2.0
+    li r9, 8             # iterations
+newton:
+    div.s f3, f0, f1     # x / g
+    add.s f1, f1, f3     # g + x/g
+    div.s f1, f1, f2     # (g + x/g) / 2
+    addi r9, r9, -1
+    bgtz r9, newton
+    cvt.w.s f4, f1
+    mfc1 r4, f4
+    trap 1
+    halt
+"#,
+};
+
+/// A byte-coded state machine interpreter: dispatch via jump table (`jr`),
+/// exercising indirect branches. Counts opcode executions.
+pub const INTERPRETER: Kernel = Kernel {
+    name: "interpreter",
+    expected_output: "73710",
+    source: r#"
+.data
+# Byte code: 0=inc, 1=add5, 2=double, 3=loop-back-if-positive-counter, 4=halt.
+code:  .byte 0, 1, 2, 0, 1, 3, 4, 0
+.text
+main:
+    li r16, 0            # accumulator
+    li r17, 12           # loop fuel for opcode 3
+    la r18, code
+    li r19, 0            # pc (code index)
+dispatch:
+    la r8, code
+    add r8, r8, r19
+    lbu r9, 0(r8)
+    addi r19, r19, 1
+    # Branch tree dispatch (compact jump table substitute).
+    beq r9, r0, op_inc
+    li r10, 1
+    beq r9, r10, op_add5
+    li r10, 2
+    beq r9, r10, op_double
+    li r10, 3
+    beq r9, r10, op_loop
+    j op_halt
+op_inc:
+    addi r16, r16, 1
+    j dispatch
+op_add5:
+    addi r16, r16, 5
+    j dispatch
+op_double:
+    add r16, r16, r16
+    j dispatch
+op_loop:
+    addi r17, r17, -1
+    blez r17, dispatch
+    li r19, 0
+    j dispatch
+op_halt:
+    move r4, r16
+    trap 1
+    halt
+"#,
+};
+
+
+/// Recursive quicksort (Lomuto partition) of 16 words — deep call
+/// recursion exercising the return-address stack; prints the sorted
+/// array's positional checksum.
+pub const QUICKSORT: Kernel = Kernel {
+    name: "quicksort",
+    expected_output: "7785",
+    source: r#"
+.data
+qarr: .word 83, 12, 99, 4, 57, 31, 76, 8, 45, 62, 27, 90, 3, 68, 19, 50
+.text
+main:
+    li r4, 0
+    li r5, 15
+    jal qsort
+    la r8, qarr
+    li r9, 0
+    li r10, 0
+csum:
+    lw r11, 0(r8)
+    mul r12, r11, r9
+    add r10, r10, r12
+    addi r8, r8, 4
+    addi r9, r9, 1
+    slti r12, r9, 16
+    bgtz r12, csum
+    move r4, r10
+    trap 1
+    halt
+
+# qsort(l = r4, r = r5), Lomuto partition with pivot a[r].
+qsort:
+    slt r8, r4, r5
+    beq r8, r0, qs_ret
+    addi sp, sp, -16
+    sw ra, 0(sp)
+    sw r4, 4(sp)
+    sw r5, 8(sp)
+    la r8, qarr
+    sll r9, r5, 2
+    add r9, r8, r9
+    lw r10, 0(r9)        # pivot value
+    addi r11, r4, -1     # i
+    move r12, r4         # j
+part_loop:
+    slt r13, r12, r5
+    beq r13, r0, part_done
+    sll r13, r12, 2
+    add r13, r8, r13
+    lw r14, 0(r13)       # a[j]
+    slt r15, r10, r14
+    bgtz r15, part_next  # pivot < a[j]: leave it
+    addi r11, r11, 1
+    sll r15, r11, 2
+    add r15, r8, r15
+    lw r9, 0(r15)        # a[i]
+    sw r14, 0(r15)
+    sw r9, 0(r13)
+part_next:
+    addi r12, r12, 1
+    j part_loop
+part_done:
+    addi r11, r11, 1     # p
+    sll r13, r11, 2
+    add r13, r8, r13
+    lw r14, 0(r13)
+    sll r15, r5, 2
+    add r15, r8, r15
+    lw r9, 0(r15)
+    sw r9, 0(r13)
+    sw r14, 0(r15)
+    sw r11, 12(sp)       # save p across the recursive calls
+    lw r4, 4(sp)
+    addi r5, r11, -1
+    jal qsort            # qsort(l, p-1)
+    lw r11, 12(sp)
+    addi r4, r11, 1
+    lw r5, 8(sp)
+    jal qsort            # qsort(p+1, r)
+    lw ra, 0(sp)
+    addi sp, sp, 16
+qs_ret:
+    jr ra
+"#,
+};
+
+/// Binary search over a sorted table: 46 probes, counts the hits.
+pub const BINSEARCH: Kernel = Kernel {
+    name: "binsearch",
+    expected_output: "7",
+    source: r#"
+.data
+barr: .space 128
+.text
+main:
+    li r8, 0
+fill:
+    li r9, 7
+    mul r9, r8, r9
+    addi r9, r9, 3
+    la r10, barr
+    sll r11, r8, 2
+    add r10, r10, r11
+    sw r9, 0(r10)
+    addi r8, r8, 1
+    slti r9, r8, 32
+    bgtz r9, fill
+    li r16, 0            # probe value
+    li r17, 0            # found count
+probe:
+    li r8, 0             # lo
+    li r9, 31            # hi
+bs_loop:
+    slt r10, r9, r8
+    bgtz r10, bs_done
+    add r11, r8, r9
+    srl r11, r11, 1      # mid
+    la r12, barr
+    sll r13, r11, 2
+    add r12, r12, r13
+    lw r13, 0(r12)
+    beq r13, r16, bs_found
+    slt r10, r13, r16
+    beq r10, r0, bs_left
+    addi r8, r11, 1
+    j bs_loop
+bs_left:
+    addi r9, r11, -1
+    j bs_loop
+bs_found:
+    addi r17, r17, 1
+bs_done:
+    addi r16, r16, 5
+    slti r10, r16, 230
+    bgtz r10, probe
+    move r4, r17
+    trap 1
+    halt
+"#,
+};
+
+/// N-queens (N = 6) with bitmask backtracking and real recursion; prints
+/// the solution count.
+pub const NQUEENS: Kernel = Kernel {
+    name: "nqueens",
+    expected_output: "4",
+    source: r#"
+main:
+    li r4, 0             # row
+    li r5, 0             # cols
+    li r6, 0             # diag1
+    li r7, 0             # diag2
+    jal nq
+    move r4, r2
+    trap 1
+    halt
+
+# nq(row=r4, cols=r5, d1=r6, d2=r7) -> count in r2
+nq:
+    li r8, 6
+    bne r4, r8, nq_rec
+    li r2, 1
+    jr ra
+nq_rec:
+    addi sp, sp, -28
+    sw ra, 0(sp)
+    sw r16, 4(sp)
+    sw r17, 8(sp)
+    sw r18, 12(sp)
+    sw r19, 16(sp)
+    sw r20, 20(sp)
+    sw r21, 24(sp)
+    move r21, r4         # row
+    move r18, r5         # cols
+    move r19, r6         # d1
+    move r20, r7         # d2
+    li r16, 0            # c
+    li r17, 0            # acc
+nq_c:
+    srlv r8, r18, r16    # cols >> c
+    add r9, r21, r16
+    srlv r9, r19, r9     # d1 >> (row+c)
+    or r8, r8, r9
+    li r10, 6
+    add r10, r21, r10
+    sub r10, r10, r16
+    srlv r10, r20, r10   # d2 >> (row-c+6)
+    or r8, r8, r10
+    andi r8, r8, 1
+    bgtz r8, nq_next
+    addi r4, r21, 1
+    li r9, 1
+    sllv r9, r9, r16
+    or r5, r18, r9
+    add r9, r21, r16
+    li r10, 1
+    sllv r10, r10, r9
+    or r6, r19, r10
+    li r10, 6
+    add r10, r21, r10
+    sub r10, r10, r16
+    li r9, 1
+    sllv r9, r9, r10
+    or r7, r20, r9
+    jal nq
+    add r17, r17, r2
+nq_next:
+    addi r16, r16, 1
+    slti r8, r16, 6
+    bgtz r8, nq_c
+    move r2, r17
+    lw ra, 0(sp)
+    lw r16, 4(sp)
+    lw r17, 8(sp)
+    lw r18, 12(sp)
+    lw r19, 16(sp)
+    lw r20, 20(sp)
+    lw r21, 24(sp)
+    addi sp, sp, 28
+    jr ra
+"#,
+};
+
+
+/// A threaded-code interpreter dispatching through a `jr`-based jump
+/// table in data memory — the heaviest indirect-branch workload in the
+/// suite (BTB pressure and constant indirect mispredictions).
+pub const JUMPTABLE: Kernel = Kernel {
+    name: "jumptable",
+    expected_output: "18414",
+    source: r#"
+.data
+jtab: .word op_inc, op_add5, op_double, op_loop, op_halt
+code: .byte 0, 1, 2, 0, 1, 3, 4, 0
+.text
+main:
+    li r16, 0            # accumulator
+    li r17, 10           # loop fuel
+    li r19, 0            # byte-code pc
+dispatch:
+    la r8, code
+    add r8, r8, r19
+    lbu r9, 0(r8)
+    addi r19, r19, 1
+    sll r9, r9, 2
+    la r8, jtab
+    add r8, r8, r9
+    lw r8, 0(r8)
+    jr r8
+op_inc:
+    addi r16, r16, 1
+    j dispatch
+op_add5:
+    addi r16, r16, 5
+    j dispatch
+op_double:
+    add r16, r16, r16
+    j dispatch
+op_loop:
+    addi r17, r17, -1
+    blez r17, dispatch   # out of fuel: fall through to opcode 4
+    li r19, 0
+    j dispatch
+op_halt:
+    move r4, r16
+    trap 1
+    halt
+"#,
+};
+
+
+/// Prints a string by walking a NUL-terminated buffer with `PUT_CHAR`
+/// traps, then prints its length — exercises byte loads and the trap
+/// service path.
+pub const HELLO: Kernel = Kernel {
+    name: "hello",
+    expected_output: "ITR says hi!12",
+    source: r#"
+.data
+msg: .asciiz "ITR says hi!"
+.text
+main:
+    la r8, msg
+    li r9, 0             # length
+emit:
+    lbu r4, 0(r8)
+    beq r4, r0, done
+    trap 2               # put_char
+    addi r8, r8, 1
+    addi r9, r9, 1
+    j emit
+done:
+    move r4, r9
+    trap 1
+    halt
+"#,
+};
+
+/// The full kernel suite.
+pub fn all() -> Vec<Kernel> {
+    vec![
+        SUM_LOOP, BUBBLE_SORT, MATMUL, CRC32, SIEVE, FIB, STRSEARCH, HASHTABLE,
+        LINKED_LIST, FP_DOT, FP_NEWTON, INTERPRETER, QUICKSORT, BINSEARCH, NQUEENS,
+        JUMPTABLE, HELLO,
+    ]
+}
+
+/// Looks a kernel up by name.
+pub fn by_name(name: &str) -> Option<Kernel> {
+    all().into_iter().find(|k| k.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itr_isa::asm::assemble;
+    use itr_sim::{FuncSim, StopReason};
+
+    #[test]
+    fn every_kernel_assembles() {
+        for k in all() {
+            assemble(k.source).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn every_kernel_produces_its_expected_output() {
+        for k in all() {
+            let p = assemble(k.source).expect("assembles");
+            let mut sim = FuncSim::new(&p);
+            let reason = sim.run(5_000_000);
+            assert_eq!(reason, StopReason::Halted, "{} did not halt", k.name);
+            assert_eq!(sim.output(), k.expected_output, "{} output mismatch", k.name);
+        }
+    }
+
+    #[test]
+    fn kernel_names_are_unique() {
+        let mut names: Vec<&str> = all().iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all().len());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("crc32").unwrap().name, "crc32");
+        assert!(by_name("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! # itr-workloads — benchmark programs for the ITR reproduction
+//!
+//! SPEC2K (used by the paper) is proprietary, so this crate supplies two
+//! replacements, per the substitution policy in `DESIGN.md`:
+//!
+//! * **Kernels** ([`kernels`]) — hand-written `rISA` assembly programs
+//!   (sorting, matrix multiply, CRC, hashing, FP stencils, …) with
+//!   self-checking outputs; used for simulator validation and as realistic
+//!   small workloads.
+//! * **SPEC2K mimics** ([`profiles`], [`MimicModel`], [`generate_mimic`])
+//!   — for each benchmark in the paper, a generated program whose dynamic
+//!   *trace stream statistics* (static trace count from Table 1, hotness
+//!   skew from Figs. 1–2, repeat-distance profile from Figs. 3–4) match
+//!   that benchmark's characterization. The same statistical model can
+//!   also emit a pure synthetic trace stream ([`SyntheticTraceStream`])
+//!   for fast cache-only studies; the generated programs cross-validate
+//!   it end to end on the real pipeline.
+//!
+//! # Example
+//!
+//! ```
+//! use itr_workloads::{profiles, generate_mimic};
+//!
+//! let profile = profiles::by_name("bzip").expect("known benchmark");
+//! let program = generate_mimic(profile, 42);
+//! assert!(program.len() > profile.static_traces as usize);
+//! ```
+
+pub mod kernels;
+mod model;
+pub mod profiles;
+pub mod suite;
+mod synth;
+
+pub use model::{MimicModel, SyntheticTraceStream};
+pub use profiles::SpecProfile;
+pub use synth::{generate_mimic, generate_mimic_sized};

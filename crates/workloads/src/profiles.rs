@@ -1,0 +1,120 @@
+//! Per-benchmark workload profiles.
+//!
+//! Each profile encodes the published characterization of one SPEC2K
+//! benchmark from the paper:
+//!
+//! * `static_traces` — Table 1,
+//! * `zipf_s` — hotness skew: how strongly dynamic execution concentrates
+//!   in few static traces (Figures 1–2: steeper curves ⇒ larger `s`),
+//! * `loop_iters` — mean iterations a code region loops before moving on:
+//!   the source of sub-500-instruction repeat distances (Figures 3–4),
+//! * `region_traces` — static traces per code region (loop body size).
+//!
+//! The qualitative classes follow the paper's §3 discussion: `bzip`,
+//! `gzip`, `art`, `mgrid`, `swim`, `wupwise` repeat in close proximity;
+//! `perl` and `vortex` have many far-repeating traces; `gcc`, `twolf`,
+//! `apsi` sit in between with notable far repeats.
+
+/// Statistical profile of one benchmark's trace behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecProfile {
+    /// Benchmark name as used in the paper's figures.
+    pub name: &'static str,
+    /// `true` for SPECfp-like workloads (longer traces, FP instruction
+    /// mix).
+    pub fp: bool,
+    /// Target number of static traces (Table 1).
+    pub static_traces: u32,
+    /// Zipf exponent of region popularity (higher ⇒ more concentrated).
+    pub zipf_s: f64,
+    /// Mean loop iterations per region visit (higher ⇒ closer repeats).
+    pub loop_iters: u32,
+    /// Static traces per region.
+    pub region_traces: u32,
+    /// Mean instructions per trace body (before the terminating branch).
+    pub avg_trace_len: u32,
+}
+
+/// The SPECint 2000 benchmarks evaluated in the paper.
+pub const SPEC_INT: [SpecProfile; 9] = [
+    SpecProfile { name: "bzip",   fp: false, static_traces: 283,   zipf_s: 2.2, loop_iters: 16, region_traces: 12, avg_trace_len: 6 },
+    SpecProfile { name: "gzip",   fp: false, static_traces: 291,   zipf_s: 2.1, loop_iters: 14, region_traces: 12, avg_trace_len: 6 },
+    SpecProfile { name: "gap",    fp: false, static_traces: 696,   zipf_s: 1.1, loop_iters: 6,  region_traces: 14, avg_trace_len: 6 },
+    SpecProfile { name: "parser", fp: false, static_traces: 865,   zipf_s: 1.0, loop_iters: 5,  region_traces: 14, avg_trace_len: 5 },
+    SpecProfile { name: "perl",   fp: false, static_traces: 1704,  zipf_s: 0.5, loop_iters: 2,  region_traces: 16, avg_trace_len: 6 },
+    SpecProfile { name: "twolf",  fp: false, static_traces: 481,   zipf_s: 0.8, loop_iters: 3,  region_traces: 12, avg_trace_len: 6 },
+    SpecProfile { name: "vortex", fp: false, static_traces: 2655,  zipf_s: 0.4, loop_iters: 2,  region_traces: 16, avg_trace_len: 6 },
+    SpecProfile { name: "vpr",    fp: false, static_traces: 292,   zipf_s: 1.4, loop_iters: 8,  region_traces: 12, avg_trace_len: 6 },
+    SpecProfile { name: "gcc",    fp: false, static_traces: 24017, zipf_s: 0.9, loop_iters: 4,  region_traces: 24, avg_trace_len: 6 },
+];
+
+/// The SPECfp 2000 benchmarks evaluated in the paper.
+pub const SPEC_FP: [SpecProfile; 7] = [
+    SpecProfile { name: "applu",   fp: true, static_traces: 282,  zipf_s: 1.6, loop_iters: 20, region_traces: 10, avg_trace_len: 11 },
+    SpecProfile { name: "apsi",    fp: true, static_traces: 1274, zipf_s: 0.7, loop_iters: 6,  region_traces: 14, avg_trace_len: 10 },
+    SpecProfile { name: "art",     fp: true, static_traces: 98,   zipf_s: 2.0, loop_iters: 30, region_traces: 10, avg_trace_len: 10 },
+    SpecProfile { name: "equake",  fp: true, static_traces: 336,  zipf_s: 1.2, loop_iters: 15, region_traces: 10, avg_trace_len: 10 },
+    SpecProfile { name: "mgrid",   fp: true, static_traces: 798,  zipf_s: 1.8, loop_iters: 25, region_traces: 10, avg_trace_len: 12 },
+    SpecProfile { name: "swim",    fp: true, static_traces: 73,   zipf_s: 2.0, loop_iters: 30, region_traces: 10, avg_trace_len: 12 },
+    SpecProfile { name: "wupwise", fp: true, static_traces: 18,   zipf_s: 2.2, loop_iters: 40, region_traces: 6,  avg_trace_len: 10 },
+];
+
+/// All 16 evaluated benchmarks, integer suite first.
+pub fn all() -> Vec<SpecProfile> {
+    SPEC_INT.iter().chain(SPEC_FP.iter()).copied().collect()
+}
+
+/// The subset whose coverage results appear in Figures 6–8 (the paper
+/// omits `bzip`, `gzip`, `art`, `mgrid`, `wupwise` there for negligible
+/// loss).
+pub fn coverage_figure_set() -> Vec<SpecProfile> {
+    all()
+        .into_iter()
+        .filter(|p| !matches!(p.name, "bzip" | "gzip" | "art" | "mgrid" | "wupwise"))
+        .collect()
+}
+
+/// Looks up a profile by benchmark name.
+pub fn by_name(name: &str) -> Option<SpecProfile> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_static_trace_counts() {
+        // Spot checks against Table 1 of the paper.
+        assert_eq!(by_name("bzip").unwrap().static_traces, 283);
+        assert_eq!(by_name("gcc").unwrap().static_traces, 24017);
+        assert_eq!(by_name("vortex").unwrap().static_traces, 2655);
+        assert_eq!(by_name("wupwise").unwrap().static_traces, 18);
+        assert_eq!(by_name("swim").unwrap().static_traces, 73);
+    }
+
+    #[test]
+    fn sixteen_benchmarks_total() {
+        assert_eq!(all().len(), 16);
+        assert_eq!(SPEC_INT.len(), 9);
+        assert_eq!(SPEC_FP.len(), 7);
+    }
+
+    #[test]
+    fn coverage_set_matches_figure_6() {
+        let names: Vec<&str> = coverage_figure_set().iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            ["gap", "parser", "perl", "twolf", "vortex", "vpr", "gcc",
+             "applu", "apsi", "equake", "swim"]
+        );
+    }
+
+    #[test]
+    fn poor_proximity_benchmarks_have_low_skew_and_loops() {
+        let perl = by_name("perl").unwrap();
+        let bzip = by_name("bzip").unwrap();
+        assert!(perl.zipf_s < bzip.zipf_s);
+        assert!(perl.loop_iters < bzip.loop_iters);
+    }
+}

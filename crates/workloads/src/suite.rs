@@ -1,0 +1,112 @@
+//! A unified registry over every workload in the crate: hand-written
+//! kernels and SPEC2K mimics, by name, as ready-to-run programs.
+
+use crate::kernels;
+use crate::profiles;
+use crate::synth::generate_mimic_sized;
+use itr_isa::asm::assemble;
+use itr_isa::Program;
+
+/// The class a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Hand-written assembly kernel with a known expected output.
+    Kernel,
+    /// Generated SPEC2K mimic.
+    Mimic,
+}
+
+/// A named, runnable workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Name (kernel name or benchmark name).
+    pub name: String,
+    /// Class.
+    pub kind: WorkloadKind,
+    /// Assembled program image.
+    pub program: Program,
+    /// Expected `PUT_INT` output, when known (kernels only).
+    pub expected_output: Option<&'static str>,
+}
+
+/// Builds every kernel workload.
+pub fn all_kernels() -> Vec<Workload> {
+    kernels::all()
+        .into_iter()
+        .map(|k| Workload {
+            name: k.name.to_string(),
+            kind: WorkloadKind::Kernel,
+            program: assemble(k.source).expect("kernels assemble"),
+            expected_output: Some(k.expected_output),
+        })
+        .collect()
+}
+
+/// Builds every SPEC2K mimic at the given size and seed.
+pub fn all_mimics(seed: u64, target_dyn_instrs: u64) -> Vec<Workload> {
+    profiles::all()
+        .into_iter()
+        .map(|p| Workload {
+            name: p.name.to_string(),
+            kind: WorkloadKind::Mimic,
+            program: generate_mimic_sized(p, seed, target_dyn_instrs),
+            expected_output: None,
+        })
+        .collect()
+}
+
+/// Every workload: kernels first, then mimics.
+pub fn everything(seed: u64, mimic_instrs: u64) -> Vec<Workload> {
+    let mut v = all_kernels();
+    v.extend(all_mimics(seed, mimic_instrs));
+    v
+}
+
+/// Finds a workload by name (kernel names first, then benchmarks).
+pub fn by_name(name: &str, seed: u64, mimic_instrs: u64) -> Option<Workload> {
+    if let Some(k) = kernels::by_name(name) {
+        return Some(Workload {
+            name: k.name.to_string(),
+            kind: WorkloadKind::Kernel,
+            program: assemble(k.source).expect("kernels assemble"),
+            expected_output: Some(k.expected_output),
+        });
+    }
+    profiles::by_name(name).map(|p| Workload {
+        name: p.name.to_string(),
+        kind: WorkloadKind::Mimic,
+        program: generate_mimic_sized(p, seed, mimic_instrs),
+        expected_output: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_both_classes() {
+        let all = everything(1, 10_000);
+        let kernels = all.iter().filter(|w| w.kind == WorkloadKind::Kernel).count();
+        let mimics = all.iter().filter(|w| w.kind == WorkloadKind::Mimic).count();
+        assert!(kernels >= 15, "kernel count {kernels}");
+        assert_eq!(mimics, 16);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let all = everything(1, 10_000);
+        let mut names: Vec<&str> = all.iter().map(|w| w.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn lookup_resolves_both_classes() {
+        assert_eq!(by_name("crc32", 1, 10_000).unwrap().kind, WorkloadKind::Kernel);
+        assert_eq!(by_name("vortex", 1, 10_000).unwrap().kind, WorkloadKind::Mimic);
+        assert!(by_name("nonesuch", 1, 10_000).is_none());
+    }
+}

@@ -1,0 +1,58 @@
+//! Building a workload programmatically and characterizing its inherent
+//! time redundancy — the measurement behind Figures 1–4 of the paper.
+//!
+//! Run with: `cargo run --example custom_workload`
+
+use itr::core::{CoverageModel, ItrCacheConfig};
+use itr::isa::{Instruction, Opcode, ProgramBuilder};
+use itr::sim::TraceStream;
+use std::collections::HashMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A two-phase program built with the ProgramBuilder API: a hot inner
+    // loop (high inherent time redundancy) followed by a long straight-
+    // line cold section (no redundancy at all).
+    let mut b = ProgramBuilder::new();
+    b.label("main")?;
+    b.load_imm(8, 2_000); // hot loop iterations
+    b.label("hot")?;
+    b.push(Instruction::rri(Opcode::Addi, 9, 9, 3));
+    b.push(Instruction::rrr(Opcode::Xor, 10, 9, 8));
+    b.push(Instruction::rri(Opcode::Addi, 8, 8, -1));
+    b.branch_to(Opcode::Bgtz, 8, 0, "hot");
+    // Cold phase: 2000 distinct straight-line instructions.
+    for i in 0..2_000 {
+        b.push(Instruction::rri(Opcode::Addi, 10 + (i % 4) as u8, 9, i));
+    }
+    b.push(Instruction::trap(itr::isa::trap::HALT));
+    let program = b.build()?;
+
+    // Characterize the trace stream.
+    let mut instrs_by_trace: HashMap<u64, u64> = HashMap::new();
+    let mut total = 0u64;
+    let mut coverage = CoverageModel::new(ItrCacheConfig::paper_default());
+    for t in TraceStream::new(&program, 1_000_000) {
+        *instrs_by_trace.entry(t.start_pc).or_default() += t.len as u64;
+        total += t.len as u64;
+        coverage.observe(&t);
+    }
+    let mut top: Vec<u64> = instrs_by_trace.values().copied().collect();
+    top.sort_unstable_by(|a, b| b.cmp(a));
+
+    println!("dynamic instructions : {total}");
+    println!("static traces        : {}", instrs_by_trace.len());
+    println!(
+        "top-1 trace share    : {:.1}% (the hot loop body)",
+        top[0] as f64 * 100.0 / total as f64
+    );
+    let r = coverage.report();
+    println!(
+        "ITR coverage loss    : detection {:.2}%, recovery {:.2}%",
+        r.detection_loss_pct(),
+        r.recovery_loss_pct()
+    );
+    println!("\nThe hot phase is fully protected after one cold pass; the straight-line");
+    println!("cold phase has no repetition, so its instructions are exactly the recovery-");
+    println!("coverage loss the paper attributes to ITR cache misses.");
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! # itr — Inherent Time Redundancy
+//!
+//! A full Rust reproduction of *"Inherent Time Redundancy (ITR): Using
+//! Program Repetition for Low-Overhead Fault Tolerance"* (Reddy &
+//! Rotenberg, DSN 2007): detect transient faults in a processor's fetch
+//! and decode units by recording and confirming decode-signal signatures
+//! of repeating instruction traces in a small, PC-indexed ITR cache.
+//!
+//! This façade crate re-exports the component crates:
+//!
+//! * [`isa`] — the `rISA` instruction set, Table-2 decode signals,
+//!   assembler and program builder,
+//! * [`core`] — the paper's contribution: signatures, ITR cache, ITR ROB,
+//!   recovery controller, coverage models, `spc`/`wdog` checks,
+//! * [`sim`] — the substrate: functional simulator and the cycle-level
+//!   out-of-order pipeline with the ITR unit embedded,
+//! * [`workloads`] — assembly kernels and SPEC2K-mimic workloads,
+//! * [`faults`] — single-event-upset campaigns and the Figure-8 outcome
+//!   taxonomy,
+//! * [`power`] — CACTI-lite energy and the S/390 G5 area comparison.
+//!
+//! # Quick start
+//!
+//! ```
+//! use itr::isa::asm::assemble;
+//! use itr::sim::{Pipeline, PipelineConfig, RunExit};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble(
+//!     r#"
+//!     main:
+//!         li r8, 10
+//!         li r9, 0
+//!     top:
+//!         add r9, r9, r8
+//!         addi r8, r8, -1
+//!         bgtz r8, top
+//!         move r4, r9
+//!         trap 1
+//!         halt
+//!     "#,
+//! )?;
+//! let mut cpu = Pipeline::new(&program, PipelineConfig::with_itr());
+//! assert_eq!(cpu.run(100_000), RunExit::Halted);
+//! assert_eq!(cpu.output(), "55");
+//! let itr = cpu.itr().expect("ITR enabled");
+//! assert_eq!(itr.stats().mismatches, 0, "fault-free runs never mismatch");
+//! # Ok(())
+//! # }
+//! ```
+
+pub use itr_core as core;
+pub use itr_faults as faults;
+pub use itr_isa as isa;
+pub use itr_power as power;
+pub use itr_sim as sim;
+pub use itr_workloads as workloads;
