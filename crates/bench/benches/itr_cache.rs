@@ -1,39 +1,31 @@
 //! Microbenchmark: ITR cache probe/insert throughput across the §3
 //! design space (the structure is probed once per trace, ~every 5
 //! instructions).
+//!
+//! Run with `cargo bench --bench itr_cache` (plain `harness = false`
+//! binary — no external benchmark framework).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use itr_bench::timing::{bench, black_box};
 use itr_core::{Associativity, ItrCache, ItrCacheConfig};
 
-fn bench_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("itr_cache");
+fn main() {
     for assoc in [Associativity::Direct, Associativity::Ways(2), Associativity::Full] {
-        group.bench_with_input(
-            BenchmarkId::new("probe_insert", assoc.label()),
-            &assoc,
-            |b, &assoc| {
-                let mut cache = ItrCache::new(ItrCacheConfig::new(1024, assoc));
-                // Warm with a 600-trace working set.
-                for i in 0..600u64 {
-                    cache.insert(0x1000 + i * 52, i, 8);
+        let mut cache = ItrCache::new(ItrCacheConfig::new(1024, assoc));
+        // Warm with a 600-trace working set.
+        for i in 0..600u64 {
+            cache.insert(0x1000 + i * 52, i, 8);
+        }
+        let mut i = 0u64;
+        bench(&format!("itr_cache/probe_insert/{}", assoc.label()), 1, || {
+            let pc = 0x1000 + (i % 900) * 52;
+            i += 1;
+            match cache.probe(black_box(pc)) {
+                itr_core::ProbeResult::Hit { signature, .. } => black_box(signature),
+                itr_core::ProbeResult::Miss => {
+                    cache.insert(pc, pc, 8);
+                    0
                 }
-                let mut i = 0u64;
-                b.iter(|| {
-                    let pc = 0x1000 + (i % 900) * 52;
-                    i += 1;
-                    match cache.probe(black_box(pc)) {
-                        itr_core::ProbeResult::Hit { signature, .. } => black_box(signature),
-                        itr_core::ProbeResult::Miss => {
-                            cache.insert(pc, pc, 8);
-                            0
-                        }
-                    }
-                })
-            },
-        );
+            }
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_cache);
-criterion_main!(benches);

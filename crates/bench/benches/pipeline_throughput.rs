@@ -1,31 +1,30 @@
 //! Macrobenchmark: simulation throughput of the cycle-level pipeline with
 //! and without the ITR unit, on a kernel workload. Demonstrates the
 //! simulator overhead of the ITR machinery itself is modest.
+//!
+//! Run with `cargo bench --bench pipeline_throughput` (plain
+//! `harness = false` binary — no external benchmark framework).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use itr_bench::timing::{bench, black_box};
 use itr_isa::asm::assemble;
 use itr_sim::{Pipeline, PipelineConfig};
 use itr_workloads::kernels;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let program = assemble(kernels::CRC32.source).expect("kernel assembles");
-    let mut group = c.benchmark_group("pipeline");
-    group.sample_size(20);
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("baseline_10k_cycles", |b| {
-        b.iter(|| {
-            let mut pipe = Pipeline::new(&program, PipelineConfig::default());
-            black_box(pipe.run(10_000))
-        })
-    });
-    group.bench_function("itr_10k_cycles", |b| {
-        b.iter(|| {
-            let mut pipe = Pipeline::new(&program, PipelineConfig::with_itr());
-            black_box(pipe.run(10_000))
-        })
-    });
-    group.finish();
-}
 
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);
+    let base = bench("pipeline/baseline_10k_cycles", 10_000, || {
+        let mut pipe = Pipeline::new(&program, PipelineConfig::default());
+        black_box(pipe.run(10_000))
+    });
+
+    let itr = bench("pipeline/itr_10k_cycles", 10_000, || {
+        let mut pipe = Pipeline::new(&program, PipelineConfig::with_itr());
+        black_box(pipe.run(10_000))
+    });
+
+    println!(
+        "itr simulation overhead: {:+.1}%",
+        (itr.ns_per_iter / base.ns_per_iter - 1.0) * 100.0
+    );
+}

@@ -3,8 +3,11 @@
 //! The signature generator sits on the dispatch path of every
 //! instruction, so its cost must be negligible; this bench demonstrates
 //! the XOR fold runs at instruction-stream rates.
+//!
+//! Run with `cargo bench --bench signature_gen` (plain `harness = false`
+//! binary — no external benchmark framework).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use itr_bench::timing::{bench, black_box};
 use itr_core::{SignatureGen, TraceBuilder};
 use itr_isa::{DecodeSignals, Instruction, Opcode};
 
@@ -23,33 +26,26 @@ fn signal_mix() -> Vec<DecodeSignals> {
     .collect()
 }
 
-fn bench_signature(c: &mut Criterion) {
+fn main() {
     let signals = signal_mix();
-    let mut group = c.benchmark_group("signature");
-    group.throughput(Throughput::Elements(signals.len() as u64));
-    group.bench_function("xor_fold", |b| {
-        b.iter(|| {
-            let mut g = SignatureGen::new();
-            for s in &signals {
-                g.fold(black_box(s));
-            }
-            black_box(g.value())
-        })
-    });
-    group.bench_function("trace_builder", |b| {
-        b.iter(|| {
-            let mut tb = TraceBuilder::new(16);
-            let mut out = 0u64;
-            for (i, s) in signals.iter().enumerate() {
-                if let Some(t) = tb.push(0x400 + i as u64 * 4, black_box(s)) {
-                    out ^= t.signature;
-                }
-            }
-            black_box(out)
-        })
-    });
-    group.finish();
-}
+    let n = signals.len() as u64;
 
-criterion_group!(benches, bench_signature);
-criterion_main!(benches);
+    bench("signature/xor_fold", n, || {
+        let mut g = SignatureGen::new();
+        for s in &signals {
+            g.fold(black_box(s));
+        }
+        black_box(g.value())
+    });
+
+    bench("signature/trace_builder", n, || {
+        let mut tb = TraceBuilder::new(16);
+        let mut out = 0u64;
+        for (i, s) in signals.iter().enumerate() {
+            if let Some(t) = tb.push(0x400 + i as u64 * 4, black_box(s)) {
+                out ^= t.signature;
+            }
+        }
+        black_box(out)
+    });
+}

@@ -24,11 +24,13 @@ fn main() {
 
     // ---- 1. checked-bit-aware replacement ----
     println!("=== Ablation 1: checked-bit-aware replacement (2-way, 256 signatures) ===");
-    println!("{:<10} {:>10} {:>10} {:>10} {:>10}", "bench", "det(LRU)", "det(ckd)", "rec(LRU)", "rec(ckd)");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10}",
+        "bench", "det(LRU)", "det(ckd)", "rec(LRU)", "rec(ckd)"
+    );
     for profile in profiles::coverage_figure_set() {
         let stream: Vec<TraceRecord> = trace_stream(profile, &args).collect();
-        let mut plain =
-            CoverageModel::new(ItrCacheConfig::new(256, Associativity::Ways(2)));
+        let mut plain = CoverageModel::new(ItrCacheConfig::new(256, Associativity::Ways(2)));
         let mut checked = CoverageModel::new(
             ItrCacheConfig::new(256, Associativity::Ways(2)).with_checked_bit_replacement(true),
         );
@@ -57,15 +59,17 @@ fn main() {
 
     // ---- 2. trace length limit ----
     println!("\n=== Ablation 2: trace length limit (generated programs, 1024×2-way) ===");
-    println!("{:<10} {:>6} {:>14} {:>10} {:>10}", "bench", "limit", "static traces", "det loss", "rec loss");
+    println!(
+        "{:<10} {:>6} {:>14} {:>10} {:>10}",
+        "bench", "limit", "static traces", "det loss", "rec loss"
+    );
     let instrs = args.extra_or("program-instrs", 200_000);
     for name in ["parser", "twolf", "vortex"] {
         let profile = profiles::by_name(name).expect("known benchmark");
         let program = generate_mimic_sized(profile, args.seed, instrs);
         for limit in [8u32, 16, 32] {
             let mut statics: HashSet<u64> = HashSet::new();
-            let mut model =
-                CoverageModel::new(ItrCacheConfig::new(1024, Associativity::Ways(2)));
+            let mut model = CoverageModel::new(ItrCacheConfig::new(1024, Associativity::Ways(2)));
             for t in TraceStream::with_trace_len(&program, instrs, limit) {
                 statics.insert(t.start_pc);
                 model.observe(&t);
@@ -102,8 +106,7 @@ fn main() {
     let e_ic = energy_per_access_nj(&POWER4_ICACHE);
     let e_itr = energy_per_access_nj(&ITR_CACHE_1024X2);
     for profile in profiles::coverage_figure_set() {
-        let mut model =
-            CoverageModel::new(ItrCacheConfig::new(1024, Associativity::Ways(2)));
+        let mut model = CoverageModel::new(ItrCacheConfig::new(1024, Associativity::Ways(2)));
         let mut miss_fetch_groups = 0u64;
         let mut all_fetch_groups = 0u64;
         let mut itr_accesses = 0u64;
@@ -118,8 +121,7 @@ fn main() {
             model.observe(&t);
         }
         let r = model.report();
-        let gated_mj =
-            (miss_fetch_groups as f64 * e_ic + itr_accesses as f64 * e_itr) * 1e-6;
+        let gated_mj = (miss_fetch_groups as f64 * e_ic + itr_accesses as f64 * e_itr) * 1e-6;
         let full_dup_mj = all_fetch_groups as f64 * e_ic * 1e-6;
         println!(
             "{:<10} {:>9.2}% {:>14.4} {:>14.4} {:>13.1}x",

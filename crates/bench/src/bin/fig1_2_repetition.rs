@@ -31,18 +31,11 @@ fn main() {
             }
             println!();
             for &n in points {
-                rows.push(format!(
-                    "{},{},{:.3}",
-                    profile.name,
-                    n,
-                    stats.top_n_share_pct(n)
-                ));
+                rows.push(format!("{},{},{:.3}", profile.name, n, stats.top_n_share_pct(n)));
             }
         }
     }
-    println!(
-        "\nPaper shape: in most integer benchmarks <500 static traces contribute nearly all"
-    );
+    println!("\nPaper shape: in most integer benchmarks <500 static traces contribute nearly all");
     println!("dynamic instructions (gcc/vortex excepted); FP benchmarks are more repetitive.");
     write_csv(&args, "fig1_2_repetition.csv", "bench,top_n,share_pct", &rows);
 }

@@ -31,12 +31,7 @@ fn main() {
             }
             println!();
             for &d in &buckets {
-                rows.push(format!(
-                    "{},{},{:.3}",
-                    profile.name,
-                    d,
-                    stats.within_distance_pct(d)
-                ));
+                rows.push(format!("{},{},{:.3}", profile.name, d, stats.within_distance_pct(d)));
             }
         }
     }

@@ -50,8 +50,7 @@ fn main() {
     let mut det = Vec::new();
     let mut rec = Vec::new();
     for profile in profiles::all() {
-        let mut model =
-            CoverageModel::new(ItrCacheConfig::new(1024, Associativity::Ways(2)));
+        let mut model = CoverageModel::new(ItrCacheConfig::new(1024, Associativity::Ways(2)));
         for t in trace_stream(profile, &args) {
             model.observe(&t);
         }

@@ -40,10 +40,7 @@ fn main() {
     };
     let result = run_campaign(&program, &cfg);
 
-    println!(
-        "=== Figure 8 supplement: {faults} faults on `{}` by signal field ===",
-        profile.name
-    );
+    println!("=== Figure 8 supplement: {faults} faults on `{}` by signal field ===", profile.name);
     print!("{:<10} {:>6}", "field", "n");
     for o in Outcome::ALL {
         print!("{:>12}", o.label());

@@ -74,9 +74,7 @@ fn main() {
         .map(|(t, _)| t)
         .sum::<f64>()
         / suite.len() as f64;
-    println!(
-        "\nAverage detected through the ITR cache: {itr_avg:.1}% (paper: 95.4%)"
-    );
+    println!("\nAverage detected through the ITR cache: {itr_avg:.1}% (paper: 95.4%)");
 
     let header = {
         let mut h = "bench".to_string();

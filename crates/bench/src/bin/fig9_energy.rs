@@ -3,10 +3,11 @@
 //! conventional time redundancy.
 //!
 //! Each benchmark runs on the cycle-level pipeline with the ITR unit
-//! enabled; access counts come from the real frontend (one I-cache access
-//! per fetch group) and the real ITR unit (one read per dispatched trace,
-//! one write per missed trace at commit). Per-access energies come from
-//! the CACTI-lite model of `itr-power`.
+//! enabled; access counts come from the run's `itr-stats/v1` JSON export
+//! (`itr_cache.reads + itr_cache.writes` from the real ITR unit — one
+//! read per dispatched trace, one write per missed trace at commit — and
+//! `pipeline.icache_accesses` from the real frontend). Per-access
+//! energies come from the CACTI-lite model of `itr-power`.
 //!
 //! Regenerate with:
 //! `cargo run -p itr-bench --bin fig9_energy --release`
@@ -14,6 +15,7 @@
 use itr_bench::{write_csv, Args};
 use itr_power::EnergyRow;
 use itr_sim::{Pipeline, PipelineConfig};
+use itr_stats::Report;
 use itr_workloads::{generate_mimic_sized, profiles};
 
 fn main() {
@@ -29,10 +31,10 @@ fn main() {
         let program = generate_mimic_sized(profile, args.seed, instrs);
         let mut pipe = Pipeline::new(&program, PipelineConfig::with_itr());
         pipe.run(instrs * 10);
-        let unit = pipe.itr().expect("itr enabled");
-        let itr_accesses = unit.cache().stats().reads + unit.cache().stats().writes;
-        let icache_accesses = pipe.stats().icache_accesses;
-        let row = EnergyRow::from_counts(profile.name, itr_accesses, icache_accesses);
+        let report = Report::from_json(&pipe.stats_json())
+            .expect("pipeline emits a valid itr-stats/v1 report");
+        let row = EnergyRow::from_report(profile.name, &report)
+            .expect("ITR-enabled run exports itr_cache and pipeline sections");
         println!(
             "{:<10} {:>12} {:>12} {:>14.3} {:>14.3} {:>14.3} {:>7.1}x",
             row.name,

@@ -19,12 +19,23 @@ use itr_core::ItrConfig;
 use itr_isa::asm::assemble;
 use itr_isa::Program;
 use itr_sim::{Pipeline, PipelineConfig};
+use itr_stats::Report;
 use itr_workloads::{generate_mimic_sized, kernels, profiles};
 
+/// IPC read back from the run's `itr-stats/v1` JSON export rather than
+/// the live stats struct, exercising the same path external tooling uses.
 fn ipc(program: &Program, cfg: PipelineConfig, max_cycles: u64) -> f64 {
     let mut pipe = Pipeline::new(program, cfg);
     pipe.run(max_cycles);
-    pipe.stats().ipc()
+    let report =
+        Report::from_json(&pipe.stats_json()).expect("pipeline emits a valid itr-stats/v1 report");
+    let cycles = report.counter("pipeline", "cycles").unwrap_or(0);
+    let committed = report.counter("pipeline", "committed").unwrap_or(0);
+    if cycles == 0 {
+        0.0
+    } else {
+        committed as f64 / cycles as f64
+    }
 }
 
 fn main() {
@@ -40,18 +51,13 @@ fn main() {
         let base = ipc(program, PipelineConfig::default(), budget);
         let itr = ipc(program, PipelineConfig::with_itr(), budget);
         let rfod_cfg = PipelineConfig {
-            itr: Some(ItrConfig {
-                redundant_fetch_on_miss: true,
-                ..ItrConfig::paper_default()
-            }),
+            itr: Some(ItrConfig { redundant_fetch_on_miss: true, ..ItrConfig::paper_default() }),
             ..PipelineConfig::default()
         };
         let rfod = ipc(program, rfod_cfg, budget);
         let ovh = (1.0 - itr / base) * 100.0;
         let rovh = (1.0 - rfod / base) * 100.0;
-        println!(
-            "{name:<12} {base:>9.3} {itr:>9.3} {rfod:>9.3} {ovh:>9.2}% {rovh:>9.2}%"
-        );
+        println!("{name:<12} {base:>9.3} {itr:>9.3} {rfod:>9.3} {ovh:>9.2}% {rovh:>9.2}%");
         rows.push(format!("{name},{base:.4},{itr:.4},{rfod:.4}"));
     };
 

@@ -19,9 +19,8 @@ use itr_bench::{write_csv, Args};
 use itr_core::{FoldKind, SignatureGen};
 use itr_isa::{decode, DecodeSignals};
 use itr_sim::{Memory, TraceStream};
+use itr_stats::SplitMix64;
 use itr_workloads::{generate_mimic_sized, profiles};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 /// Decoded signal sequence of one static trace.
@@ -69,18 +68,14 @@ fn main() {
         profile.name
     );
 
-    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xF01D);
+    let mut rng = SplitMix64::new(args.seed ^ 0xF01D);
     let kinds = [FoldKind::Xor, FoldKind::RotateXor];
     let mut rows = Vec::new();
     println!("{:<28} {:>12} {:>12}", "scenario", "XOR", "rotate-XOR");
 
     let run = |name: &str, detected: [u64; 2], total: u64, rows: &mut Vec<String>| {
         let pct = |d: u64| d as f64 * 100.0 / total as f64;
-        println!(
-            "{name:<28} {:>11.2}% {:>11.2}%",
-            pct(detected[0]),
-            pct(detected[1])
-        );
+        println!("{name:<28} {:>11.2}% {:>11.2}%", pct(detected[0]), pct(detected[1]));
         rows.push(format!("{name},{:.3},{:.3}", pct(detected[0]), pct(detected[1])));
     };
 

@@ -24,15 +24,7 @@ fn main() {
             "{:<10} {:>8} {:>9} {:>9}",
             profile.name, profile.static_traces, modelled, observed
         );
-        rows.push(format!(
-            "{},{},{modelled},{observed}",
-            profile.name, profile.static_traces
-        ));
+        rows.push(format!("{},{},{modelled},{observed}", profile.name, profile.static_traces));
     }
-    write_csv(
-        &args,
-        "table1_static_traces.csv",
-        "bench,paper,modelled,observed",
-        &rows,
-    );
+    write_csv(&args, "table1_static_traces.csv", "bench,paper,modelled,observed", &rows);
 }

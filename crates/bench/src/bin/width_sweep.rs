@@ -17,23 +17,25 @@ fn main() {
     let instrs = args.extra_or("program-instrs", 100_000);
     let workloads = {
         let mut v = suite::all_kernels();
-        v.extend(suite::all_mimics(args.seed, instrs).into_iter().filter(|w| {
-            matches!(w.name.as_str(), "gap" | "vortex" | "swim")
-        }));
+        v.extend(
+            suite::all_mimics(args.seed, instrs)
+                .into_iter()
+                .filter(|w| matches!(w.name.as_str(), "gap" | "vortex" | "swim")),
+        );
         v
     };
-    println!("=== Superscalar width sweep (geometric-mean IPC over {} workloads) ===", workloads.len());
+    println!(
+        "=== Superscalar width sweep (geometric-mean IPC over {} workloads) ===",
+        workloads.len()
+    );
     println!("{:>6} {:>12} {:>12} {:>10}", "width", "baseline", "ITR", "overhead");
     let mut rows = Vec::new();
     for width in [1u32, 2, 4, 8] {
         let mut ipc = [1.0f64, 1.0];
         for (k, with_itr) in [false, true].into_iter().enumerate() {
             for w in &workloads {
-                let base = if with_itr {
-                    PipelineConfig::with_itr()
-                } else {
-                    PipelineConfig::default()
-                };
+                let base =
+                    if with_itr { PipelineConfig::with_itr() } else { PipelineConfig::default() };
                 let cfg = PipelineConfig { width, issue_width: width, ..base };
                 let mut pipe = Pipeline::new(&w.program, cfg);
                 pipe.run(instrs * 40);

@@ -31,10 +31,7 @@ fn main() {
         "=== Window sensitivity: {faults} faults on `{}`, growing observation window ===",
         profile.name
     );
-    println!(
-        "{:>10} {:>10} {:>10} {:>10} {:>10}",
-        "window", "ITR%", "MayITR%", "Undet%", "spc%"
-    );
+    println!("{:>10} {:>10} {:>10} {:>10} {:>10}", "window", "ITR%", "MayITR%", "Undet%", "spc%");
     let mut rows = Vec::new();
     for window in windows {
         let cfg = CampaignConfig {
@@ -50,11 +47,9 @@ fn main() {
         let pct = |f: f64| f * 100.0;
         let itr = pct(result.itr_detected_fraction());
         let may = pct(result.fraction(Outcome::MayItrSdc) + result.fraction(Outcome::MayItrMask));
-        let undet = pct(
-            result.fraction(Outcome::UndetSdc)
-                + result.fraction(Outcome::UndetMask)
-                + result.fraction(Outcome::UndetWdog),
-        );
+        let undet = pct(result.fraction(Outcome::UndetSdc)
+            + result.fraction(Outcome::UndetMask)
+            + result.fraction(Outcome::UndetWdog));
         let spc = pct(result.fraction(Outcome::SpcSdc));
         println!("{window:>10} {itr:>9.1}% {may:>9.1}% {undet:>9.1}% {spc:>9.1}%");
         rows.push(format!("{window},{itr:.2},{may:.2},{undet:.2},{spc:.2}"));

@@ -6,6 +6,8 @@
 //! simulator instead of sampling the statistical stream model — slower,
 //! but exercises the full stack).
 
+pub mod timing;
+
 use itr_core::TraceRecord;
 use itr_sim::TraceStream;
 use itr_workloads::{generate_mimic_sized, SpecProfile, SyntheticTraceStream};
@@ -82,10 +84,7 @@ impl Args {
 /// Produces the committed trace stream for one benchmark, from either the
 /// statistical model or a generated program run on the functional
 /// simulator.
-pub fn trace_stream(
-    profile: SpecProfile,
-    args: &Args,
-) -> Box<dyn Iterator<Item = TraceRecord>> {
+pub fn trace_stream(profile: SpecProfile, args: &Args) -> Box<dyn Iterator<Item = TraceRecord>> {
     if args.from_programs {
         let program = generate_mimic_sized(profile, args.seed, args.instrs);
         Box::new(TraceStream::new(&program, args.instrs))
@@ -161,12 +160,8 @@ impl StreamStats {
     /// % of dynamic instructions contributed by repeats within `limit`
     /// dynamic instructions (Figures 3–4).
     pub fn within_distance_pct(&self, limit: u64) -> f64 {
-        let close: u64 = self
-            .repeat_distances
-            .iter()
-            .filter(|(d, _)| *d < limit)
-            .map(|(_, n)| *n)
-            .sum();
+        let close: u64 =
+            self.repeat_distances.iter().filter(|(d, _)| *d < limit).map(|(_, n)| *n).sum();
         close as f64 * 100.0 / self.total_instrs.max(1) as f64
     }
 }

@@ -1,0 +1,96 @@
+//! Minimal wall-clock microbenchmark harness.
+//!
+//! Replaces the Criterion dependency with a self-calibrating
+//! measure-best-of-N loop: warm up, pick an iteration count that makes
+//! one sample last ~20 ms, then report the fastest of several samples
+//! (the fastest sample is the least noise-contaminated estimate of the
+//! true cost). Good enough to show orders of magnitude, which is all the
+//! microbenchmarks here claim.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under the name the benches use.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// One benchmark's result.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Nanoseconds per iteration (fastest sample).
+    pub ns_per_iter: f64,
+    /// Iterations per timed sample.
+    pub iters: u64,
+}
+
+impl Measurement {
+    /// Iterations per second.
+    pub fn per_sec(&self) -> f64 {
+        1e9 / self.ns_per_iter
+    }
+}
+
+/// Times `f`, self-calibrating the iteration count, and prints one
+/// aligned line: name, ns/iter, and rate. `elements` scales the reported
+/// rate (e.g. instructions modelled per call) — pass 1 for plain calls.
+pub fn bench<T>(name: &str, elements: u64, mut f: impl FnMut() -> T) -> Measurement {
+    // Warm-up and calibration: find iters such that a sample ≈ 20 ms.
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std_black_box(f());
+        }
+        let elapsed = t.elapsed();
+        if elapsed >= Duration::from_millis(20) || iters >= 1 << 30 {
+            break;
+        }
+        let target = Duration::from_millis(25).as_nanos() as u64;
+        let scale = target / (elapsed.as_nanos() as u64).max(1);
+        iters = (iters * scale.clamp(2, 1024)).max(iters + 1);
+    }
+
+    // Measurement: best of 5 samples.
+    let mut best = Duration::MAX;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std_black_box(f());
+        }
+        best = best.min(t.elapsed());
+    }
+
+    let ns_per_iter = best.as_nanos() as f64 / iters as f64;
+    let m = Measurement { ns_per_iter, iters };
+    let rate = m.per_sec() * elements as f64;
+    println!(
+        "{name:<40} {ns_per_iter:>12.1} ns/iter {:>14} /s  ({iters} iters/sample)",
+        human_rate(rate),
+    );
+    m
+}
+
+fn human_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let m = bench("noop_add", 1, || std_black_box(2u64) + 2);
+        assert!(m.ns_per_iter > 0.0);
+        assert!(m.iters >= 1);
+    }
+}

@@ -17,16 +17,19 @@
 use crate::config::ItrCacheConfig;
 use crate::itr_cache::{ItrCache, ProbeResult};
 use crate::signature::TraceRecord;
+use itr_stats::{Counter, Counters, Report, Unit as StatUnit};
 
-/// Evaluates coverage loss for one ITR cache configuration.
+/// Evaluates coverage loss for one ITR cache configuration. Counters are
+/// kept in an `itr-stats` registry (see [`CoverageModel::export`]).
 #[derive(Debug, Clone)]
 pub struct CoverageModel {
     cache: ItrCache,
-    total_instrs: u64,
-    total_traces: u64,
-    recovery_loss_instrs: u64,
-    detection_loss_instrs: u64,
-    mismatches: u64,
+    counters: Counters,
+    total_instrs: Counter,
+    total_traces: Counter,
+    recovery_loss_instrs: Counter,
+    detection_loss_instrs: Counter,
+    mismatches: Counter,
 }
 
 /// Coverage result for one configuration (one bar of Figures 6/7).
@@ -83,31 +86,48 @@ fn percentage(part: u64, whole: u64) -> f64 {
 impl CoverageModel {
     /// Creates a model around an empty cache of the given configuration.
     pub fn new(config: ItrCacheConfig) -> CoverageModel {
+        let mut c = Counters::new();
+        let total_instrs =
+            c.register("total_instrs", StatUnit::Instructions, "dynamic instructions observed");
+        let total_traces = c.register("total_traces", StatUnit::Traces, "dynamic traces observed");
+        let recovery_loss_instrs = c.register(
+            "recovery_loss_instrs",
+            StatUnit::Instructions,
+            "instructions in missed traces (Figure 7)",
+        );
+        let detection_loss_instrs = c.register(
+            "detection_loss_instrs",
+            StatUnit::Instructions,
+            "instructions in unreferenced-evicted instances (Figure 6)",
+        );
+        let mismatches =
+            c.register("mismatches", StatUnit::Events, "signature mismatches (0 fault-free)");
         CoverageModel {
             cache: ItrCache::new(config),
-            total_instrs: 0,
-            total_traces: 0,
-            recovery_loss_instrs: 0,
-            detection_loss_instrs: 0,
-            mismatches: 0,
+            counters: c,
+            total_instrs,
+            total_traces,
+            recovery_loss_instrs,
+            detection_loss_instrs,
+            mismatches,
         }
     }
 
     /// Feeds one committed trace.
     pub fn observe(&mut self, trace: &TraceRecord) {
-        self.total_traces += 1;
-        self.total_instrs += trace.len as u64;
+        self.counters.inc(self.total_traces);
+        self.counters.add(self.total_instrs, trace.len as u64);
         match self.cache.probe(trace.start_pc) {
             ProbeResult::Hit { signature, .. } => {
                 if signature != trace.signature {
-                    self.mismatches += 1;
+                    self.counters.inc(self.mismatches);
                 }
             }
             ProbeResult::Miss => {
-                self.recovery_loss_instrs += trace.len as u64;
+                self.counters.add(self.recovery_loss_instrs, trace.len as u64);
                 if let Some(ev) = self.cache.insert(trace.start_pc, trace.signature, trace.len) {
                     if ev.unreferenced {
-                        self.detection_loss_instrs += ev.len_at_insert as u64;
+                        self.counters.add(self.detection_loss_instrs, ev.len_at_insert as u64);
                     }
                 }
             }
@@ -123,13 +143,21 @@ impl CoverageModel {
     /// end of the run are *not* counted as detection loss, matching the
     /// paper (they may still be referenced in the future).
     pub fn report(&self) -> CoverageReport {
+        let g = |c| self.counters.get(c);
         CoverageReport {
-            total_instrs: self.total_instrs,
-            total_traces: self.total_traces,
-            recovery_loss_instrs: self.recovery_loss_instrs,
-            detection_loss_instrs: self.detection_loss_instrs,
-            mismatches: self.mismatches,
+            total_instrs: g(self.total_instrs),
+            total_traces: g(self.total_traces),
+            recovery_loss_instrs: g(self.recovery_loss_instrs),
+            detection_loss_instrs: g(self.detection_loss_instrs),
+            mismatches: g(self.mismatches),
         }
+    }
+
+    /// Appends the `coverage` and `itr_cache` sections to an `itr-stats`
+    /// report.
+    pub fn export(&self, report: &mut Report) {
+        report.push_section("coverage", &self.counters, &[]);
+        self.cache.export(report);
     }
 }
 
@@ -211,9 +239,8 @@ mod tests {
     fn bigger_cache_reduces_loss() {
         // 52-byte spacing (13 words) is co-prime with every power-of-two
         // set count, so the 600 traces spread over all sets.
-        let stream: Vec<TraceRecord> = (0..20_000u64)
-            .map(|i| trace(0x1000 + (i % 600) * 52, 8))
-            .collect();
+        let stream: Vec<TraceRecord> =
+            (0..20_000u64).map(|i| trace(0x1000 + (i % 600) * 52, 8)).collect();
         let mut small = CoverageModel::new(ItrCacheConfig::new(256, Associativity::Ways(2)));
         let mut large = CoverageModel::new(ItrCacheConfig::new(1024, Associativity::Ways(2)));
         for t in &stream {

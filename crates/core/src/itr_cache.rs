@@ -1,6 +1,7 @@
 //! The ITR cache: a small, PC-indexed store of trace signatures (§2.2).
 
 use crate::config::ItrCacheConfig;
+use itr_stats::{Counter, Counters, Report, Unit as StatUnit};
 
 /// One signature line.
 #[derive(Debug, Clone, Copy, Default)]
@@ -52,7 +53,8 @@ pub struct Eviction {
     pub len_at_insert: u32,
 }
 
-/// Running access statistics.
+/// Running access statistics (a point-in-time snapshot; the live values
+/// are kept in an `itr-stats` counter registry — see [`ItrCache::export`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Probe count (one per dispatched trace).
@@ -67,6 +69,48 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Displaced lines that were never referenced.
     pub evictions_unreferenced: u64,
+}
+
+/// Counter registry + handles for one cache instance.
+#[derive(Debug, Clone)]
+struct CacheMetrics {
+    counters: Counters,
+    reads: Counter,
+    writes: Counter,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    evictions_unreferenced: Counter,
+}
+
+impl CacheMetrics {
+    fn new() -> CacheMetrics {
+        let mut c = Counters::new();
+        let reads = c.register("reads", StatUnit::Accesses, "probes (one per dispatched trace)");
+        let writes =
+            c.register("writes", StatUnit::Accesses, "inserts (one per missed trace at commit)");
+        let hits = c.register("hits", StatUnit::Accesses, "probe hits");
+        let misses = c.register("misses", StatUnit::Accesses, "probe misses");
+        let evictions = c.register("evictions", StatUnit::Events, "valid lines displaced");
+        let evictions_unreferenced = c.register(
+            "evictions_unreferenced",
+            StatUnit::Events,
+            "displaced lines never referenced (§2.3 detection loss)",
+        );
+        CacheMetrics { counters: c, reads, writes, hits, misses, evictions, evictions_unreferenced }
+    }
+
+    fn snapshot(&self) -> CacheStats {
+        let g = |c| self.counters.get(c);
+        CacheStats {
+            reads: g(self.reads),
+            writes: g(self.writes),
+            hits: g(self.hits),
+            misses: g(self.misses),
+            evictions: g(self.evictions),
+            evictions_unreferenced: g(self.evictions_unreferenced),
+        }
+    }
 }
 
 /// The ITR cache (§2.2): stores signatures of previously executed traces,
@@ -98,7 +142,7 @@ pub struct ItrCache {
     config: ItrCacheConfig,
     /// `sets * ways` lines, row-major by set.
     lines: Vec<Line>,
-    stats: CacheStats,
+    metrics: CacheMetrics,
     tick: u64,
     /// Valid lines never referenced since insertion (maintained
     /// incrementally so the §2.3 checkpointing query is O(1)).
@@ -111,7 +155,7 @@ impl ItrCache {
         ItrCache {
             config,
             lines: vec![Line::default(); config.entries as usize],
-            stats: CacheStats::default(),
+            metrics: CacheMetrics::new(),
             tick: 0,
             unreferenced: 0,
         }
@@ -122,16 +166,22 @@ impl ItrCache {
         &self.config
     }
 
-    /// Access statistics since construction (or the last [`reset_stats`]).
+    /// Access statistics since construction (or the last [`reset_stats`]),
+    /// as a point-in-time snapshot.
     ///
     /// [`reset_stats`]: ItrCache::reset_stats
-    pub fn stats(&self) -> &CacheStats {
-        &self.stats
+    pub fn stats(&self) -> CacheStats {
+        self.metrics.snapshot()
     }
 
     /// Clears the statistics counters (the contents stay).
     pub fn reset_stats(&mut self) {
-        self.stats = CacheStats::default();
+        self.metrics.counters.reset();
+    }
+
+    /// Appends the `itr_cache` section to an `itr-stats` report.
+    pub fn export(&self, report: &mut Report) {
+        report.push_section("itr_cache", &self.metrics.counters, &[]);
     }
 
     fn set_of(&self, start_pc: u64) -> usize {
@@ -152,7 +202,7 @@ impl ItrCache {
     /// Probes for `start_pc`'s signature, as done when a trace is
     /// dispatched. A hit marks the line referenced and checked.
     pub fn probe(&mut self, start_pc: u64) -> ProbeResult {
-        self.stats.reads += 1;
+        self.metrics.counters.inc(self.metrics.reads);
         self.tick += 1;
         let tick = self.tick;
         let range = self.set_range(start_pc);
@@ -164,14 +214,14 @@ impl ItrCache {
                 line.referenced = true;
                 line.checked = true;
                 line.last_use = tick;
-                self.stats.hits += 1;
+                self.metrics.counters.inc(self.metrics.hits);
                 return ProbeResult::Hit {
                     signature: line.signature,
                     parity_ok: line.parity == Self::parity_of(line.signature),
                 };
             }
         }
-        self.stats.misses += 1;
+        self.metrics.counters.inc(self.metrics.misses);
         ProbeResult::Miss
     }
 
@@ -206,7 +256,7 @@ impl ItrCache {
     /// when its trace-ending instruction commits. Returns the displaced
     /// line, if a valid one was evicted.
     pub fn insert(&mut self, start_pc: u64, signature: u64, len: u32) -> Option<Eviction> {
-        self.stats.writes += 1;
+        self.metrics.counters.inc(self.metrics.writes);
         self.tick += 1;
         let tick = self.tick;
         let checked_pref = self.config.checked_bit_replacement && self.config.ways() > 1;
@@ -229,14 +279,15 @@ impl ItrCache {
             // Falls back to plain LRU when no way is checked yet.
             let candidates: Vec<usize> = if checked_pref {
                 let checked: Vec<usize> = (0..set.len()).filter(|&i| set[i].checked).collect();
-                if checked.is_empty() { (0..set.len()).collect() } else { checked }
+                if checked.is_empty() {
+                    (0..set.len()).collect()
+                } else {
+                    checked
+                }
             } else {
                 (0..set.len()).collect()
             };
-            candidates
-                .into_iter()
-                .min_by_key(|&i| set[i].last_use)
-                .expect("non-empty set")
+            candidates.into_iter().min_by_key(|&i| set[i].last_use).expect("non-empty set")
         });
 
         let old = set[victim];
@@ -245,9 +296,9 @@ impl ItrCache {
         }
         self.unreferenced += 1; // the new line starts unreferenced
         let evicted = if old.valid && old.start_pc != start_pc {
-            self.stats.evictions += 1;
+            self.metrics.counters.inc(self.metrics.evictions);
             if !old.referenced {
-                self.stats.evictions_unreferenced += 1;
+                self.metrics.counters.inc(self.metrics.evictions_unreferenced);
             }
             Some(Eviction {
                 start_pc: old.start_pc,
@@ -307,10 +358,7 @@ impl ItrCache {
     /// fault studies to find still-unconfirmed faulty signatures at the
     /// end of an observation window — the paper's "MayITR" outcomes).
     pub fn iter_lines(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.lines
-            .iter()
-            .filter(|l| l.valid)
-            .map(|l| (l.start_pc, l.signature))
+        self.lines.iter().filter(|l| l.valid).map(|l| (l.start_pc, l.signature))
     }
 }
 

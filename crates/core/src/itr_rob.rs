@@ -162,13 +162,13 @@ impl ItrRob {
     /// Like [`find_latest`](Self::find_latest), but only considers
     /// entries strictly older than `before_seq` (a delayed check must not
     /// forward from itself or from younger instances).
-    pub fn find_latest_before(&self, start_pc: u64, before_seq: ItrRobIndex) -> Option<&ItrRobEntry> {
+    pub fn find_latest_before(
+        &self,
+        start_pc: u64,
+        before_seq: ItrRobIndex,
+    ) -> Option<&ItrRobEntry> {
         let upto = before_seq.saturating_sub(self.head_seq).min(self.entries.len() as u64);
-        self.entries
-            .iter()
-            .take(upto as usize)
-            .rev()
-            .find(|e| e.start_pc == start_pc)
+        self.entries.iter().take(upto as usize).rev().find(|e| e.start_pc == start_pc)
     }
 
     /// Frees the head entry (called when a trace-terminating instruction

@@ -3,11 +3,8 @@
 use crate::classify::{classify, Observation, Outcome};
 use itr_core::{ItrConfig, ItrEvent, ItrMode};
 use itr_isa::Program;
-use itr_sim::{
-    CommitRecord, DecodeFault, FuncSim, Pipeline, PipelineConfig, RunExit, TraceStream,
-};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use itr_sim::{CommitRecord, DecodeFault, FuncSim, Pipeline, PipelineConfig, RunExit, TraceStream};
+use itr_stats::{Report, SplitMix64};
 use std::collections::{BTreeMap, HashMap};
 
 /// Parameters of one fault-injection campaign (per benchmark).
@@ -96,10 +93,7 @@ impl CampaignResult {
 
 /// Builds the golden references: the committed stream and the per-trace
 /// clean-signature map.
-fn golden_reference(
-    program: &Program,
-    max_instrs: u64,
-) -> (Vec<CommitRecord>, HashMap<u64, u64>) {
+fn golden_reference(program: &Program, max_instrs: u64) -> (Vec<CommitRecord>, HashMap<u64, u64>) {
     let mut sim = FuncSim::new(program);
     let (records, _) = sim.run_collect(max_instrs);
     let mut sigs = HashMap::new();
@@ -173,21 +167,27 @@ fn observe_fault(
         sdc = true;
     }
 
-    let first_mismatch = pipe.itr_events().iter().find_map(|(_, e)| match e {
-        ItrEvent::Mismatch { start_pc, cached_signature, new_signature, .. } => {
-            Some((*start_pc, *cached_signature, *new_signature))
-        }
-        _ => None,
-    });
-    let resident_lines = pipe
-        .itr()
-        .map(|u| u.cache().iter_lines().collect())
-        .unwrap_or_default();
+    // Classification consumes the run's `itr-stats/v1` export: mismatch
+    // and SPC counts come from the report, and only a non-zero mismatch
+    // count is resolved to its first event for the signature detail.
+    let report =
+        Report::from_json(&pipe.stats_json()).expect("pipeline emits a valid itr-stats/v1 report");
+    let first_mismatch = if report.counter("itr", "mismatches").unwrap_or(0) == 0 {
+        None
+    } else {
+        pipe.itr_events().iter().find_map(|(_, e)| match e {
+            ItrEvent::Mismatch { start_pc, cached_signature, new_signature, .. } => {
+                Some((*start_pc, *cached_signature, *new_signature))
+            }
+            _ => None,
+        })
+    };
+    let resident_lines = pipe.itr().map(|u| u.cache().iter_lines().collect()).unwrap_or_default();
     Observation {
         sdc,
         deadlock: exit == RunExit::Deadlock,
         first_mismatch,
-        spc_fired: !pipe.spc_violations().is_empty(),
+        spc_fired: report.counter("pipeline", "spc_violations").unwrap_or(0) > 0,
         resident_lines,
     }
 }
@@ -262,7 +262,7 @@ pub fn run_campaign(program: &Program, cfg: &CampaignConfig) -> CampaignResult {
     // decodes (committed length is a lower bound on decoded length), so
     // every sampled fault materializes.
     let max_decode = cfg.max_decode.min(golden.len() as u64).max(cfg.min_decode + 1);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::new(cfg.seed);
     let faults: Vec<DecodeFault> = (0..cfg.faults)
         .map(|_| DecodeFault {
             nth_decode: rng.gen_range(cfg.min_decode..max_decode),
@@ -392,10 +392,7 @@ mod tests {
             .iter()
             .find(|r| r.outcome == Outcome::ItrSdcR)
             .expect("a recoverable SDC exists in 80 faults");
-        let cfg = PipelineConfig {
-            faults: vec![candidate.fault],
-            ..PipelineConfig::with_itr()
-        };
+        let cfg = PipelineConfig { faults: vec![candidate.fault], ..PipelineConfig::with_itr() };
         let mut pipe = Pipeline::new(&p, cfg);
         let exit = pipe.run(5_000_000);
         assert_eq!(exit, RunExit::Halted);

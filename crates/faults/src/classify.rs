@@ -67,10 +67,7 @@ impl Outcome {
 
     /// `true` for outcomes counted as "detected through the ITR cache".
     pub fn itr_detected(self) -> bool {
-        matches!(
-            self,
-            Outcome::ItrMask | Outcome::ItrSdcR | Outcome::ItrSdcD | Outcome::ItrWdogR
-        )
+        matches!(self, Outcome::ItrMask | Outcome::ItrSdcR | Outcome::ItrSdcD | Outcome::ItrWdogR)
     }
 }
 
@@ -170,10 +167,7 @@ mod tests {
 
     #[test]
     fn masked_mismatch_is_itr_mask() {
-        let obs = Observation {
-            first_mismatch: Some((0x100, 111, 998)),
-            ..Observation::default()
-        };
+        let obs = Observation { first_mismatch: Some((0x100, 111, 998)), ..Observation::default() };
         assert_eq!(classify(&obs, &clean_map()), Outcome::ItrMask);
     }
 
@@ -201,17 +195,15 @@ mod tests {
             ..Observation::default()
         };
         assert_eq!(classify(&obs, &clean_map()), Outcome::MayItrSdc);
-        let obs = Observation {
-            resident_lines: vec![(0x200, 555)],
-            ..Observation::default()
-        };
+        let obs = Observation { resident_lines: vec![(0x200, 555)], ..Observation::default() };
         assert_eq!(classify(&obs, &clean_map()), Outcome::MayItrMask);
     }
 
     #[test]
     fn plain_undetected_outcomes() {
         let clean = clean_map();
-        let obs = Observation { sdc: true, resident_lines: vec![(0x100, 111)], ..Observation::default() };
+        let obs =
+            Observation { sdc: true, resident_lines: vec![(0x100, 111)], ..Observation::default() };
         assert_eq!(classify(&obs, &clean), Outcome::UndetSdc);
         let obs = Observation { deadlock: true, ..Observation::default() };
         assert_eq!(classify(&obs, &clean), Outcome::UndetWdog);

@@ -136,9 +136,7 @@ fn parse_directive(
     directive: &str,
     line: usize,
 ) -> Result<(), AsmError> {
-    let (name, args) = directive
-        .split_once(char::is_whitespace)
-        .unwrap_or((directive, ""));
+    let (name, args) = directive.split_once(char::is_whitespace).unwrap_or((directive, ""));
     match name {
         "text" => *section = Section::Text,
         "data" => *section = Section::Data,
@@ -208,10 +206,7 @@ fn parse_directive(
 }
 
 fn split_args(s: &str) -> Vec<String> {
-    s.split(',')
-        .map(|p| p.trim().to_string())
-        .filter(|p| !p.is_empty())
-        .collect()
+    s.split(',').map(|p| p.trim().to_string()).filter(|p| !p.is_empty()).collect()
 }
 
 fn parse_int(s: &str, line: usize) -> Result<i64, AsmError> {
@@ -230,9 +225,7 @@ fn parse_int(s: &str, line: usize) -> Result<i64, AsmError> {
 }
 
 fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
-    s.trim()
-        .parse::<Reg>()
-        .map_err(|e| AsmError::new(line, e.to_string()))
+    s.trim().parse::<Reg>().map_err(|e| AsmError::new(line, e.to_string()))
 }
 
 fn parse_int_reg(s: &str, line: usize) -> Result<u8, AsmError> {
@@ -255,9 +248,7 @@ fn parse_mem_operand(s: &str, line: usize) -> Result<(i32, u8), AsmError> {
     let open = s
         .find('(')
         .ok_or_else(|| AsmError::new(line, format!("expected `imm(reg)`, got `{s}`")))?;
-    let close = s
-        .rfind(')')
-        .ok_or_else(|| AsmError::new(line, format!("missing `)` in `{s}`")))?;
+    let close = s.rfind(')').ok_or_else(|| AsmError::new(line, format!("missing `)` in `{s}`")))?;
     let off_str = s[..open].trim();
     let offset = if off_str.is_empty() { 0 } else { parse_int(off_str, line)? as i32 };
     let base = parse_int_reg(&s[open + 1..close], line)?;
@@ -275,9 +266,7 @@ fn expect_args(args: &[String], n: usize, mnem: &str, line: usize) -> Result<(),
 }
 
 fn parse_instruction(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<(), AsmError> {
-    let (mnem, rest) = text
-        .split_once(char::is_whitespace)
-        .unwrap_or((text, ""));
+    let (mnem, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
     let args = split_args(rest);
 
     // Pseudo-instructions first.
@@ -570,14 +559,14 @@ mod tests {
 
     #[test]
     fn word_directive_accepts_labels() {
-        let p = assemble(
-            ".data\ntbl: .word f, g, 7\n.text\nmain:\n halt\nf:\n halt\ng:\n halt\n",
-        )
-        .unwrap();
+        let p = assemble(".data\ntbl: .word f, g, 7\n.text\nmain:\n halt\nf:\n halt\ng:\n halt\n")
+            .unwrap();
         let tbl = p.symbol("tbl").unwrap();
-        let w = |i: u64| u32::from_le_bytes(
-            p.data()[(tbl - p.data_base() + i * 4) as usize..][..4].try_into().unwrap(),
-        );
+        let w = |i: u64| {
+            u32::from_le_bytes(
+                p.data()[(tbl - p.data_base() + i * 4) as usize..][..4].try_into().unwrap(),
+            )
+        };
         assert_eq!(w(0) as u64, p.symbol("f").unwrap());
         assert_eq!(w(1) as u64, p.symbol("g").unwrap());
         assert_eq!(w(2), 7);
@@ -605,10 +594,7 @@ mod tests {
             ("main:\n j nowhere\n", "undefined label"),
         ] {
             let err = assemble(src).expect_err(src);
-            assert!(
-                err.to_string().contains(needle),
-                "{src:?}: got `{err}`, wanted `{needle}`"
-            );
+            assert!(err.to_string().contains(needle), "{src:?}: got `{err}`, wanted `{needle}`");
         }
     }
 

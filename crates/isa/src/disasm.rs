@@ -39,27 +39,15 @@ mod tests {
 
     #[test]
     fn common_forms_render() {
-        assert_eq!(
-            disassemble(&Instruction::rrr(Opcode::Add, 1, 2, 3)),
-            "add r1, r2, r3"
-        );
-        assert_eq!(
-            disassemble(&Instruction::mem(Opcode::Lw, 4, 29, -8)),
-            "lw r4, -8(r29)"
-        );
-        assert_eq!(
-            disassemble(&Instruction::shift(Opcode::Sll, 2, 2, 4)),
-            "sll r2, r2, 4"
-        );
+        assert_eq!(disassemble(&Instruction::rrr(Opcode::Add, 1, 2, 3)), "add r1, r2, r3");
+        assert_eq!(disassemble(&Instruction::mem(Opcode::Lw, 4, 29, -8)), "lw r4, -8(r29)");
+        assert_eq!(disassemble(&Instruction::shift(Opcode::Sll, 2, 2, 4)), "sll r2, r2, 4");
         assert_eq!(disassemble(&Instruction::trap(0)), "trap 0");
     }
 
     #[test]
     fn fp_forms_render() {
-        assert_eq!(
-            disassemble(&Instruction::rrr(Opcode::AddS, 1, 2, 3)),
-            "add.s f1, f2, f3"
-        );
+        assert_eq!(disassemble(&Instruction::rrr(Opcode::AddS, 1, 2, 3)), "add.s f1, f2, f3");
         assert_eq!(
             disassemble(&Instruction { op: Opcode::CEqS, rs: 2, rt: 3, rd: 0, shamt: 0, imm: 0 }),
             "c.eq.s f2, f3"

@@ -70,22 +70,12 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
             shamt: ((word >> 6) & 0x1F) as u8,
             imm: 0,
         },
-        Format::I => Instruction {
-            op,
-            rs,
-            rt,
-            rd: 0,
-            shamt: 0,
-            imm: (word & 0xFFFF) as u16 as i16 as i32,
-        },
-        Format::J => Instruction {
-            op,
-            rs: 0,
-            rt: 0,
-            rd: 0,
-            shamt: 0,
-            imm: (word & 0x03FF_FFFF) as i32,
-        },
+        Format::I => {
+            Instruction { op, rs, rt, rd: 0, shamt: 0, imm: (word & 0xFFFF) as u16 as i16 as i32 }
+        }
+        Format::J => {
+            Instruction { op, rs: 0, rt: 0, rd: 0, shamt: 0, imm: (word & 0x03FF_FFFF) as i32 }
+        }
     })
 }
 

@@ -54,14 +54,7 @@ impl Instruction {
 
     /// Absolute jump: `op word_target` (26-bit word address).
     pub fn jump(op: Opcode, word_target: u32) -> Instruction {
-        Instruction {
-            op,
-            rs: 0,
-            rt: 0,
-            rd: 0,
-            shamt: 0,
-            imm: (word_target & 0x03FF_FFFF) as i32,
-        }
+        Instruction { op, rs: 0, rt: 0, rd: 0, shamt: 0, imm: (word_target & 0x03FF_FFFF) as i32 }
     }
 
     /// Trap: `trap code`.

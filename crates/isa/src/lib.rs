@@ -50,7 +50,9 @@ mod signals;
 pub use encode::{decode, encode, DecodeError};
 pub use instruction::Instruction;
 pub use opcode::{Format, LatClass, Opcode, Syntax};
-pub use program::{BuildError, Program, ProgramBuilder, SegmentKind, DATA_BASE, STACK_TOP, TEXT_BASE};
+pub use program::{
+    BuildError, Program, ProgramBuilder, SegmentKind, DATA_BASE, STACK_TOP, TEXT_BASE,
+};
 pub use reg::Reg;
 pub use signals::{DecodeSignals, SignalField, SignalFlags, SIGNAL_FIELDS, TOTAL_SIGNAL_BITS};
 

@@ -386,10 +386,7 @@ mod tests {
         let mut seen = HashSet::new();
         for &op in Opcode::ALL {
             let p = op.props();
-            assert!(
-                seen.insert((p.major, p.funct)),
-                "duplicate encoding for {op}"
-            );
+            assert!(seen.insert((p.major, p.funct)), "duplicate encoding for {op}");
             assert!(p.major < 64, "major out of range for {op}");
             if let Some(f) = p.funct {
                 assert!(f < 64, "funct out of range for {op}");

@@ -176,11 +176,7 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Creates an empty builder with the default segment bases.
     pub fn new() -> ProgramBuilder {
-        ProgramBuilder {
-            text_base: TEXT_BASE,
-            data_base: DATA_BASE,
-            ..ProgramBuilder::default()
-        }
+        ProgramBuilder { text_base: TEXT_BASE, data_base: DATA_BASE, ..ProgramBuilder::default() }
     }
 
     /// Address the next pushed instruction will occupy.
@@ -217,11 +213,7 @@ impl ProgramBuilder {
     }
 
     fn define(&mut self, name: &str, seg: SegmentKind, addr: u64) -> Result<(), BuildError> {
-        if self
-            .labels
-            .insert(name.to_string(), (seg, addr))
-            .is_some()
-        {
+        if self.labels.insert(name.to_string(), (seg, addr)).is_some() {
             return Err(BuildError::DuplicateLabel(name.to_string()));
         }
         Ok(())
@@ -234,19 +226,13 @@ impl ProgramBuilder {
 
     /// Emits a conditional branch to `label` (offset patched at build time).
     pub fn branch_to(&mut self, op: Opcode, rs: u8, rt: u8, label: &str) {
-        self.fixups.push(Fixup::Branch {
-            text_index: self.text.len(),
-            label: label.to_string(),
-        });
+        self.fixups.push(Fixup::Branch { text_index: self.text.len(), label: label.to_string() });
         self.push(Instruction::branch(op, rs, rt, 0));
     }
 
     /// Emits `j`/`jal` to `label` (target patched at build time).
     pub fn jump_to(&mut self, op: Opcode, label: &str) {
-        self.fixups.push(Fixup::Jump {
-            text_index: self.text.len(),
-            label: label.to_string(),
-        });
+        self.fixups.push(Fixup::Jump { text_index: self.text.len(), label: label.to_string() });
         self.push(Instruction::jump(op, 0));
     }
 
@@ -268,10 +254,7 @@ impl ProgramBuilder {
 
     /// Emits `la rt, label` — a `lui`+`ori` pair patched at build time.
     pub fn load_addr(&mut self, rt: u8, label: &str) {
-        self.fixups.push(Fixup::LoadAddr {
-            text_index: self.text.len(),
-            label: label.to_string(),
-        });
+        self.fixups.push(Fixup::LoadAddr { text_index: self.text.len(), label: label.to_string() });
         self.push(Instruction::rri(Opcode::Lui, rt, 0, 0));
         self.push(Instruction::rri(Opcode::Ori, rt, rt, 0));
     }
@@ -284,10 +267,8 @@ impl ProgramBuilder {
     /// Appends a data word that will hold `label`'s address (patched at
     /// build time) — the building block of jump tables.
     pub fn data_word_addr(&mut self, label: &str) {
-        self.fixups.push(Fixup::DataAddr {
-            data_offset: self.data.len(),
-            label: label.to_string(),
-        });
+        self.fixups
+            .push(Fixup::DataAddr { data_offset: self.data.len(), label: label.to_string() });
         self.data_word(0);
     }
 
@@ -318,14 +299,13 @@ impl ProgramBuilder {
     /// Returns a [`BuildError`] for undefined labels or out-of-range
     /// branches.
     pub fn build(mut self) -> Result<Program, BuildError> {
-        let lookup = |labels: &HashMap<String, (SegmentKind, u64)>,
-                      name: &str|
-         -> Result<u64, BuildError> {
-            labels
-                .get(name)
-                .map(|&(_, a)| a)
-                .ok_or_else(|| BuildError::UndefinedLabel(name.to_string()))
-        };
+        let lookup =
+            |labels: &HashMap<String, (SegmentKind, u64)>, name: &str| -> Result<u64, BuildError> {
+                labels
+                    .get(name)
+                    .map(|&(_, a)| a)
+                    .ok_or_else(|| BuildError::UndefinedLabel(name.to_string()))
+            };
         for fixup in std::mem::take(&mut self.fixups) {
             match fixup {
                 Fixup::Branch { text_index, label } => {
@@ -347,8 +327,7 @@ impl ProgramBuilder {
                 }
                 Fixup::DataAddr { data_offset, label } => {
                     let target = lookup(&self.labels, &label)? as u32;
-                    self.data[data_offset..data_offset + 4]
-                        .copy_from_slice(&target.to_le_bytes());
+                    self.data[data_offset..data_offset + 4].copy_from_slice(&target.to_le_bytes());
                 }
                 Fixup::LoadAddr { text_index, label } => {
                     let target = lookup(&self.labels, &label)? as u32;
@@ -361,11 +340,7 @@ impl ProgramBuilder {
                 }
             }
         }
-        let entry = self
-            .labels
-            .get("main")
-            .map(|&(_, a)| a)
-            .unwrap_or(self.text_base);
+        let entry = self.labels.get("main").map(|&(_, a)| a).unwrap_or(self.text_base);
         Ok(Program {
             text_base: self.text_base,
             data_base: self.data_base,
@@ -434,10 +409,7 @@ mod tests {
     fn undefined_label_is_an_error() {
         let mut b = ProgramBuilder::new();
         b.jump_to(Opcode::J, "nowhere");
-        assert_eq!(
-            b.build().unwrap_err(),
-            BuildError::UndefinedLabel("nowhere".into())
-        );
+        assert_eq!(b.build().unwrap_err(), BuildError::UndefinedLabel("nowhere".into()));
     }
 
     #[test]

@@ -141,17 +141,22 @@ pub struct SignalField {
 
 /// Field layout of the packed decode-signal vector (Table 2 order).
 pub const SIGNAL_FIELDS: [SignalField; 11] = [
-    SignalField { name: "opcode",   description: "instruction opcode",              lsb: 0,  width: 8 },
-    SignalField { name: "flags",    description: "decoded control flags",           lsb: 8,  width: 12 },
-    SignalField { name: "shamt",    description: "shift amount",                    lsb: 20, width: 5 },
-    SignalField { name: "rsrc1",    description: "source register operand",         lsb: 25, width: 5 },
-    SignalField { name: "rsrc2",    description: "source register operand",         lsb: 30, width: 5 },
-    SignalField { name: "rdst",     description: "destination register operand",    lsb: 35, width: 5 },
-    SignalField { name: "lat",      description: "execution latency",               lsb: 40, width: 2 },
-    SignalField { name: "imm",      description: "immediate",                       lsb: 42, width: 16 },
-    SignalField { name: "num_rsrc", description: "number of source operands",       lsb: 58, width: 2 },
-    SignalField { name: "num_rdst", description: "number of destination operands",  lsb: 60, width: 1 },
-    SignalField { name: "mem_size", description: "size of memory word",             lsb: 61, width: 3 },
+    SignalField { name: "opcode", description: "instruction opcode", lsb: 0, width: 8 },
+    SignalField { name: "flags", description: "decoded control flags", lsb: 8, width: 12 },
+    SignalField { name: "shamt", description: "shift amount", lsb: 20, width: 5 },
+    SignalField { name: "rsrc1", description: "source register operand", lsb: 25, width: 5 },
+    SignalField { name: "rsrc2", description: "source register operand", lsb: 30, width: 5 },
+    SignalField { name: "rdst", description: "destination register operand", lsb: 35, width: 5 },
+    SignalField { name: "lat", description: "execution latency", lsb: 40, width: 2 },
+    SignalField { name: "imm", description: "immediate", lsb: 42, width: 16 },
+    SignalField { name: "num_rsrc", description: "number of source operands", lsb: 58, width: 2 },
+    SignalField {
+        name: "num_rdst",
+        description: "number of destination operands",
+        lsb: 60,
+        width: 1,
+    },
+    SignalField { name: "mem_size", description: "size of memory word", lsb: 61, width: 3 },
 ];
 
 /// Total width of the decode-signal vector: 64 bits, as in Table 2.
@@ -206,9 +211,7 @@ impl DecodeSignals {
             Syntax::Shift => (inst.rt, 0),
             Syntax::ShiftV => (inst.rt, inst.rs),
             Syntax::Mem | Syntax::FpMem => {
-                if p.flags.contains(SignalFlags::IS_ST)
-                    || p.flags.contains(SignalFlags::MEM_LR)
-                {
+                if p.flags.contains(SignalFlags::IS_ST) || p.flags.contains(SignalFlags::MEM_LR) {
                     (inst.rs, inst.rt) // base, data (LR loads also read old dst)
                 } else {
                     (inst.rs, 0)
@@ -243,7 +246,10 @@ impl DecodeSignals {
                 }
             }
             Syntax::Jump => 31, // jal link register
-            Syntax::Branch1 | Syntax::Branch2 | Syntax::OneReg | Syntax::FpBranch
+            Syntax::Branch1
+            | Syntax::Branch2
+            | Syntax::OneReg
+            | Syntax::FpBranch
             | Syntax::TrapCode => 0,
         };
         DecodeSignals {
@@ -375,14 +381,7 @@ mod tests {
     #[test]
     fn pack_unpack_round_trip_for_all_opcodes() {
         for &op in Opcode::ALL {
-            let inst = Instruction {
-                op,
-                rs: 3,
-                rt: 7,
-                rd: 12,
-                shamt: 5,
-                imm: 0x1234,
-            };
+            let inst = Instruction { op, rs: 3, rt: 7, rd: 12, shamt: 5, imm: 0x1234 };
             let s = DecodeSignals::from_instruction(&inst);
             assert_eq!(DecodeSignals::unpack(s.pack()), s, "round trip for {op}");
         }

@@ -40,10 +40,7 @@ pub struct AreaComparison {
 impl AreaComparison {
     /// The paper's configuration: 1024 signatures × 64 bits.
     pub fn paper_itr_cache() -> AreaComparison {
-        AreaComparison {
-            iunit_cm2: G5_IUNIT_AREA_CM2,
-            itr_cache_cm2: itr_cache_area_cm2(1024, 64),
-        }
+        AreaComparison { iunit_cm2: G5_IUNIT_AREA_CM2, itr_cache_cm2: itr_cache_area_cm2(1024, 64) }
     }
 
     /// How many times smaller the ITR cache is than the I-unit.

@@ -95,6 +95,17 @@ pub struct EnergyRow {
 }
 
 impl EnergyRow {
+    /// Builds a Figure 9 row from an `itr-stats/v1` report: ITR cache
+    /// accesses are `itr_cache.reads + itr_cache.writes`, the redundant
+    /// fetch count is `pipeline.icache_accesses`. Returns `None` when the
+    /// report lacks either section (e.g. an ITR-off run).
+    pub fn from_report(name: &str, report: &itr_stats::Report) -> Option<EnergyRow> {
+        let itr_accesses =
+            report.counter("itr_cache", "reads")? + report.counter("itr_cache", "writes")?;
+        let icache_accesses = report.counter("pipeline", "icache_accesses")?;
+        Some(EnergyRow::from_counts(name, itr_accesses, icache_accesses))
+    }
+
     /// Builds a Figure 9 row from measured access counts.
     pub fn from_counts(name: &str, itr_accesses: u64, icache_accesses: u64) -> EnergyRow {
         let single = energy_per_access_nj(&ITR_CACHE_1024X2);

@@ -62,7 +62,13 @@ impl TimingCache {
         assert!(geometry.line_bytes.is_power_of_two(), "line size must be a power of two");
         assert!(geometry.sets() > 0, "cache must have at least one set");
         let entries = (geometry.sets() * geometry.ways) as usize;
-        TimingCache { geometry, lines: vec![TagLine::default(); entries], tick: 0, accesses: 0, misses: 0 }
+        TimingCache {
+            geometry,
+            lines: vec![TagLine::default(); entries],
+            tick: 0,
+            accesses: 0,
+            misses: 0,
+        }
     }
 
     /// The cache geometry.

@@ -317,7 +317,8 @@ mod tests {
     fn decode_error_stops_cleanly() {
         // Jump into the data segment (zeros decode as nop/sll, so jump to
         // an undefined-major word instead).
-        let p = assemble(".data\nbad: .word 0xF8000000\n.text\nmain:\n la r8, bad\n jr r8\n").unwrap();
+        let p =
+            assemble(".data\nbad: .word 0xF8000000\n.text\nmain:\n la r8, bad\n jr r8\n").unwrap();
         let mut sim = FuncSim::new(&p);
         match sim.run(100) {
             StopReason::DecodeError(_) => {}

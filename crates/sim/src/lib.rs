@@ -48,4 +48,4 @@ pub use cache::{CacheGeometry, TimingCache};
 pub use config::{DecodeFault, PipelineConfig, RenameFault, SchedulerFault};
 pub use func::{FuncSim, StopReason, TraceStream};
 pub use mem::Memory;
-pub use pipeline::{Pipeline, PipelineStats, RunExit, SpcViolation};
+pub use pipeline::{Pipeline, PipelineStats, RunExit, SpcViolation, Stage, StageEvent};

@@ -48,10 +48,7 @@ impl Memory {
 
     /// Writes one byte, allocating the page on demand.
     pub fn write_u8(&mut self, addr: u64, value: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_BITS)
-            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        let page = self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| Box::new([0; PAGE_SIZE]));
         page[(addr & (PAGE_SIZE as u64 - 1)) as usize] = value;
     }
 

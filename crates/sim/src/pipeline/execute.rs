@@ -1,0 +1,75 @@
+//! Complete stage: writeback in age order and misprediction repair.
+//!
+//! Completions mark physical registers ready; a completing branch whose
+//! computed target disagrees with its prediction squashes everything
+//! younger (rolling back the rename map and the ITR trace-formation
+//! state from the [`Uop::itr_snap`] snapshot) and redirects fetch.
+//!
+//! [`Uop::itr_snap`]: super::window::Uop
+
+use super::stats::Stage;
+use super::Pipeline;
+
+impl Pipeline {
+    pub(in crate::pipeline) fn complete(&mut self) {
+        // Completions in age order; a misprediction squashes everything
+        // younger, including any later completions this cycle.
+        let completing: Vec<u64> = {
+            let mut v: Vec<u64> = self
+                .win
+                .rob
+                .iter()
+                .filter(|u| u.issued && !u.done && u.done_cycle <= self.cycle)
+                .map(|u| u.seq)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        for seq in completing {
+            let Some(i) = self.win.idx_checked(seq) else {
+                continue; // squashed by an older completion this cycle
+            };
+            self.win.rob[i].done = true;
+            if let Some(d) = self.win.rob[i].dst {
+                self.rn.phys_ready[d.phys as usize] = true;
+            }
+            let u = &self.win.rob[i];
+            if u.taken.is_some() && u.next_pc != u.predicted_next {
+                self.metrics.inc(self.metrics.mispredicts);
+                let pc = u.pc;
+                self.metrics.event(self.cycle, Stage::Execute, pc, "mispredict repair");
+                self.repair_mispredict(seq);
+            }
+        }
+    }
+
+    fn repair_mispredict(&mut self, branch_seq: u64) {
+        // Squash younger than the branch, walking the ROB tail backwards
+        // to undo renaming.
+        while let Some(u) = self.win.rob.back() {
+            if u.seq <= branch_seq {
+                break;
+            }
+            let u = self.win.rob.pop_back().expect("checked non-empty");
+            if let Some(d) = u.dst {
+                self.rn.undo(d);
+            }
+        }
+        self.win.iq.retain(|&s| s <= branch_seq);
+
+        let i = self.win.idx(branch_seq);
+        let (snap, used_gshare, taken, target, itr_snap) = {
+            let u = &self.win.rob[i];
+            (u.ghr_snapshot, u.used_gshare, u.taken == Some(true), u.next_pc, u.itr_snap)
+        };
+        self.fe.redirect(target);
+        if used_gshare {
+            self.fe.gshare.repair(snap, taken);
+        }
+        if let (Some(unit), Some(snap)) = (&mut self.itr, itr_snap.as_ref()) {
+            unit.restore(snap);
+        }
+        // Mark the prediction repaired so the uop does not re-trigger.
+        self.win.rob[i].predicted_next = target;
+    }
+}

@@ -1,0 +1,151 @@
+//! Fetch stage: I-cache timing, branch prediction (BTB + gshare + RAS),
+//! and predecode into the fetch queue.
+//!
+//! The stage's output latch is [`Frontend::queue`], a bounded queue of
+//! [`Fetched`] slots the dispatch stage drains; no other frontend state
+//! is visible downstream. Redirects (mispredict repair, flush-restart)
+//! come back through [`Frontend::redirect`].
+
+use super::stats::{SimMetrics, Stage};
+use crate::branch::{Btb, Gshare, ReturnStack};
+use crate::cache::TimingCache;
+use crate::config::PipelineConfig;
+use crate::mem::Memory;
+use itr_isa::{decode, Instruction, Opcode};
+use std::collections::VecDeque;
+
+/// One predecoded instruction: the fetch→dispatch latch entry.
+#[derive(Debug, Clone, Copy)]
+pub(in crate::pipeline) struct Fetched {
+    pub pc: u64,
+    pub inst: Instruction,
+    pub predicted_next: u64,
+    pub ghr_snapshot: u32,
+    pub used_gshare: bool,
+}
+
+/// Fetch-stage state: PC, I-cache, predictors, and the output queue.
+#[derive(Debug)]
+pub(in crate::pipeline) struct Frontend {
+    pub fetch_pc: u64,
+    pub icache: TimingCache,
+    pub icache_stall: u32,
+    /// The fetch→dispatch latch.
+    pub queue: VecDeque<Fetched>,
+    /// Set on an un-decodable word (wild fetch); cleared by a redirect.
+    pub halted: bool,
+    pub gshare: Gshare,
+    pub btb: Btb,
+    pub ras: ReturnStack,
+}
+
+impl Frontend {
+    pub fn new(cfg: &PipelineConfig, entry: u64) -> Frontend {
+        Frontend {
+            fetch_pc: entry,
+            icache: TimingCache::new(cfg.icache),
+            icache_stall: 0,
+            queue: VecDeque::new(),
+            halted: false,
+            gshare: Gshare::new(cfg.gshare_bits),
+            btb: Btb::new(cfg.btb_entries),
+            ras: ReturnStack::new(cfg.ras_entries as usize),
+        }
+    }
+
+    /// Steers fetch to `pc`, discarding everything in flight in the
+    /// stage (used by mispredict repair and full flushes).
+    pub fn redirect(&mut self, pc: u64) {
+        self.queue.clear();
+        self.halted = false;
+        self.icache_stall = 0;
+        self.fetch_pc = pc;
+    }
+
+    fn predecode(&mut self, pc: u64, inst: Instruction) -> Fetched {
+        let ghr_snapshot = self.gshare.history();
+        let mut used_gshare = false;
+        let predicted_next = match inst.op {
+            op if op.is_cond_branch() => {
+                used_gshare = true;
+                let taken = self.gshare.predict_and_update_history(pc);
+                if taken {
+                    inst.direct_target(pc).unwrap_or(pc + 4)
+                } else {
+                    pc + 4
+                }
+            }
+            Opcode::J => inst.direct_target(pc).unwrap_or(pc + 4),
+            Opcode::Jal => {
+                self.ras.push(pc + 4);
+                inst.direct_target(pc).unwrap_or(pc + 4)
+            }
+            Opcode::Jr => {
+                if inst.rs == 31 {
+                    self.ras.pop().unwrap_or(pc + 4)
+                } else {
+                    self.btb.lookup(pc).unwrap_or(pc + 4)
+                }
+            }
+            Opcode::Jalr => {
+                self.ras.push(pc + 4);
+                self.btb.lookup(pc).unwrap_or(pc + 4)
+            }
+            _ => pc + 4,
+        };
+        Fetched { pc, inst, predicted_next, ghr_snapshot, used_gshare }
+    }
+
+    /// One fetch cycle: up to `width` instructions from one cache line,
+    /// ending early at a predicted-taken redirect or line boundary.
+    pub fn fetch(
+        &mut self,
+        mem: &Memory,
+        cfg: &PipelineConfig,
+        metrics: &mut SimMetrics,
+        cycle: u64,
+    ) {
+        if self.halted {
+            return;
+        }
+        if self.icache_stall > 0 {
+            self.icache_stall -= 1;
+            return;
+        }
+        if self.queue.len() as u32 >= cfg.fetch_queue {
+            return;
+        }
+        // One I-cache access per productive fetch cycle (the unit of the
+        // §5 energy accounting).
+        let hit = self.icache.access(self.fetch_pc);
+        metrics.inc(metrics.icache_accesses);
+        if !hit {
+            metrics.inc(metrics.icache_misses);
+            self.icache_stall = cfg.icache_miss_penalty;
+            return;
+        }
+        for _ in 0..cfg.width {
+            if self.queue.len() as u32 >= cfg.fetch_queue {
+                break;
+            }
+            let pc = self.fetch_pc;
+            let word = mem.read_u32(pc);
+            let Ok(inst) = decode(word) else {
+                // Un-decodable word (wild fetch): stall until a redirect.
+                self.halted = true;
+                metrics.event(cycle, Stage::Fetch, pc, "undecodable word; fetch halted");
+                break;
+            };
+            let fetched = self.predecode(pc, inst);
+            let next = fetched.predicted_next;
+            self.queue.push_back(fetched);
+            self.fetch_pc = next;
+            if next != pc + 4 {
+                break; // predicted-taken redirect ends the fetch group
+            }
+            if !self.icache.same_line(pc, next) {
+                break; // next instruction sits in a different cache line
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Load/store queue view: in-flight store ordering and forwarding.
+//!
+//! The machine models its LSQ as a view over the ROB (capacity enforced
+//! at dispatch): loads may not issue past incomplete older stores, and
+//! an issuing load reads memory through [`OverlayLoader`], which overlays
+//! the values of completed-but-uncommitted older stores on the committed
+//! memory image — store-to-load forwarding with byte granularity.
+
+use super::window::Window;
+use crate::mem::Memory;
+use crate::semantics::{LoadSource, StoreOp};
+
+/// Committed memory overlaid with in-flight older stores.
+pub(in crate::pipeline) struct OverlayLoader<'a> {
+    pub mem: &'a Memory,
+    pub stores: Vec<StoreOp>,
+}
+
+impl LoadSource for OverlayLoader<'_> {
+    fn load(&self, addr: u64, size: u8) -> u32 {
+        let size = size.min(4) as u64;
+        let mut bytes = [0u8; 4];
+        for (i, b) in bytes.iter_mut().enumerate().take(size as usize) {
+            *b = self.mem.read_u8(addr + i as u64);
+        }
+        for s in &self.stores {
+            for j in 0..s.size.min(4) as u64 {
+                let a = s.addr + j;
+                if a >= addr && a < addr + size {
+                    bytes[(a - addr) as usize] = (s.value >> (8 * j)) as u8;
+                }
+            }
+        }
+        u32::from_le_bytes(bytes)
+    }
+}
+
+impl Window {
+    /// `true` when every store older than `seq` has issued (computed its
+    /// address and value) — the condition for a load at `seq` to issue.
+    pub fn older_stores_done(&self, seq: u64) -> bool {
+        self.rob.iter().take_while(|u| u.seq < seq).all(|u| !u.is_store() || u.issued)
+    }
+
+    /// The store operations older than `seq`, oldest first, for
+    /// forwarding into an issuing load.
+    pub fn collect_older_stores(&self, seq: u64) -> Vec<StoreOp> {
+        self.rob
+            .iter()
+            .take_while(|u| u.seq < seq)
+            .filter_map(|u| if u.is_store() { u.store } else { None })
+            .collect()
+    }
+}

@@ -1,0 +1,609 @@
+//! End-to-end pipeline tests: architecture, recovery, and fault studies.
+
+use super::{Pipeline, RunExit};
+use crate::config::{DecodeFault, PipelineConfig};
+use crate::func::{FuncSim, StopReason};
+use itr_isa::asm::assemble;
+
+const SUM_LOOP: &str = r#"
+    main:
+        li r8, 100
+        li r9, 0
+    top:
+        add r9, r9, r8
+        addi r8, r8, -1
+        bgtz r8, top
+        move r4, r9
+        trap 1
+        halt
+"#;
+
+fn run_pipeline(src: &str, cfg: PipelineConfig) -> (Pipeline, RunExit) {
+    let p = assemble(src).expect("assembles");
+    let mut pipe = Pipeline::new(&p, cfg);
+    let exit = pipe.run(2_000_000);
+    (pipe, exit)
+}
+
+#[test]
+fn sum_loop_halts_with_correct_output() {
+    let (pipe, exit) = run_pipeline(SUM_LOOP, PipelineConfig::default());
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.output(), "5050");
+    assert!(pipe.stats().ipc() > 0.5, "ipc = {}", pipe.stats().ipc());
+}
+
+#[test]
+fn itr_enabled_run_is_architecturally_identical() {
+    let (plain, e1) = run_pipeline(SUM_LOOP, PipelineConfig::default());
+    let (itr, e2) = run_pipeline(SUM_LOOP, PipelineConfig::with_itr());
+    assert_eq!(e1, RunExit::Halted);
+    assert_eq!(e2, RunExit::Halted);
+    assert_eq!(plain.output(), itr.output());
+    let unit = itr.itr().expect("unit present");
+    assert_eq!(unit.stats().mismatches, 0, "fault-free run never mismatches");
+    assert!(unit.stats().traces_committed > 100);
+}
+
+#[test]
+fn pipeline_matches_functional_commit_stream() {
+    let src = r#"
+        .data
+        arr: .word 9, 2, 7, 4, 5, 1, 8, 3
+        .text
+        main:
+            la r8, arr
+            li r9, 8
+            li r10, 0
+            li r11, 0
+        loop:
+            lw r12, 0(r8)
+            add r10, r10, r12
+            andi r13, r12, 1
+            beq r13, r0, skip
+            addi r11, r11, 1
+        skip:
+            sw r10, 0(r8)
+            addi r8, r8, 4
+            addi r9, r9, -1
+            bgtz r9, loop
+            halt
+    "#;
+    let p = assemble(src).unwrap();
+    let mut golden = FuncSim::new(&p);
+    let (grecs, greason) = golden.run_collect(100_000);
+    assert_eq!(greason, StopReason::Halted);
+
+    let mut precs = Vec::new();
+    let mut pipe = Pipeline::new(&p, PipelineConfig::with_itr());
+    let exit = pipe.run_with(1_000_000, |r| {
+        precs.push(*r);
+        true
+    });
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(precs.len(), grecs.len(), "same dynamic instruction count");
+    for (i, (a, b)) in precs.iter().zip(&grecs).enumerate() {
+        assert_eq!(a, b, "commit {i} diverged: pipeline {a} vs functional {b}");
+    }
+}
+
+#[test]
+fn indirect_calls_and_returns_work() {
+    let src = r#"
+        main:
+            li r16, 0
+            li r17, 5
+        call_loop:
+            move r4, r17
+            jal double
+            move r17, r2
+            addi r16, r16, 1
+            slti r9, r16, 4
+            bgtz r9, call_loop
+            move r4, r17
+            trap 1
+            halt
+        double:
+            add r2, r4, r4
+            jr ra
+    "#;
+    let (pipe, exit) = run_pipeline(src, PipelineConfig::with_itr());
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.output(), "80", "5 doubled 4 times");
+}
+
+#[test]
+fn store_load_forwarding_is_correct() {
+    let src = r#"
+        .data
+        buf: .space 16
+        .text
+        main:
+            la r8, buf
+            li r9, 0x1234
+            sw r9, 0(r8)
+            lw r10, 0(r8)    # must see the in-flight store
+            sb r0, 1(r8)
+            lw r11, 0(r8)    # partially overwritten
+            move r4, r10
+            trap 1
+            move r4, r11
+            trap 1
+            halt
+    "#;
+    let (pipe, exit) = run_pipeline(src, PipelineConfig::default());
+    assert_eq!(exit, RunExit::Halted);
+    // 0x1234 = bytes [34, 12, 00, 00]; zeroing byte 1 gives 0x0034.
+    assert_eq!(pipe.output(), format!("{}{}", 0x1234, 0x0034));
+}
+
+#[test]
+fn deadlock_fault_is_caught_by_watchdog() {
+    // Flip num_rsrc of a loop-body add to 3: phantom operand. num_rsrc
+    // field lsb = 58; add has num_rsrc=2 (0b10); flipping bit 58 gives
+    // 0b11 = 3.
+    let cfg = PipelineConfig {
+        faults: vec![DecodeFault { nth_decode: 2, bit: 58 }],
+        watchdog_cycles: 2_000,
+        ..PipelineConfig::default()
+    };
+    let (_, exit) = run_pipeline(SUM_LOOP, cfg);
+    assert_eq!(exit, RunExit::Deadlock);
+}
+
+#[test]
+fn itr_retry_recovers_from_transient_fault() {
+    // Inject into a mid-loop instruction after the loop trace has been
+    // cached; ITR detects the mismatch at commit and the retry flush
+    // re-executes cleanly, so the program output is unaffected.
+    let cfg = PipelineConfig {
+        faults: vec![DecodeFault { nth_decode: 50, bit: 25 }], // rsrc1 bit
+        ..PipelineConfig::with_itr()
+    };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.output(), "5050", "recovery preserved the result");
+    let unit = pipe.itr().unwrap();
+    assert!(unit.stats().mismatches >= 1, "fault detected");
+    assert_eq!(unit.stats().recoveries, 1, "recovered via retry");
+    assert_eq!(unit.stats().machine_checks, 0);
+}
+
+#[test]
+fn unprotected_pipeline_corrupts_on_the_same_fault() {
+    // The same fault without ITR: the wrong-source add corrupts r9.
+    let cfg = PipelineConfig {
+        faults: vec![DecodeFault { nth_decode: 50, bit: 25 }],
+        ..PipelineConfig::default()
+    };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+    assert_eq!(exit, RunExit::Halted);
+    assert_ne!(pipe.output(), "5050", "fault silently corrupted data");
+}
+
+#[test]
+fn cycle_limit_is_reported() {
+    let p = assemble("main:\n j main\n").unwrap();
+    let mut pipe = Pipeline::new(&p, PipelineConfig::default());
+    assert_eq!(pipe.run(1_000), RunExit::CycleLimit);
+}
+
+#[test]
+fn commit_callback_can_stop_the_run() {
+    let p = assemble(SUM_LOOP).unwrap();
+    let mut pipe = Pipeline::new(&p, PipelineConfig::default());
+    let mut n = 0;
+    let exit = pipe.run_with(1_000_000, |_| {
+        n += 1;
+        n < 10
+    });
+    assert_eq!(exit, RunExit::Stopped);
+    assert_eq!(n, 10);
+}
+
+#[test]
+fn redundant_fetch_fallback_runs_cleanly() {
+    use itr_core::ItrConfig;
+    let cfg = PipelineConfig {
+        itr: Some(ItrConfig { redundant_fetch_on_miss: true, ..ItrConfig::paper_default() }),
+        ..PipelineConfig::default()
+    };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.output(), "5050");
+    let s = pipe.stats();
+    assert!(s.redundant_verifies > 0, "misses were re-verified");
+    assert_eq!(s.redundant_detects, 0, "no faults to catch");
+    assert!(s.redundant_fetch_groups > 0);
+}
+
+#[test]
+fn redundant_fetch_catches_faults_on_first_instance_traces() {
+    use itr_core::ItrConfig;
+    // Inject into the very first dynamic instance of the program's
+    // first trace: plain ITR can only detect this later (the faulty
+    // signature enters the cache); the §3 fallback catches it before
+    // commit and recovers.
+    let faults = vec![DecodeFault { nth_decode: 0, bit: 35 }]; // rdst bit
+    let plain = PipelineConfig { faults: faults.clone(), ..PipelineConfig::with_itr() };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, plain);
+    assert_eq!(exit, RunExit::Halted);
+    assert_ne!(pipe.output(), "5050", "plain ITR misses the cold-trace fault");
+
+    let fallback = PipelineConfig {
+        faults,
+        itr: Some(ItrConfig { redundant_fetch_on_miss: true, ..ItrConfig::paper_default() }),
+        ..PipelineConfig::default()
+    };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, fallback);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.output(), "5050", "fallback recovers the cold-trace fault");
+    assert!(pipe.stats().redundant_detects >= 1);
+}
+
+#[test]
+fn same_bit_double_fault_evades_xor_but_not_rotate_xor() {
+    use itr_core::{FoldKind, ItrConfig};
+    // Two flips of the same signal bit on adjacent instructions of one
+    // hot-loop trace instance (SUM_LOOP decodes architecturally until
+    // the final mispredict, so iteration 17's add/addi are decodes
+    // #53/#54; bit 30 = rsrc2, which corrupts the add but is masked
+    // on the addi): the XOR fold cancels (§2.1's documented
+    // limitation), the rotate-XOR fold does not.
+    let faults =
+        vec![DecodeFault { nth_decode: 53, bit: 30 }, DecodeFault { nth_decode: 54, bit: 30 }];
+    let xor_cfg = PipelineConfig { faults: faults.clone(), ..PipelineConfig::with_itr() };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, xor_cfg);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.itr().unwrap().stats().mismatches, 0, "XOR is blind");
+    assert_ne!(pipe.output(), "5050", "yet the double fault corrupts");
+
+    let rot_cfg = PipelineConfig {
+        faults,
+        itr: Some(ItrConfig { fold: FoldKind::RotateXor, ..ItrConfig::paper_default() }),
+        ..PipelineConfig::default()
+    };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, rot_cfg);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.output(), "5050", "rotate-XOR detects and recovers");
+    assert!(pipe.itr().unwrap().stats().mismatches >= 1);
+}
+
+#[test]
+fn fetch_reorder_fault_evades_xor_but_not_rotate_xor() {
+    use itr_core::{FoldKind, ItrConfig};
+    // Swap two adjacent non-branch instructions inside the cached hot
+    // loop trace: same signal multiset, different order.
+    let swap_at = 53u64; // iteration 17's add/addi pair (same trace)
+    let xor_cfg = PipelineConfig { swap_fault: Some(swap_at), ..PipelineConfig::with_itr() };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, xor_cfg);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.itr().unwrap().stats().mismatches, 0, "XOR cannot see a within-trace swap");
+
+    let rot_cfg = PipelineConfig {
+        swap_fault: Some(swap_at),
+        itr: Some(ItrConfig { fold: FoldKind::RotateXor, ..ItrConfig::paper_default() }),
+        ..PipelineConfig::default()
+    };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, rot_cfg);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.output(), "5050", "rotate-XOR detects and the retry recovers");
+    assert!(pipe.itr().unwrap().stats().mismatches >= 1);
+    assert_eq!(pipe.itr().unwrap().stats().recoveries, 1);
+}
+
+#[test]
+fn tiny_resources_stall_but_never_break() {
+    use itr_core::ItrConfig;
+    // Starve every queue: a 2-entry ITR ROB, minimal IQ, single-entry
+    // LSQ headroom, barely enough physical registers. Dispatch stalls
+    // constantly; architecture must be unaffected.
+    let cfg = PipelineConfig {
+        width: 4,
+        issue_width: 2,
+        rob_entries: 16, // = max trace length, the legal minimum
+        iq_entries: 4,
+        lsq_entries: 16,
+        phys_regs: 96,
+        itr: Some(ItrConfig { rob_entries: 2, ..ItrConfig::paper_default() }),
+        ..PipelineConfig::default()
+    };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.output(), "5050");
+    assert!(pipe.stats().ipc() < 1.5, "starved machine must be slower");
+}
+
+#[test]
+fn tiny_itr_rob_with_recovery_still_works() {
+    use itr_core::ItrConfig;
+    let cfg = PipelineConfig {
+        faults: vec![DecodeFault { nth_decode: 50, bit: 25 }],
+        itr: Some(ItrConfig { rob_entries: 2, ..ItrConfig::paper_default() }),
+        ..PipelineConfig::default()
+    };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.output(), "5050");
+    assert_eq!(pipe.itr().unwrap().stats().recoveries, 1);
+}
+
+#[test]
+fn memory_heavy_kernel_survives_single_lsq_slot() {
+    let src = r#"
+        .data
+        buf: .space 64
+        .text
+        main:
+            la r8, buf
+            li r9, 16
+        fill:
+            sw r9, 0(r8)
+            lw r10, 0(r8)
+            add r11, r11, r10
+            addi r8, r8, 4
+            addi r9, r9, -1
+            bgtz r9, fill
+            move r4, r11
+            trap 1
+            halt
+    "#;
+    // The legal minimum LSQ under ITR is one full trace (16); below
+    // that the commit interlock can deadlock a fault-free program —
+    // see the sizing assertions in Pipeline::new.
+    let cfg = PipelineConfig { lsq_entries: 16, ..PipelineConfig::with_itr() };
+    let (pipe, exit) = run_pipeline(src, cfg);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.output(), "136"); // 16+15+...+1
+}
+
+#[test]
+#[should_panic(expected = "LSQ must hold a full trace")]
+fn undersized_lsq_with_itr_is_rejected() {
+    let p = assemble(SUM_LOOP).unwrap();
+    let cfg = PipelineConfig { lsq_entries: 4, ..PipelineConfig::with_itr() };
+    let _ = Pipeline::new(&p, cfg);
+}
+
+#[test]
+fn scheduler_fault_corrupts_without_tac() {
+    use crate::config::SchedulerFault;
+    // The mis-selected instruction reads a stale physical register.
+    let cfg = PipelineConfig {
+        scheduler_fault: Some(SchedulerFault { nth_issue: 60 }),
+        ..PipelineConfig::with_itr()
+    };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+    assert_eq!(exit, RunExit::Halted);
+    assert_ne!(pipe.output(), "5050", "stale read corrupts the sum");
+    assert_eq!(
+        pipe.itr().unwrap().stats().mismatches,
+        0,
+        "decode-signal signatures cannot see scheduler faults"
+    );
+}
+
+#[test]
+fn tac_check_detects_and_recovers_scheduler_fault() {
+    use crate::config::SchedulerFault;
+    let cfg = PipelineConfig {
+        scheduler_fault: Some(SchedulerFault { nth_issue: 60 }),
+        tac_check: true,
+        ..PipelineConfig::with_itr()
+    };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.output(), "5050", "TAC recovery preserves the result");
+    assert_eq!(pipe.stats().tac_violations, 1);
+    assert_eq!(pipe.stats().tac_recoveries, 1);
+}
+
+#[test]
+fn tac_check_is_silent_fault_free() {
+    let cfg = PipelineConfig { tac_check: true, ..PipelineConfig::with_itr() };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.output(), "5050");
+    assert_eq!(pipe.stats().tac_violations, 0);
+}
+
+#[test]
+fn delayed_itr_cache_reads_preserve_correctness() {
+    use itr_core::ItrConfig;
+    // A realistic 2-cycle SRAM read: absorbed by the dispatch-to-
+    // commit distance, so IPC is essentially unchanged and results
+    // identical.
+    for latency in [2u32, 8, 40] {
+        let cfg = PipelineConfig {
+            itr: Some(ItrConfig { cache_read_latency: latency, ..ItrConfig::paper_default() }),
+            ..PipelineConfig::default()
+        };
+        let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+        assert_eq!(exit, RunExit::Halted, "latency {latency}");
+        assert_eq!(pipe.output(), "5050", "latency {latency}");
+        assert_eq!(pipe.itr().unwrap().stats().mismatches, 0);
+    }
+}
+
+#[test]
+fn long_itr_read_latency_stalls_commit_but_stays_correct() {
+    use itr_core::ItrConfig;
+    let fast = {
+        let (pipe, _) = run_pipeline(SUM_LOOP, PipelineConfig::with_itr());
+        pipe.stats().ipc()
+    };
+    let cfg = PipelineConfig {
+        itr: Some(ItrConfig { cache_read_latency: 40, ..ItrConfig::paper_default() }),
+        ..PipelineConfig::default()
+    };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.output(), "5050");
+    assert!(
+        pipe.stats().ipc() < fast * 0.8,
+        "a 40-cycle read must show in IPC: {} vs {}",
+        pipe.stats().ipc(),
+        fast
+    );
+}
+
+#[test]
+fn recovery_works_with_delayed_reads() {
+    use itr_core::ItrConfig;
+    let cfg = PipelineConfig {
+        faults: vec![DecodeFault { nth_decode: 50, bit: 25 }],
+        itr: Some(ItrConfig { cache_read_latency: 3, ..ItrConfig::paper_default() }),
+        ..PipelineConfig::default()
+    };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.output(), "5050");
+    assert_eq!(pipe.itr().unwrap().stats().recoveries, 1);
+}
+
+#[test]
+fn rotate_xor_runs_cleanly_fault_free() {
+    use itr_core::{FoldKind, ItrConfig};
+    let cfg = PipelineConfig {
+        itr: Some(ItrConfig { fold: FoldKind::RotateXor, ..ItrConfig::paper_default() }),
+        ..PipelineConfig::default()
+    };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.output(), "5050");
+    assert_eq!(pipe.itr().unwrap().stats().mismatches, 0);
+}
+
+#[test]
+fn rename_fault_is_invisible_to_plain_itr() {
+    use crate::config::RenameFault;
+    // Strike the rename map index of a hot-loop source operand: the
+    // decode signals are clean, so the plain signature cannot see it.
+    let fault = RenameFault { nth_rename: 50, operand: 0, bit: 1 };
+    let cfg = PipelineConfig { rename_fault: Some(fault), ..PipelineConfig::with_itr() };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+    assert_eq!(exit, RunExit::Halted);
+    assert_ne!(pipe.output(), "5050", "rename fault corrupts the result");
+    assert_eq!(pipe.itr().unwrap().stats().mismatches, 0, "plain ITR is blind to it");
+}
+
+#[test]
+fn rename_protection_detects_and_recovers_rename_faults() {
+    use crate::config::RenameFault;
+    let fault = RenameFault { nth_rename: 50, operand: 0, bit: 1 };
+    let cfg = PipelineConfig {
+        rename_fault: Some(fault),
+        rename_protection: true,
+        ..PipelineConfig::with_itr()
+    };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.output(), "5050", "extended signature recovers the fault");
+    let s = pipe.itr().unwrap().stats();
+    assert!(s.mismatches >= 1);
+    assert_eq!(s.recoveries, 1);
+}
+
+#[test]
+fn rename_protection_is_transparent_when_fault_free() {
+    let cfg = PipelineConfig { rename_protection: true, ..PipelineConfig::with_itr() };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.output(), "5050");
+    assert_eq!(pipe.itr().unwrap().stats().mismatches, 0);
+}
+
+#[test]
+fn checkpoint_opportunities_arise_in_hot_loops() {
+    // A workload whose every trace repeats: once the loop trace is
+    // confirmed the ITR cache holds no unchecked lines and §2.3
+    // checkpoints become possible. (Any resident run-once trace
+    // blocks the scheme — the paper's condition is strict.)
+    let src = r#"
+        main:
+            addi r8, r8, 1
+            slti r9, r8, 200
+            bgtz r9, main
+            halt
+    "#;
+    let cfg = PipelineConfig { checkpoint_min_gap: 50, ..PipelineConfig::with_itr() };
+    let (pipe, exit) = run_pipeline(src, cfg);
+    assert_eq!(exit, RunExit::Halted);
+    assert!(
+        pipe.checkpointer().checkpoints_taken() >= 2,
+        "took {} checkpoints over {} opportunities",
+        pipe.checkpointer().checkpoints_taken(),
+        pipe.checkpointer().opportunities()
+    );
+}
+
+#[test]
+fn fp_program_runs_correctly_out_of_order() {
+    let src = r#"
+        main:
+            li r8, 12
+            mtc1 r8, f0
+            cvt.s.w f0, f0
+            li r8, 4
+            mtc1 r8, f1
+            cvt.s.w f1, f1
+            div.s f2, f0, f1
+            cvt.w.s f3, f2
+            mfc1 r4, f3
+            trap 1
+            halt
+    "#;
+    let (pipe, exit) = run_pipeline(src, PipelineConfig::with_itr());
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.output(), "3");
+}
+
+#[test]
+fn stage_trace_records_recovery_post_mortem() {
+    let cfg = PipelineConfig {
+        faults: vec![DecodeFault { nth_decode: 50, bit: 25 }],
+        stage_trace_depth: 64,
+        ..PipelineConfig::with_itr()
+    };
+    let (pipe, exit) = run_pipeline(SUM_LOOP, cfg);
+    assert_eq!(exit, RunExit::Halted);
+    let events: Vec<_> = pipe.stage_trace().collect();
+    assert!(
+        events.iter().any(|e| e.what == "decode fault injected"),
+        "the injection itself is traced"
+    );
+    assert!(
+        events.iter().any(|e| e.what == "ITR retry flush"),
+        "the recovery is traced: {events:?}"
+    );
+}
+
+#[test]
+fn stage_trace_is_off_by_default() {
+    let cfg = PipelineConfig {
+        faults: vec![DecodeFault { nth_decode: 50, bit: 25 }],
+        ..PipelineConfig::with_itr()
+    };
+    let (pipe, _) = run_pipeline(SUM_LOOP, cfg);
+    assert_eq!(pipe.stage_trace().count(), 0);
+}
+
+#[test]
+fn stats_report_exports_pipeline_and_itr_sections() {
+    let (pipe, exit) = run_pipeline(SUM_LOOP, PipelineConfig::with_itr());
+    assert_eq!(exit, RunExit::Halted);
+    let report = pipe.stats_report();
+    let stats = pipe.stats();
+    assert_eq!(report.counter("pipeline", "committed"), Some(stats.committed));
+    assert_eq!(report.counter("pipeline", "cycles"), Some(stats.cycles));
+    let itr_stats = pipe.itr().unwrap().stats();
+    assert_eq!(report.counter("itr", "traces_committed"), Some(itr_stats.traces_committed));
+    assert_eq!(report.counter("itr", "mismatches"), Some(0));
+    let commit_width = report.histogram("pipeline", "commit_width").expect("histogram present");
+    assert_eq!(commit_width.count, stats.cycles);
+    assert_eq!(commit_width.sum, stats.committed);
+
+    // The JSON round-trips through the itr-stats parser.
+    let parsed = itr_stats::Report::from_json(&pipe.stats_json()).expect("parses");
+    assert_eq!(parsed.counter("pipeline", "committed"), Some(stats.committed));
+}

@@ -76,10 +76,7 @@ pub fn operand_plan(sig: &DecodeSignals) -> OperandPlan {
     let op = sig.opcode_enum();
     let (f1, f2, fd) = files(op);
     let n = sig.num_rsrc;
-    let srcs = [
-        (n >= 1).then(|| flat(f1, sig.rsrc1)),
-        (n >= 2).then(|| flat(f2, sig.rsrc2)),
-    ];
+    let srcs = [(n >= 1).then(|| flat(f1, sig.rsrc1)), (n >= 2).then(|| flat(f2, sig.rsrc2))];
     let dst = if sig.num_rdst >= 1 {
         let d = flat(fd, sig.rdst);
         (d != 0).then_some(d)
@@ -191,14 +188,8 @@ pub fn execute(input: ExecInput<'_>, loader: &dyn LoadSource) -> ExecOutput {
     let (s1, s2) = (input.src1, input.src2);
     let imm = sig.imm_extended();
     let seq = pc + 4;
-    let mut out = ExecOutput {
-        value: 0,
-        next_pc: seq,
-        taken: None,
-        store: None,
-        load: None,
-        trap: None,
-    };
+    let mut out =
+        ExecOutput { value: 0, next_pc: seq, taken: None, store: None, load: None, trap: None };
     let verified_branch = sig.flags.contains(SignalFlags::IS_BRANCH);
 
     let Some(op) = sig.opcode_enum() else {
@@ -275,11 +266,7 @@ pub fn execute(input: ExecInput<'_>, loader: &dyn LoadSource) -> ExecOutput {
 
         // ---- stores (src1 = base, src2 = data) ----
         Sb | Sh | Sw | Swc1 => {
-            out.store = Some(StoreOp {
-                addr: mem_addr(s1, imm),
-                size: sig.mem_size,
-                value: s2,
-            });
+            out.store = Some(StoreOp { addr: mem_addr(s1, imm), size: sig.mem_size, value: s2 });
         }
         Swl => {
             let addr = mem_addr(s1, imm);
@@ -380,13 +367,7 @@ mod tests {
         let sig = sig_of(inst);
         let mem = Memory::new();
         execute(
-            ExecInput {
-                sig: &sig,
-                pc,
-                raw_jump_target: inst.direct_target(pc),
-                src1,
-                src2,
-            },
+            ExecInput { sig: &sig, pc, raw_jump_target: inst.direct_target(pc), src1, src2 },
             &mem,
         )
     }
@@ -398,14 +379,21 @@ mod tests {
         assert_eq!(run(&Instruction::rrr(Opcode::Mul, 1, 2, 3), 0, 6, 7).value, 42);
         assert_eq!(run(&Instruction::rrr(Opcode::Div, 1, 2, 3), 0, 42, 6).value, 7);
         assert_eq!(run(&Instruction::rrr(Opcode::Div, 1, 2, 3), 0, 42, 0).value, 0, "div by zero");
-        assert_eq!(run(&Instruction::rrr(Opcode::Slt, 1, 2, 3), 0, u32::MAX, 1).value, 1, "-1 < 1 signed");
+        assert_eq!(
+            run(&Instruction::rrr(Opcode::Slt, 1, 2, 3), 0, u32::MAX, 1).value,
+            1,
+            "-1 < 1 signed"
+        );
         assert_eq!(run(&Instruction::rrr(Opcode::Sltu, 1, 2, 3), 0, u32::MAX, 1).value, 0);
     }
 
     #[test]
     fn shifts_use_shamt_signal() {
         assert_eq!(run(&Instruction::shift(Opcode::Sll, 1, 2, 4), 0, 3, 0).value, 48);
-        assert_eq!(run(&Instruction::shift(Opcode::Sra, 1, 2, 1), 0, (-4i32) as u32, 0).value, (-2i32) as u32);
+        assert_eq!(
+            run(&Instruction::shift(Opcode::Sra, 1, 2, 1), 0, (-4i32) as u32, 0).value,
+            (-2i32) as u32
+        );
     }
 
     #[test]
@@ -459,13 +447,7 @@ mod tests {
         // k=1: bytes[1..4) = mem[0x1001..0x1004] = 11,12,13.
         assert_eq!(out_l.value, 0x1312_1100);
         let out_r = execute(
-            ExecInput {
-                sig: &lwr,
-                pc: 0,
-                raw_jump_target: None,
-                src1: 0x1000,
-                src2: out_l.value,
-            },
+            ExecInput { sig: &lwr, pc: 0, raw_jump_target: None, src1: 0x1000, src2: out_l.value },
             &mem,
         );
         // k=0: byte[0] = mem[0x1000] = 0x10, upper bytes preserved.
@@ -513,9 +495,19 @@ mod tests {
     fn fp_arithmetic() {
         let a = 2.5f32.to_bits();
         let b = 0.5f32.to_bits();
-        assert_eq!(f32::from_bits(run(&Instruction::rrr(Opcode::AddS, 1, 2, 3), 0, a, b).value), 3.0);
-        assert_eq!(f32::from_bits(run(&Instruction::rrr(Opcode::MulS, 1, 2, 3), 0, a, b).value), 1.25);
-        assert_eq!(run(&Instruction { op: Opcode::CLtS, rs: 2, rt: 3, rd: 0, shamt: 0, imm: 0 }, 0, b, a).value, 1);
+        assert_eq!(
+            f32::from_bits(run(&Instruction::rrr(Opcode::AddS, 1, 2, 3), 0, a, b).value),
+            3.0
+        );
+        assert_eq!(
+            f32::from_bits(run(&Instruction::rrr(Opcode::MulS, 1, 2, 3), 0, a, b).value),
+            1.25
+        );
+        assert_eq!(
+            run(&Instruction { op: Opcode::CLtS, rs: 2, rt: 3, rd: 0, shamt: 0, imm: 0 }, 0, b, a)
+                .value,
+            1
+        );
         let cvt = Instruction { op: Opcode::CvtSW, rs: 1, rt: 0, rd: 2, shamt: 0, imm: 0 };
         assert_eq!(f32::from_bits(run(&cvt, 0, 7, 0).value), 7.0);
     }
@@ -654,10 +646,8 @@ mod tests {
         let sig = sig_of(&Instruction::shift(Opcode::Sll, 1, 2, 3));
         let faulty = sig.with_bit_flipped(20); // shamt lsb: 3 -> 2
         let mem = Memory::new();
-        let clean = execute(
-            ExecInput { sig: &sig, pc: 0, raw_jump_target: None, src1: 1, src2: 0 },
-            &mem,
-        );
+        let clean =
+            execute(ExecInput { sig: &sig, pc: 0, raw_jump_target: None, src1: 1, src2: 0 }, &mem);
         let bad = execute(
             ExecInput { sig: &faulty, pc: 0, raw_jump_target: None, src1: 1, src2: 0 },
             &mem,
@@ -688,7 +678,12 @@ mod tests {
         assert_eq!(adds.srcs, [Some(34), Some(35)]);
         assert_eq!(adds.dst, Some(33));
         let cmp = operand_plan(&sig_of(&Instruction {
-            op: Opcode::CEqS, rs: 2, rt: 3, rd: 0, shamt: 0, imm: 0,
+            op: Opcode::CEqS,
+            rs: 2,
+            rt: 3,
+            rd: 0,
+            shamt: 0,
+            imm: 0,
         }));
         assert_eq!(cmp.dst, Some(FCC_REG), "compare writes FCC");
         let bc = operand_plan(&sig_of(&Instruction::branch(Opcode::Bc1t, 0, 0, 1)));

@@ -1,0 +1,136 @@
+//! Power-of-two-bucketed histograms for per-stage distributions.
+//!
+//! Bucket `i` counts samples in `[2^(i-1), 2^i)` (bucket 0 counts zeros
+//! and ones... precisely: bucket of sample `v` is `64 - (v.leading_zeros)`
+//! clamped, i.e. `v=0 → 0`, `v=1 → 1`, `2..3 → 2`, `4..7 → 3`, …). The
+//! exact sum and count are kept alongside, so means stay exact even
+//! though the distribution is bucketed.
+
+/// A log2 histogram with exact count/sum/max.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    name: &'static str,
+    buckets: [u64; 32],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+/// An owned snapshot of a histogram, as carried by the JSON export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Histogram name (the JSON key).
+    pub name: String,
+    /// Trailing-zero-trimmed log2 buckets.
+    pub buckets: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Exact mean of the recorded samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new(name: &'static str) -> Histogram {
+        Histogram { name, buckets: [0; 32], count: 0, sum: 0, max: 0 }
+    }
+
+    /// The histogram's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Bucket index of a sample value.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).min(31)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of all samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Snapshot for export.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let used = self.buckets.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
+        HistogramSnapshot {
+            name: self.name.to_string(),
+            buckets: self.buckets[..used].to_vec(),
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        let mut h = Histogram::new("h");
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.sum, 1049);
+        assert_eq!(s.max, 1024);
+        assert_eq!(s.buckets[0], 1, "zero");
+        assert_eq!(s.buckets[1], 1, "one");
+        assert_eq!(s.buckets[2], 2, "2..3");
+        assert_eq!(s.buckets[3], 2, "4..7");
+        assert_eq!(s.buckets[4], 1, "8..15");
+        assert_eq!(s.buckets[11], 1, "1024..2047");
+        assert_eq!(s.buckets.len(), 12, "trailing zeros trimmed");
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new("m");
+        h.record(10);
+        h.record(20);
+        assert!((h.mean() - 15.0).abs() < 1e-12);
+        assert!((h.snapshot().mean() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new("e");
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.snapshot().buckets.is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! # itr-stats — the unified telemetry layer
+//!
+//! Every counter in the workspace flows through this crate: the pipeline's
+//! per-stage statistics, the ITR unit's chk/miss/retry accounting, the
+//! coverage models, and the SRAM access counts behind the §5 energy study.
+//! Consumers (the fault-campaign runner, the figure binaries, tests) read
+//! one JSON export instead of reaching into simulator internals.
+//!
+//! ## Components
+//!
+//! * [`Counters`] — a registry of typed, named counters addressed by cheap
+//!   integer [`Counter`] handles (safe for cycle-loop hot paths),
+//! * [`Histogram`] — power-of-two-bucketed distribution, used for
+//!   per-stage occupancy and width histograms,
+//! * [`EventRing`] — a fixed-capacity ring buffer of recent stage events,
+//!   kept for post-mortem inspection after an ITR mismatch,
+//! * [`Report`] / [`Section`] — the export schema: named sections of
+//!   counters and histograms with [`Report::to_json`] /
+//!   [`Report::from_json`],
+//! * [`json`] — the dependency-free JSON value model backing the export,
+//! * [`rng`] — the deterministic SplitMix64/xorshift PRNG that replaces
+//!   the external `rand` crate, keeping the workspace hermetic.
+//!
+//! ## Example
+//!
+//! ```
+//! use itr_stats::{Counters, Report, Unit};
+//!
+//! let mut c = Counters::new();
+//! let hits = c.register("hits", Unit::Events, "cache hits");
+//! c.add(hits, 3);
+//! let mut report = Report::new();
+//! report.push_section("cache", &c, &[]);
+//! let back = Report::from_json(&report.to_json()).unwrap();
+//! assert_eq!(back.counter("cache", "hits"), Some(3));
+//! ```
+
+mod counter;
+mod histogram;
+pub mod json;
+mod report;
+mod ring;
+pub mod rng;
+
+pub use counter::{Counter, CounterDef, Counters, Unit};
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use report::{Report, Section};
+pub use ring::EventRing;
+pub use rng::SplitMix64;

@@ -1,0 +1,295 @@
+//! The JSON export schema: named sections of counters and histograms.
+//!
+//! Shape (`schema` pins the version so consumers can detect drift):
+//!
+//! ```json
+//! {
+//!   "schema": "itr-stats/v1",
+//!   "sections": {
+//!     "pipeline": {
+//!       "counters": { "cycles": { "value": 1200, "unit": "cycles" }, ... },
+//!       "histograms": {
+//!         "commit_width": { "buckets": [3, 10, 7], "count": 20,
+//!                           "sum": 41, "max": 4 }
+//!       }
+//!     },
+//!     ...
+//!   }
+//! }
+//! ```
+
+use crate::counter::{Counters, Unit};
+use crate::histogram::HistogramSnapshot;
+use crate::json::{ParseError, Value};
+
+/// Schema identifier written into every export.
+pub const SCHEMA: &str = "itr-stats/v1";
+
+/// One exported counter: value plus its unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CounterEntry {
+    name: String,
+    value: u64,
+    unit: Option<Unit>,
+}
+
+/// A named group of counters and histograms (one per producer: the
+/// pipeline, the ITR unit, the coverage model, ...).
+#[derive(Debug, Clone, Default)]
+pub struct Section {
+    name: String,
+    counters: Vec<CounterEntry>,
+    histograms: Vec<HistogramSnapshot>,
+}
+
+impl Section {
+    /// The section's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// Iterates `(name, value)` in export order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|c| (c.name.as_str(), c.value))
+    }
+
+    /// Looks up a histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Iterates the section's histograms in export order.
+    pub fn histograms(&self) -> impl Iterator<Item = &HistogramSnapshot> {
+        self.histograms.iter()
+    }
+}
+
+/// A full stats export: an ordered collection of [`Section`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    sections: Vec<Section>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Appends a section built from a live [`Counters`] set and
+    /// histogram snapshots. Replaces any earlier section with the same
+    /// name so producers can re-export without duplicating.
+    pub fn push_section(
+        &mut self,
+        name: &str,
+        counters: &Counters,
+        histograms: &[HistogramSnapshot],
+    ) {
+        self.sections.retain(|s| s.name != name);
+        self.sections.push(Section {
+            name: name.to_string(),
+            counters: counters
+                .iter()
+                .map(|(def, value)| CounterEntry {
+                    name: def.name.to_string(),
+                    value,
+                    unit: Some(def.unit),
+                })
+                .collect(),
+            histograms: histograms.to_vec(),
+        });
+    }
+
+    /// Looks up a section by name.
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// Iterates the sections in export order.
+    pub fn sections(&self) -> impl Iterator<Item = &Section> {
+        self.sections.iter()
+    }
+
+    /// Convenience: `section(...)` then `counter(...)`.
+    pub fn counter(&self, section: &str, name: &str) -> Option<u64> {
+        self.section(section)?.counter(name)
+    }
+
+    /// Convenience: `section(...)` then `histogram(...)`.
+    pub fn histogram(&self, section: &str, name: &str) -> Option<&HistogramSnapshot> {
+        self.section(section)?.histogram(name)
+    }
+
+    /// Serializes to the compact `itr-stats/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let sections = self
+            .sections
+            .iter()
+            .map(|s| {
+                let counters = s
+                    .counters
+                    .iter()
+                    .map(|c| {
+                        let mut fields = vec![("value".to_string(), Value::UInt(c.value))];
+                        if let Some(u) = c.unit {
+                            fields.push(("unit".to_string(), Value::Str(u.name().to_string())));
+                        }
+                        (c.name.clone(), Value::Object(fields))
+                    })
+                    .collect();
+                let histograms = s
+                    .histograms
+                    .iter()
+                    .map(|h| {
+                        (
+                            h.name.clone(),
+                            Value::Object(vec![
+                                (
+                                    "buckets".to_string(),
+                                    Value::Array(
+                                        h.buckets.iter().map(|&b| Value::UInt(b)).collect(),
+                                    ),
+                                ),
+                                ("count".to_string(), Value::UInt(h.count)),
+                                ("sum".to_string(), Value::UInt(h.sum)),
+                                ("max".to_string(), Value::UInt(h.max)),
+                            ]),
+                        )
+                    })
+                    .collect();
+                (
+                    s.name.clone(),
+                    Value::Object(vec![
+                        ("counters".to_string(), Value::Object(counters)),
+                        ("histograms".to_string(), Value::Object(histograms)),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Object(vec![
+            ("schema".to_string(), Value::Str(SCHEMA.to_string())),
+            ("sections".to_string(), Value::Object(sections)),
+        ])
+        .to_json()
+    }
+
+    /// Parses an `itr-stats/v1` JSON document.
+    pub fn from_json(text: &str) -> Result<Report, ParseError> {
+        let bad = |message| ParseError { offset: 0, message };
+        let doc = Value::parse(text)?;
+        match doc.get("schema").and_then(Value::as_str) {
+            Some(SCHEMA) => {}
+            _ => return Err(bad("missing or unsupported `schema`")),
+        }
+        let sections_obj = doc
+            .get("sections")
+            .and_then(Value::as_object)
+            .ok_or_else(|| bad("missing `sections` object"))?;
+        let mut sections = Vec::with_capacity(sections_obj.len());
+        for (name, body) in sections_obj {
+            let mut section = Section { name: name.clone(), ..Section::default() };
+            if let Some(counters) = body.get("counters").and_then(Value::as_object) {
+                for (cname, centry) in counters {
+                    let value = centry
+                        .get("value")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| bad("counter missing `value`"))?;
+                    let unit = centry.get("unit").and_then(Value::as_str).and_then(Unit::parse);
+                    section.counters.push(CounterEntry { name: cname.clone(), value, unit });
+                }
+            }
+            if let Some(histograms) = body.get("histograms").and_then(Value::as_object) {
+                for (hname, hentry) in histograms {
+                    let buckets = hentry
+                        .get("buckets")
+                        .and_then(Value::as_array)
+                        .ok_or_else(|| bad("histogram missing `buckets`"))?
+                        .iter()
+                        .map(|b| b.as_u64().ok_or_else(|| bad("non-integer bucket")))
+                        .collect::<Result<Vec<u64>, ParseError>>()?;
+                    let field = |key| {
+                        hentry
+                            .get(key)
+                            .and_then(Value::as_u64)
+                            .ok_or_else(|| bad("histogram missing a field"))
+                    };
+                    section.histograms.push(HistogramSnapshot {
+                        name: hname.clone(),
+                        buckets,
+                        count: field("count")?,
+                        sum: field("sum")?,
+                        max: field("max")?,
+                    });
+                }
+            }
+            sections.push(section);
+        }
+        Ok(Report { sections })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::Unit;
+    use crate::histogram::Histogram;
+
+    fn sample_report() -> Report {
+        let mut c = Counters::new();
+        let cycles = c.register("cycles", Unit::Cycles, "total cycles");
+        let commits = c.register("committed", Unit::Instructions, "retired instructions");
+        c.set(cycles, 1200);
+        c.add(commits, 900);
+        let mut h = Histogram::new("commit_width");
+        for w in [0u64, 1, 2, 4, 4, 3] {
+            h.record(w);
+        }
+        let mut r = Report::new();
+        r.push_section("pipeline", &c, &[h.snapshot()]);
+        r
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let r = sample_report();
+        let back = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.counter("pipeline", "cycles"), Some(1200));
+        assert_eq!(back.counter("pipeline", "committed"), Some(900));
+        let h = back.histogram("pipeline", "commit_width").unwrap();
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 14);
+        assert_eq!(h.max, 4);
+        assert_eq!(h, r.histogram("pipeline", "commit_width").unwrap());
+    }
+
+    #[test]
+    fn missing_lookups_return_none() {
+        let r = sample_report();
+        assert_eq!(r.counter("pipeline", "nope"), None);
+        assert_eq!(r.counter("nope", "cycles"), None);
+        assert!(r.histogram("pipeline", "nope").is_none());
+    }
+
+    #[test]
+    fn push_section_replaces_same_name() {
+        let mut r = sample_report();
+        let mut c = Counters::new();
+        let x = c.register("cycles", Unit::Cycles, "");
+        c.set(x, 7);
+        r.push_section("pipeline", &c, &[]);
+        assert_eq!(r.sections().count(), 1);
+        assert_eq!(r.counter("pipeline", "cycles"), Some(7));
+    }
+
+    #[test]
+    fn schema_is_checked() {
+        assert!(Report::from_json("{\"schema\":\"other/v9\",\"sections\":{}}").is_err());
+        assert!(Report::from_json("{\"sections\":{}}").is_err());
+        assert!(Report::from_json("not json").is_err());
+    }
+}

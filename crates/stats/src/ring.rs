@@ -1,0 +1,92 @@
+//! Fixed-capacity ring buffer of recent events.
+//!
+//! The pipeline pushes one entry per notable stage event; after an ITR
+//! mismatch the ring holds the last `capacity` events leading up to it —
+//! a hardware-style post-mortem trace with O(1) overhead per event.
+
+/// A bounded ring that keeps the most recent `capacity` items.
+#[derive(Debug, Clone)]
+pub struct EventRing<T> {
+    buf: Vec<T>,
+    capacity: usize,
+    /// Next write slot (wraps); valid once `buf.len() == capacity`.
+    head: usize,
+    /// Total items ever pushed (so consumers can tell how many were lost).
+    pushed: u64,
+}
+
+impl<T> EventRing<T> {
+    /// A ring keeping at most `capacity` items (`capacity == 0` disables
+    /// recording entirely).
+    pub fn new(capacity: usize) -> EventRing<T> {
+        EventRing { buf: Vec::with_capacity(capacity), capacity, head: 0, pushed: 0 }
+    }
+
+    /// Records one event, evicting the oldest once full.
+    #[inline]
+    pub fn push(&mut self, item: T) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.pushed += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(item);
+        } else {
+            self.buf[self.head] = item;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Number of items currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been recorded (or recording is disabled).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total items ever pushed, including evicted ones.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Iterates the held items oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let (tail, head) = self.buf.split_at(self.head);
+        head.iter().chain(tail.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_most_recent_items_in_order() {
+        let mut r = EventRing::new(3);
+        for i in 0..7 {
+            r.push(i);
+        }
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![4, 5, 6]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_pushed(), 7);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let mut r = EventRing::new(8);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn zero_capacity_is_disabled() {
+        let mut r = EventRing::new(0);
+        r.push(1);
+        assert!(r.is_empty());
+        assert_eq!(r.total_pushed(), 0);
+    }
+}

@@ -549,7 +549,6 @@ op_halt:
 "#,
 };
 
-
 /// Recursive quicksort (Lomuto partition) of 16 words — deep call
 /// recursion exercising the return-address stack; prints the sorted
 /// array's positional checksum.
@@ -772,7 +771,6 @@ nq_next:
 "#,
 };
 
-
 /// A threaded-code interpreter dispatching through a `jr`-based jump
 /// table in data memory — the heaviest indirect-branch workload in the
 /// suite (BTB pressure and constant indirect mispredictions).
@@ -819,7 +817,6 @@ op_halt:
 "#,
 };
 
-
 /// Prints a string by walking a NUL-terminated buffer with `PUT_CHAR`
 /// traps, then prints its length — exercises byte loads and the trap
 /// service path.
@@ -850,9 +847,23 @@ done:
 /// The full kernel suite.
 pub fn all() -> Vec<Kernel> {
     vec![
-        SUM_LOOP, BUBBLE_SORT, MATMUL, CRC32, SIEVE, FIB, STRSEARCH, HASHTABLE,
-        LINKED_LIST, FP_DOT, FP_NEWTON, INTERPRETER, QUICKSORT, BINSEARCH, NQUEENS,
-        JUMPTABLE, HELLO,
+        SUM_LOOP,
+        BUBBLE_SORT,
+        MATMUL,
+        CRC32,
+        SIEVE,
+        FIB,
+        STRSEARCH,
+        HASHTABLE,
+        LINKED_LIST,
+        FP_DOT,
+        FP_NEWTON,
+        INTERPRETER,
+        QUICKSORT,
+        BINSEARCH,
+        NQUEENS,
+        JUMPTABLE,
+        HELLO,
     ]
 }
 

@@ -15,8 +15,7 @@
 
 use crate::profiles::SpecProfile;
 use itr_core::TraceRecord;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use itr_stats::SplitMix64;
 
 /// One code region: an ordered list of trace lengths (instructions,
 /// including the terminating branch) and a fixed loop count.
@@ -42,13 +41,13 @@ pub struct MimicModel {
     regions: Vec<RegionSpec>,
     /// Cumulative Zipf weights for region selection.
     cumulative: Vec<f64>,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl MimicModel {
     /// Builds the model for `profile`, deterministically from `seed`.
     pub fn new(profile: SpecProfile, seed: u64) -> MimicModel {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x1517_AD5E_ED00_0001);
+        let mut rng = SplitMix64::new(seed ^ 0x1517_AD5E_ED00_0001);
         // Region count solves: static_traces ≈ Σ traces + 2·regions + 3
         // (generated programs add a jump-back trace and a dual-identity
         // entry trace per region, plus dispatcher overhead; see synth.rs).
@@ -266,9 +265,7 @@ mod tests {
     #[test]
     fn stream_respects_instruction_budget() {
         let p = profiles::by_name("vpr").unwrap();
-        let total: u64 = SyntheticTraceStream::new(p, 3, 100_000)
-            .map(|t| t.len as u64)
-            .sum();
+        let total: u64 = SyntheticTraceStream::new(p, 3, 100_000).map(|t| t.len as u64).sum();
         assert!(total >= 100_000);
         assert!(total < 101_000, "overshoot bounded by one trace");
     }

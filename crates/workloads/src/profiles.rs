@@ -37,26 +37,154 @@ pub struct SpecProfile {
 
 /// The SPECint 2000 benchmarks evaluated in the paper.
 pub const SPEC_INT: [SpecProfile; 9] = [
-    SpecProfile { name: "bzip",   fp: false, static_traces: 283,   zipf_s: 2.2, loop_iters: 16, region_traces: 12, avg_trace_len: 6 },
-    SpecProfile { name: "gzip",   fp: false, static_traces: 291,   zipf_s: 2.1, loop_iters: 14, region_traces: 12, avg_trace_len: 6 },
-    SpecProfile { name: "gap",    fp: false, static_traces: 696,   zipf_s: 1.1, loop_iters: 6,  region_traces: 14, avg_trace_len: 6 },
-    SpecProfile { name: "parser", fp: false, static_traces: 865,   zipf_s: 1.0, loop_iters: 5,  region_traces: 14, avg_trace_len: 5 },
-    SpecProfile { name: "perl",   fp: false, static_traces: 1704,  zipf_s: 0.5, loop_iters: 2,  region_traces: 16, avg_trace_len: 6 },
-    SpecProfile { name: "twolf",  fp: false, static_traces: 481,   zipf_s: 0.8, loop_iters: 3,  region_traces: 12, avg_trace_len: 6 },
-    SpecProfile { name: "vortex", fp: false, static_traces: 2655,  zipf_s: 0.4, loop_iters: 2,  region_traces: 16, avg_trace_len: 6 },
-    SpecProfile { name: "vpr",    fp: false, static_traces: 292,   zipf_s: 1.4, loop_iters: 8,  region_traces: 12, avg_trace_len: 6 },
-    SpecProfile { name: "gcc",    fp: false, static_traces: 24017, zipf_s: 0.9, loop_iters: 4,  region_traces: 24, avg_trace_len: 6 },
+    SpecProfile {
+        name: "bzip",
+        fp: false,
+        static_traces: 283,
+        zipf_s: 2.2,
+        loop_iters: 16,
+        region_traces: 12,
+        avg_trace_len: 6,
+    },
+    SpecProfile {
+        name: "gzip",
+        fp: false,
+        static_traces: 291,
+        zipf_s: 2.1,
+        loop_iters: 14,
+        region_traces: 12,
+        avg_trace_len: 6,
+    },
+    SpecProfile {
+        name: "gap",
+        fp: false,
+        static_traces: 696,
+        zipf_s: 1.1,
+        loop_iters: 6,
+        region_traces: 14,
+        avg_trace_len: 6,
+    },
+    SpecProfile {
+        name: "parser",
+        fp: false,
+        static_traces: 865,
+        zipf_s: 1.0,
+        loop_iters: 5,
+        region_traces: 14,
+        avg_trace_len: 5,
+    },
+    SpecProfile {
+        name: "perl",
+        fp: false,
+        static_traces: 1704,
+        zipf_s: 0.5,
+        loop_iters: 2,
+        region_traces: 16,
+        avg_trace_len: 6,
+    },
+    SpecProfile {
+        name: "twolf",
+        fp: false,
+        static_traces: 481,
+        zipf_s: 0.8,
+        loop_iters: 3,
+        region_traces: 12,
+        avg_trace_len: 6,
+    },
+    SpecProfile {
+        name: "vortex",
+        fp: false,
+        static_traces: 2655,
+        zipf_s: 0.4,
+        loop_iters: 2,
+        region_traces: 16,
+        avg_trace_len: 6,
+    },
+    SpecProfile {
+        name: "vpr",
+        fp: false,
+        static_traces: 292,
+        zipf_s: 1.4,
+        loop_iters: 8,
+        region_traces: 12,
+        avg_trace_len: 6,
+    },
+    SpecProfile {
+        name: "gcc",
+        fp: false,
+        static_traces: 24017,
+        zipf_s: 0.9,
+        loop_iters: 4,
+        region_traces: 24,
+        avg_trace_len: 6,
+    },
 ];
 
 /// The SPECfp 2000 benchmarks evaluated in the paper.
 pub const SPEC_FP: [SpecProfile; 7] = [
-    SpecProfile { name: "applu",   fp: true, static_traces: 282,  zipf_s: 1.6, loop_iters: 20, region_traces: 10, avg_trace_len: 11 },
-    SpecProfile { name: "apsi",    fp: true, static_traces: 1274, zipf_s: 0.7, loop_iters: 6,  region_traces: 14, avg_trace_len: 10 },
-    SpecProfile { name: "art",     fp: true, static_traces: 98,   zipf_s: 2.0, loop_iters: 30, region_traces: 10, avg_trace_len: 10 },
-    SpecProfile { name: "equake",  fp: true, static_traces: 336,  zipf_s: 1.2, loop_iters: 15, region_traces: 10, avg_trace_len: 10 },
-    SpecProfile { name: "mgrid",   fp: true, static_traces: 798,  zipf_s: 1.8, loop_iters: 25, region_traces: 10, avg_trace_len: 12 },
-    SpecProfile { name: "swim",    fp: true, static_traces: 73,   zipf_s: 2.0, loop_iters: 30, region_traces: 10, avg_trace_len: 12 },
-    SpecProfile { name: "wupwise", fp: true, static_traces: 18,   zipf_s: 2.2, loop_iters: 40, region_traces: 6,  avg_trace_len: 10 },
+    SpecProfile {
+        name: "applu",
+        fp: true,
+        static_traces: 282,
+        zipf_s: 1.6,
+        loop_iters: 20,
+        region_traces: 10,
+        avg_trace_len: 11,
+    },
+    SpecProfile {
+        name: "apsi",
+        fp: true,
+        static_traces: 1274,
+        zipf_s: 0.7,
+        loop_iters: 6,
+        region_traces: 14,
+        avg_trace_len: 10,
+    },
+    SpecProfile {
+        name: "art",
+        fp: true,
+        static_traces: 98,
+        zipf_s: 2.0,
+        loop_iters: 30,
+        region_traces: 10,
+        avg_trace_len: 10,
+    },
+    SpecProfile {
+        name: "equake",
+        fp: true,
+        static_traces: 336,
+        zipf_s: 1.2,
+        loop_iters: 15,
+        region_traces: 10,
+        avg_trace_len: 10,
+    },
+    SpecProfile {
+        name: "mgrid",
+        fp: true,
+        static_traces: 798,
+        zipf_s: 1.8,
+        loop_iters: 25,
+        region_traces: 10,
+        avg_trace_len: 12,
+    },
+    SpecProfile {
+        name: "swim",
+        fp: true,
+        static_traces: 73,
+        zipf_s: 2.0,
+        loop_iters: 30,
+        region_traces: 10,
+        avg_trace_len: 12,
+    },
+    SpecProfile {
+        name: "wupwise",
+        fp: true,
+        static_traces: 18,
+        zipf_s: 2.2,
+        loop_iters: 40,
+        region_traces: 6,
+        avg_trace_len: 10,
+    },
 ];
 
 /// All 16 evaluated benchmarks, integer suite first.
@@ -105,8 +233,10 @@ mod tests {
         let names: Vec<&str> = coverage_figure_set().iter().map(|p| p.name).collect();
         assert_eq!(
             names,
-            ["gap", "parser", "perl", "twolf", "vortex", "vpr", "gcc",
-             "applu", "apsi", "equake", "swim"]
+            [
+                "gap", "parser", "perl", "twolf", "vortex", "vpr", "gcc", "applu", "apsi",
+                "equake", "swim"
+            ]
         );
     }
 

@@ -15,8 +15,7 @@
 use crate::model::MimicModel;
 use crate::profiles::SpecProfile;
 use itr_isa::{Instruction, Opcode, Program, ProgramBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use itr_stats::SplitMix64;
 
 /// Bytes of shared scratch data the blocks load and store.
 const SHARED_BYTES: usize = 2048;
@@ -29,14 +28,10 @@ pub fn generate_mimic(profile: SpecProfile, seed: u64) -> Program {
 
 /// Generates a mimic program whose script covers about
 /// `target_dyn_instrs` dynamic instructions before halting.
-pub fn generate_mimic_sized(
-    profile: SpecProfile,
-    seed: u64,
-    target_dyn_instrs: u64,
-) -> Program {
+pub fn generate_mimic_sized(profile: SpecProfile, seed: u64, target_dyn_instrs: u64) -> Program {
     let mut model = MimicModel::new(profile, seed);
     let schedule = model.sample_schedule(target_dyn_instrs);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_B10C_0000_0002);
+    let mut rng = SplitMix64::new(seed ^ 0x5EED_B10C_0000_0002);
     let mut b = ProgramBuilder::new();
 
     // ---- main: register setup ----
@@ -107,7 +102,7 @@ pub fn generate_mimic_sized(
     b.build().expect("generator emits consistent labels")
 }
 
-fn random_filler(rng: &mut StdRng, fp: bool) -> Instruction {
+fn random_filler(rng: &mut SplitMix64, fp: bool) -> Instruction {
     if fp && rng.gen_bool(0.4) {
         let fd = rng.gen_range(2..=7u8);
         let fa = rng.gen_range(0..=7u8);
@@ -167,10 +162,7 @@ mod tests {
         let reason = sim.run(400_000);
         assert_eq!(reason, StopReason::Halted);
         let n = sim.instr_count();
-        assert!(
-            (80_000..300_000).contains(&n),
-            "dynamic length {n} far from the 100k target"
-        );
+        assert!((80_000..300_000).contains(&n), "dynamic length {n} far from the 100k target");
     }
 
     #[test]
@@ -200,9 +192,7 @@ mod tests {
             .text()
             .iter()
             .filter_map(|&w| itr_isa::decode(w).ok())
-            .filter(|i| {
-                i.op.props().flags.contains(itr_isa::SignalFlags::IS_FP)
-            })
+            .filter(|i| i.op.props().flags.contains(itr_isa::SignalFlags::IS_FP))
             .count();
         assert!(fp_count > 50, "only {fp_count} FP instructions");
     }

@@ -11,8 +11,7 @@ use itr::workloads::{profiles, SyntheticTraceStream};
 fn main() {
     for name in ["bzip", "vortex"] {
         let profile = profiles::by_name(name).expect("known benchmark");
-        let stream: Vec<TraceRecord> =
-            SyntheticTraceStream::new(profile, 7, 1_000_000).collect();
+        let stream: Vec<TraceRecord> = SyntheticTraceStream::new(profile, 7, 1_000_000).collect();
         println!("=== {name}: coverage loss (% of dynamic instructions) ===");
         println!(
             "{:<10} {:>14} {:>14} {:>14}",
@@ -26,11 +25,7 @@ fn main() {
                     model.observe(t);
                 }
                 let r = model.report();
-                print!(
-                    " {:>6.2}/{:<6.2}",
-                    r.detection_loss_pct(),
-                    r.recovery_loss_pct()
-                );
+                print!(" {:>6.2}/{:<6.2}", r.detection_loss_pct(), r.recovery_loss_pct());
             }
             println!();
         }

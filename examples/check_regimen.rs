@@ -16,9 +16,7 @@
 //! Run with: `cargo run --example check_regimen`
 
 use itr::isa::asm::assemble;
-use itr::sim::{
-    DecodeFault, Pipeline, PipelineConfig, RenameFault, RunExit, SchedulerFault,
-};
+use itr::sim::{DecodeFault, Pipeline, PipelineConfig, RenameFault, RunExit, SchedulerFault};
 use itr::workloads::kernels;
 
 fn banner(title: &str) {
@@ -38,15 +36,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     banner("1. decode-unit fault → ITR signature");
-    let cfg = PipelineConfig {
-        faults: vec![DecodeFault { nth_decode: 50, bit: 25 }],
-        ..armed()
-    };
+    let cfg = PipelineConfig { faults: vec![DecodeFault { nth_decode: 50, bit: 25 }], ..armed() };
     let mut cpu = Pipeline::new(&program, cfg);
     assert_eq!(cpu.run(5_000_000), RunExit::Halted);
     assert_eq!(cpu.output(), expected);
     let s = cpu.itr().expect("on").stats();
-    println!("detected by ITR: {} mismatch, {} recovery — output preserved", s.mismatches, s.recoveries);
+    println!(
+        "detected by ITR: {} mismatch, {} recovery — output preserved",
+        s.mismatches, s.recoveries
+    );
 
     banner("2. rename-unit fault → ITR + rename-index folding");
     let cfg = PipelineConfig {
@@ -57,13 +55,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(cpu.run(5_000_000), RunExit::Halted);
     assert_eq!(cpu.output(), expected);
     let s = cpu.itr().expect("on").stats();
-    println!("detected via folded map-table indexes: {} mismatch, {} recovery", s.mismatches, s.recoveries);
+    println!(
+        "detected via folded map-table indexes: {} mismatch, {} recovery",
+        s.mismatches, s.recoveries
+    );
 
     banner("3. scheduler fault → TAC issue-order assertion");
-    let cfg = PipelineConfig {
-        scheduler_fault: Some(SchedulerFault { nth_issue: 60 }),
-        ..armed()
-    };
+    let cfg = PipelineConfig { scheduler_fault: Some(SchedulerFault { nth_issue: 60 }), ..armed() };
     let mut cpu = Pipeline::new(&program, cfg);
     assert_eq!(cpu.run(5_000_000), RunExit::Halted);
     assert_eq!(cpu.output(), expected);
@@ -76,15 +74,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("4. phantom-operand fault → ITR retry rescues the deadlock");
     // num_rsrc flipped to 3: the instruction waits forever; the ITR retry
     // at the commit interlock flushes and re-executes cleanly.
-    let cfg = PipelineConfig {
-        faults: vec![DecodeFault { nth_decode: 53, bit: 58 }],
-        ..armed()
-    };
+    let cfg = PipelineConfig { faults: vec![DecodeFault { nth_decode: 53, bit: 58 }], ..armed() };
     let mut cpu = Pipeline::new(&program, cfg);
     assert_eq!(cpu.run(5_000_000), RunExit::Halted, "no deadlock with the regimen");
     assert_eq!(cpu.output(), expected);
     let s = cpu.itr().expect("on").stats();
-    println!("rescued by ITR retry: {} mismatch, {} recovery — would deadlock otherwise", s.mismatches, s.recoveries);
+    println!(
+        "rescued by ITR retry: {} mismatch, {} recovery — would deadlock otherwise",
+        s.mismatches, s.recoveries
+    );
 
     println!("\nAll four fault classes detected and recovered; program output correct each time.");
     Ok(())

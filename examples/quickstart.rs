@@ -46,8 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let s = itr.stats();
     println!("\nITR unit:");
     println!("  traces committed : {}", s.traces_committed);
-    println!("  signature checks : {} hits / {} misses",
-             itr.cache().stats().hits, itr.cache().stats().misses);
+    println!(
+        "  signature checks : {} hits / {} misses",
+        itr.cache().stats().hits,
+        itr.cache().stats().misses
+    );
     println!("  mismatches       : {} (always 0 without faults)", s.mismatches);
     println!("  in-flight checks : {} (ITR-ROB forwarding)", s.rob_forward_hits);
     println!(

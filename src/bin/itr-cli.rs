@@ -56,10 +56,7 @@ fn flag(args: &[String], name: &str) -> bool {
 }
 
 fn opt(args: &[String], name: &str) -> Option<u64> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
 }
 
 fn load(path: &str) -> Result<Program, Box<dyn std::error::Error>> {
@@ -81,11 +78,8 @@ fn cmd_run(args: &[String]) -> CliResult {
         println!("-- {} instructions, stop: {reason:?}", sim.instr_count());
         return Ok(());
     }
-    let cfg = if flag(args, "--no-itr") {
-        PipelineConfig::default()
-    } else {
-        PipelineConfig::with_itr()
-    };
+    let cfg =
+        if flag(args, "--no-itr") { PipelineConfig::default() } else { PipelineConfig::with_itr() };
     let mut pipe = Pipeline::new(&program, cfg);
     let exit = pipe.run(opt(args, "--max-cycles").unwrap_or(100_000_000));
     println!("{}", pipe.output());
@@ -173,11 +167,8 @@ fn cmd_inject(args: &[String]) -> CliResult {
         itr::isa::DecodeSignals::field_of_bit(fault.bit),
         fault.nth_decode
     );
-    let base = if flag(args, "--no-itr") {
-        PipelineConfig::default()
-    } else {
-        PipelineConfig::with_itr()
-    };
+    let base =
+        if flag(args, "--no-itr") { PipelineConfig::default() } else { PipelineConfig::with_itr() };
     let cfg = PipelineConfig { faults: vec![fault], ..base };
     let mut pipe = Pipeline::new(&program, cfg);
     let exit = pipe.run(opt(args, "--max-cycles").unwrap_or(10_000_000));
@@ -245,8 +236,7 @@ fn cmd_mimic(args: &[String]) -> CliResult {
     println!(
         "ITR: {} traces, hit rate {:.1}%, recovery-coverage loss {:.2}%",
         unit.stats().traces_committed,
-        unit.cache().stats().hits as f64 * 100.0
-            / unit.cache().stats().reads.max(1) as f64,
+        unit.cache().stats().hits as f64 * 100.0 / unit.cache().stats().reads.max(1) as f64,
         unit.stats().recovery_loss_instrs as f64 * 100.0
             / unit.stats().instrs_committed.max(1) as f64
     );

@@ -17,7 +17,10 @@
 //! * [`workloads`] — assembly kernels and SPEC2K-mimic workloads,
 //! * [`faults`] — single-event-upset campaigns and the Figure-8 outcome
 //!   taxonomy,
-//! * [`power`] — CACTI-lite energy and the S/390 G5 area comparison.
+//! * [`power`] — CACTI-lite energy and the S/390 G5 area comparison,
+//! * [`stats`] — the unified telemetry layer: typed counters, per-stage
+//!   histograms, the post-mortem event ring, the `itr-stats/v1` JSON
+//!   export, and the deterministic [`stats::SplitMix64`] PRNG.
 //!
 //! # Quick start
 //!
@@ -54,4 +57,5 @@ pub use itr_faults as faults;
 pub use itr_isa as isa;
 pub use itr_power as power;
 pub use itr_sim as sim;
+pub use itr_stats as stats;
 pub use itr_workloads as workloads;

@@ -16,10 +16,9 @@ fn kernels_run_identically_on_all_simulators() {
         assert_eq!(func.run(20_000_000), StopReason::Halted, "{}", kernel.name);
         assert_eq!(func.output(), kernel.expected_output, "{} functional", kernel.name);
 
-        for (label, cfg) in [
-            ("plain", PipelineConfig::default()),
-            ("itr", PipelineConfig::with_itr()),
-        ] {
+        for (label, cfg) in
+            [("plain", PipelineConfig::default()), ("itr", PipelineConfig::with_itr())]
+        {
             let mut pipe = Pipeline::new(&program, cfg);
             let exit = pipe.run(50_000_000);
             assert_eq!(exit, RunExit::Halted, "{} on {label} pipeline", kernel.name);

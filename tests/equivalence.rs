@@ -1,0 +1,159 @@
+//! Refactor-equivalence guard: the staged pipeline must be
+//! semantics-preserving.
+//!
+//! Two properties over **every** workload in `itr::workloads::suite`:
+//!
+//! 1. the cycle-level [`Pipeline`] commits the exact instruction stream
+//!    (PC, destination writeback, store, next-PC) of the functional
+//!    simulator, with and without the ITR unit;
+//! 2. the ITR mismatch and coverage counters of a fault-free ITR run are
+//!    bit-identical to the golden snapshot in `tests/golden_stats.json`.
+//!
+//! Regenerate the snapshot (after an *intentional* semantic change) with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test equivalence
+//! ```
+
+use itr::sim::{FuncSim, Pipeline, PipelineConfig, RunExit};
+use itr::stats::json::Value;
+use itr::stats::Report;
+use itr::workloads::suite::{everything, Workload};
+
+/// Mimic generation parameters — baked into the golden snapshot, so keep
+/// in sync with `tests/golden_stats.json` when changing.
+const MIMIC_SEED: u64 = 7;
+const MIMIC_INSTRS: u64 = 12_000;
+/// Cycle budget: generous multiple of the largest workload.
+const CYCLE_BUDGET: u64 = 50_000_000;
+
+fn suite() -> Vec<Workload> {
+    everything(MIMIC_SEED, MIMIC_INSTRS)
+}
+
+/// The staged pipeline's committed stream equals the functional
+/// simulator's, record for record, on every suite workload and both
+/// pipeline configurations.
+#[test]
+fn commit_streams_match_funcsim_on_every_workload() {
+    for w in suite() {
+        let mut func = FuncSim::new(&w.program);
+        let (golden, _) = func.run_collect(CYCLE_BUDGET);
+        assert!(!golden.is_empty(), "{}: golden run committed nothing", w.name);
+
+        for (label, cfg) in
+            [("plain", PipelineConfig::default()), ("itr", PipelineConfig::with_itr())]
+        {
+            let mut i = 0usize;
+            let mut pipe = Pipeline::new(&w.program, cfg);
+            let exit = pipe.run_with(CYCLE_BUDGET, |r| {
+                assert!(
+                    i < golden.len(),
+                    "{} ({label}): pipeline committed more than FuncSim",
+                    w.name
+                );
+                assert_eq!(*r, golden[i], "{} ({label}): commit {i} diverged", w.name);
+                i += 1;
+                true
+            });
+            assert_eq!(exit, RunExit::Halted, "{} ({label})", w.name);
+            assert_eq!(i, golden.len(), "{} ({label}): committed count", w.name);
+            if let Some(expected) = w.expected_output {
+                assert_eq!(pipe.output(), expected, "{} ({label}): output", w.name);
+            }
+        }
+    }
+}
+
+/// The counters pinned per workload, read out of the run's
+/// `itr-stats/v1` export.
+const PINNED: &[(&str, &str)] = &[
+    ("itr", "mismatches"),
+    ("itr", "traces_dispatched"),
+    ("itr", "traces_committed"),
+    ("itr", "instrs_committed"),
+    ("itr", "recovery_loss_instrs"),
+    ("itr", "detection_loss_instrs"),
+    ("itr", "retries"),
+    ("itr", "machine_checks"),
+    ("itr_cache", "reads"),
+    ("itr_cache", "writes"),
+    ("itr_cache", "hits"),
+    ("itr_cache", "misses"),
+    ("itr_cache", "evictions"),
+    ("itr_cache", "evictions_unreferenced"),
+];
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden_stats.json")
+}
+
+/// Runs one workload on the ITR pipeline and extracts the pinned
+/// counters from its JSON export.
+fn measure(w: &Workload) -> Vec<(String, Value)> {
+    let mut pipe = Pipeline::new(&w.program, PipelineConfig::with_itr());
+    assert_eq!(pipe.run(CYCLE_BUDGET), RunExit::Halted, "{}", w.name);
+    let report = Report::from_json(&pipe.stats_json()).expect("valid itr-stats/v1 export");
+    PINNED
+        .iter()
+        .map(|(section, counter)| {
+            let value = report
+                .counter(section, counter)
+                .unwrap_or_else(|| panic!("{}: export lacks {section}.{counter}", w.name));
+            (format!("{section}.{counter}"), Value::UInt(value))
+        })
+        .collect()
+}
+
+/// ITR mismatch and coverage counters are bit-identical to the golden
+/// snapshot for every suite workload (fault-free runs).
+#[test]
+fn itr_counters_match_golden_snapshot() {
+    let measured: Vec<(String, Value)> =
+        suite().iter().map(|w| (w.name.clone(), Value::Object(measure(w)))).collect();
+    let doc = Value::Object(vec![
+        ("schema".to_string(), Value::Str("itr-golden/v1".to_string())),
+        ("mimic_seed".to_string(), Value::UInt(MIMIC_SEED)),
+        ("mimic_instrs".to_string(), Value::UInt(MIMIC_INSTRS)),
+        ("workloads".to_string(), Value::Object(measured)),
+    ]);
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path(), doc.to_json()).expect("write golden snapshot");
+        return;
+    }
+
+    let text = std::fs::read_to_string(golden_path())
+        .expect("tests/golden_stats.json missing; regenerate with UPDATE_GOLDEN=1");
+    let golden = Value::parse(&text).expect("golden snapshot parses");
+    assert_eq!(
+        golden.get("schema").and_then(Value::as_str),
+        Some("itr-golden/v1"),
+        "unexpected golden schema"
+    );
+    assert_eq!(golden.get("mimic_seed").and_then(Value::as_u64), Some(MIMIC_SEED));
+    assert_eq!(golden.get("mimic_instrs").and_then(Value::as_u64), Some(MIMIC_INSTRS));
+
+    let golden_workloads =
+        golden.get("workloads").and_then(Value::as_object).expect("golden has workloads");
+    let measured_workloads = doc.get("workloads").and_then(Value::as_object).unwrap();
+    let names = |obj: &[(String, Value)]| -> Vec<String> {
+        obj.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>()
+    };
+    assert_eq!(
+        names(measured_workloads),
+        names(golden_workloads),
+        "workload set changed; regenerate with UPDATE_GOLDEN=1"
+    );
+    for (name, counters) in measured_workloads {
+        let want = golden_workloads.iter().find(|(n, _)| n == name).map(|(_, v)| v).unwrap();
+        for (key, value) in counters.as_object().unwrap() {
+            assert_eq!(
+                Some(value),
+                want.get(key),
+                "{name}: {key} diverged from golden (regenerate with UPDATE_GOLDEN=1 \
+                 only for an intentional semantic change)"
+            );
+        }
+    }
+}

@@ -5,7 +5,9 @@
 use itr::core::{Associativity, CoverageModel, ItrCacheConfig, TraceRecord};
 use itr::faults::{run_campaign, CampaignConfig};
 use itr::isa::asm::assemble;
-use itr::power::{energy_per_access_nj, AreaComparison, EnergyRow, ITR_CACHE_1024X2, POWER4_ICACHE};
+use itr::power::{
+    energy_per_access_nj, AreaComparison, EnergyRow, ITR_CACHE_1024X2, POWER4_ICACHE,
+};
 use itr::sim::{Pipeline, PipelineConfig, RunExit};
 use itr::workloads::{generate_mimic_sized, kernels, profiles, SyntheticTraceStream};
 use std::collections::HashMap;
@@ -58,10 +60,7 @@ fn coverage_design_space_shape() {
     for name in ["bzip", "gap", "vortex", "gcc", "swim"] {
         for entries in [256, 1024] {
             let r = run(name, entries, Associativity::Ways(2));
-            assert!(
-                r.detection_loss_instrs <= r.recovery_loss_instrs,
-                "{name}/{entries}"
-            );
+            assert!(r.detection_loss_instrs <= r.recovery_loss_instrs, "{name}/{entries}");
         }
     }
     let vortex_small = run("vortex", 256, Associativity::Direct);
