@@ -11,132 +11,26 @@
 //! Regenerate with:
 //! `cargo run -p itr-bench --bin ablations --release`
 
-use itr_bench::{trace_stream, write_csv, Args};
-use itr_core::{Associativity, CoverageModel, ItrCacheConfig, TraceRecord};
-use itr_power::{energy_per_access_nj, ITR_CACHE_1024X2, POWER4_ICACHE};
-use itr_sim::TraceStream;
-use itr_workloads::{generate_mimic_sized, profiles};
-use std::collections::HashSet;
+use itr_bench::experiments::ablations::{
+    checked_bit_unit, redundant_fetch_unit, render_ablations, trace_len_unit, AblationUnit,
+    TRACE_LEN_BENCHES,
+};
+use itr_bench::Args;
+use itr_workloads::profiles;
 
 fn main() {
     let args = Args::parse();
-    let mut rows = Vec::new();
-
-    // ---- 1. checked-bit-aware replacement ----
-    println!("=== Ablation 1: checked-bit-aware replacement (2-way, 256 signatures) ===");
-    println!(
-        "{:<10} {:>10} {:>10} {:>10} {:>10}",
-        "bench", "det(LRU)", "det(ckd)", "rec(LRU)", "rec(ckd)"
-    );
+    let program_instrs = args.extra_or("program-instrs", 200_000);
+    let mut units: Vec<AblationUnit> = Vec::new();
     for profile in profiles::coverage_figure_set() {
-        let stream: Vec<TraceRecord> = trace_stream(profile, &args).collect();
-        let mut plain = CoverageModel::new(ItrCacheConfig::new(256, Associativity::Ways(2)));
-        let mut checked = CoverageModel::new(
-            ItrCacheConfig::new(256, Associativity::Ways(2)).with_checked_bit_replacement(true),
-        );
-        for t in &stream {
-            plain.observe(t);
-            checked.observe(t);
-        }
-        let (p, c) = (plain.report(), checked.report());
-        println!(
-            "{:<10} {:>9.2}% {:>9.2}% {:>9.2}% {:>9.2}%",
-            profile.name,
-            p.detection_loss_pct(),
-            c.detection_loss_pct(),
-            p.recovery_loss_pct(),
-            c.recovery_loss_pct()
-        );
-        rows.push(format!(
-            "checked_bit,{},{:.4},{:.4},{:.4},{:.4}",
-            profile.name,
-            p.detection_loss_pct(),
-            c.detection_loss_pct(),
-            p.recovery_loss_pct(),
-            c.recovery_loss_pct()
-        ));
+        units.push(checked_bit_unit(profile, args.seed, args.instrs, args.from_programs));
     }
-
-    // ---- 2. trace length limit ----
-    println!("\n=== Ablation 2: trace length limit (generated programs, 1024×2-way) ===");
-    println!(
-        "{:<10} {:>6} {:>14} {:>10} {:>10}",
-        "bench", "limit", "static traces", "det loss", "rec loss"
-    );
-    let instrs = args.extra_or("program-instrs", 200_000);
-    for name in ["parser", "twolf", "vortex"] {
+    for name in TRACE_LEN_BENCHES {
         let profile = profiles::by_name(name).expect("known benchmark");
-        let program = generate_mimic_sized(profile, args.seed, instrs);
-        for limit in [8u32, 16, 32] {
-            let mut statics: HashSet<u64> = HashSet::new();
-            let mut model = CoverageModel::new(ItrCacheConfig::new(1024, Associativity::Ways(2)));
-            for t in TraceStream::with_trace_len(&program, instrs, limit) {
-                statics.insert(t.start_pc);
-                model.observe(&t);
-            }
-            let r = model.report();
-            println!(
-                "{:<10} {:>6} {:>14} {:>9.2}% {:>9.2}%",
-                name,
-                limit,
-                statics.len(),
-                r.detection_loss_pct(),
-                r.recovery_loss_pct()
-            );
-            rows.push(format!(
-                "trace_len,{name},{limit},{},{:.4},{:.4}",
-                statics.len(),
-                r.detection_loss_pct(),
-                r.recovery_loss_pct()
-            ));
-        }
+        units.push(trace_len_unit(profile, args.seed, program_instrs));
     }
-
-    // ---- 3. redundant fetch on ITR miss / ITR-gated space redundancy ----
-    // §3 sketches two fallbacks: re-fetch missed traces (time redundancy
-    // on demand) or gate a duplicated frontend with the ITR cache (space
-    // redundancy on demand). Both close the recovery gap; the energy
-    // column compares them with full structural duplication, which pays
-    // the redundant fetch for *every* instruction.
-    println!("\n=== Ablation 3: redundant fetch on ITR miss vs full duplication (§3) ===");
-    println!(
-        "{:<10} {:>10} {:>14} {:>14} {:>14}",
-        "bench", "rec loss", "gated (mJ)", "full dup (mJ)", "saving"
-    );
-    let e_ic = energy_per_access_nj(&POWER4_ICACHE);
-    let e_itr = energy_per_access_nj(&ITR_CACHE_1024X2);
     for profile in profiles::coverage_figure_set() {
-        let mut model = CoverageModel::new(ItrCacheConfig::new(1024, Associativity::Ways(2)));
-        let mut miss_fetch_groups = 0u64;
-        let mut all_fetch_groups = 0u64;
-        let mut itr_accesses = 0u64;
-        for t in trace_stream(profile, &args) {
-            all_fetch_groups += (t.len as u64).div_ceil(4);
-            // One extra ITR-cache check per refetched trace, plus the
-            // refetch itself (one fetch group per 4 instructions).
-            if model.cache().peek(t.start_pc).is_none() {
-                miss_fetch_groups += (t.len as u64).div_ceil(4);
-                itr_accesses += 1;
-            }
-            model.observe(&t);
-        }
-        let r = model.report();
-        let gated_mj = (miss_fetch_groups as f64 * e_ic + itr_accesses as f64 * e_itr) * 1e-6;
-        let full_dup_mj = all_fetch_groups as f64 * e_ic * 1e-6;
-        println!(
-            "{:<10} {:>9.2}% {:>14.4} {:>14.4} {:>13.1}x",
-            profile.name,
-            r.recovery_loss_pct(),
-            gated_mj,
-            full_dup_mj,
-            full_dup_mj / gated_mj.max(1e-12)
-        );
-        rows.push(format!(
-            "redundant_fetch,{},{:.4},{gated_mj:.5},{full_dup_mj:.5}",
-            profile.name,
-            r.recovery_loss_pct()
-        ));
+        units.push(redundant_fetch_unit(profile, args.seed, args.instrs, args.from_programs));
     }
-    println!("(either fallback closes recovery loss to 0.00% for every benchmark)");
-    write_csv(&args, "ablations.csv", "ablation,bench,a,b,c,d", &rows);
+    render_ablations(&units).print_and_write_csv(&args);
 }

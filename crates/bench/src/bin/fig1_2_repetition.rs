@@ -4,38 +4,15 @@
 //! Regenerate with:
 //! `cargo run -p itr-bench --bin fig1_2_repetition --release`
 
-use itr_bench::{pct, trace_stream, write_csv, Args, StreamStats};
+use itr_bench::experiments::characterize::{characterize_bench, render_fig1_2, BenchChar};
+use itr_bench::Args;
 use itr_workloads::profiles;
 
 fn main() {
     let args = Args::parse();
-    let int_points = [50usize, 100, 200, 300, 400, 500, 700, 1000];
-    let fp_points = [10usize, 25, 50, 100, 200, 300, 400, 500];
-    let mut rows = Vec::new();
-
-    for (title, suite, points) in [
-        ("Figure 1 (integer)", profiles::SPEC_INT.as_slice(), &int_points),
-        ("Figure 2 (floating point)", profiles::SPEC_FP.as_slice(), &fp_points),
-    ] {
-        println!("\n=== {title}: cumulative % dynamic instructions by top-N static traces ===");
-        print!("{:<10}", "bench");
-        for n in points {
-            print!("{:>9}", format!("top{n}"));
-        }
-        println!();
-        for &profile in suite {
-            let stats = StreamStats::collect(trace_stream(profile, &args));
-            print!("{:<10}", profile.name);
-            for &n in points {
-                print!("{:>9}", pct(stats.top_n_share_pct(n)));
-            }
-            println!();
-            for &n in points {
-                rows.push(format!("{},{},{:.3}", profile.name, n, stats.top_n_share_pct(n)));
-            }
-        }
-    }
-    println!("\nPaper shape: in most integer benchmarks <500 static traces contribute nearly all");
-    println!("dynamic instructions (gcc/vortex excepted); FP benchmarks are more repetitive.");
-    write_csv(&args, "fig1_2_repetition.csv", "bench,top_n,share_pct", &rows);
+    let units: Vec<BenchChar> = profiles::all()
+        .into_iter()
+        .map(|p| characterize_bench(p, args.seed, args.instrs, args.from_programs))
+        .collect();
+    render_fig1_2(&units).print_and_write_csv(&args);
 }

@@ -5,37 +5,15 @@
 //! Regenerate with:
 //! `cargo run -p itr-bench --bin fig3_4_distance --release`
 
-use itr_bench::{pct, trace_stream, write_csv, Args, StreamStats};
+use itr_bench::experiments::characterize::{characterize_bench, render_fig3_4, BenchChar};
+use itr_bench::Args;
 use itr_workloads::profiles;
 
 fn main() {
     let args = Args::parse();
-    let buckets: Vec<u64> = (1..=20).map(|i| i * 500).collect();
-    let mut rows = Vec::new();
-
-    for (title, suite) in [
-        ("Figure 3 (integer)", profiles::SPEC_INT.as_slice()),
-        ("Figure 4 (floating point)", profiles::SPEC_FP.as_slice()),
-    ] {
-        println!("\n=== {title}: % dynamic instructions from repeats within distance ===");
-        print!("{:<10}", "bench");
-        for d in [500u64, 1000, 1500, 2000, 5000, 10000] {
-            print!("{:>9}", format!("<{d}"));
-        }
-        println!();
-        for &profile in suite {
-            let stats = StreamStats::collect(trace_stream(profile, &args));
-            print!("{:<10}", profile.name);
-            for d in [500u64, 1000, 1500, 2000, 5000, 10000] {
-                print!("{:>9}", pct(stats.within_distance_pct(d)));
-            }
-            println!();
-            for &d in &buckets {
-                rows.push(format!("{},{},{:.3}", profile.name, d, stats.within_distance_pct(d)));
-            }
-        }
-    }
-    println!("\nPaper shape: most integer benchmarks reach 85% within 5000 instructions (perl");
-    println!("and vortex excepted); FP benchmarks reach near-total coverage within 1500.");
-    write_csv(&args, "fig3_4_distance.csv", "bench,distance,share_pct", &rows);
+    let units: Vec<BenchChar> = profiles::all()
+        .into_iter()
+        .map(|p| characterize_bench(p, args.seed, args.instrs, args.from_programs))
+        .collect();
+    render_fig3_4(&units).print_and_write_csv(&args);
 }

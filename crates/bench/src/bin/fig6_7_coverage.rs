@@ -5,82 +5,15 @@
 //! Regenerate with:
 //! `cargo run -p itr-bench --bin fig6_7_coverage --release`
 
-use itr_bench::{trace_stream, write_csv, Args};
-use itr_core::{Associativity, CoverageModel, ItrCacheConfig, TraceRecord};
+use itr_bench::experiments::coverage::{coverage_unit, render_fig6_7, CoverageUnit};
+use itr_bench::Args;
 use itr_workloads::profiles;
 
 fn main() {
     let args = Args::parse();
-    let sizes = [256u32, 512, 1024];
-    let mut rows = Vec::new();
-
-    println!("=== Figures 6/7: coverage loss (% of all dynamic instructions) ===");
-    println!("(rows: benchmark × associativity; paired columns per cache size)\n");
-    print!("{:<10} {:<7}", "bench", "assoc");
-    for s in sizes {
-        print!("  {:>8} {:>8}", format!("det{s}"), format!("rec{s}"));
-    }
-    println!();
-
-    for profile in profiles::coverage_figure_set() {
-        // One pass over the stream feeds all 18 configurations.
-        let stream: Vec<TraceRecord> = trace_stream(profile, &args).collect();
-        for assoc in Associativity::SWEEP {
-            print!("{:<10} {:<7}", profile.name, assoc.label());
-            for &size in &sizes {
-                let mut model = CoverageModel::new(ItrCacheConfig::new(size, assoc));
-                for t in &stream {
-                    model.observe(t);
-                }
-                let r = model.report();
-                print!("  {:>7.2}% {:>7.2}%", r.detection_loss_pct(), r.recovery_loss_pct());
-                rows.push(format!(
-                    "{},{},{size},{:.4},{:.4}",
-                    profile.name,
-                    assoc.label(),
-                    r.detection_loss_pct(),
-                    r.recovery_loss_pct()
-                ));
-            }
-            println!();
-        }
-    }
-
-    // The paper's summary statistic for the 2-way 1024-signature point.
-    let mut det = Vec::new();
-    let mut rec = Vec::new();
-    for profile in profiles::all() {
-        let mut model = CoverageModel::new(ItrCacheConfig::new(1024, Associativity::Ways(2)));
-        for t in trace_stream(profile, &args) {
-            model.observe(&t);
-        }
-        let r = model.report();
-        det.push((profile.name, r.detection_loss_pct()));
-        rec.push((profile.name, r.recovery_loss_pct()));
-    }
-    fn avg(v: &[(&str, f64)]) -> f64 {
-        v.iter().map(|(_, x)| x).sum::<f64>() / v.len() as f64
-    }
-    fn max<'a>(v: &[(&'a str, f64)]) -> (&'a str, f64) {
-        v.iter().fold(("", 0.0f64), |m, &(n, x)| if x > m.1 { (n, x) } else { m })
-    }
-    println!("\n2-way, 1024 signatures across all 16 benchmarks:");
-    println!(
-        "  detection loss: avg {:.2}% (paper: 1.3%), max {:.2}% on {} (paper: 8.2% on vortex)",
-        avg(&det),
-        max(&det).1,
-        max(&det).0
-    );
-    println!(
-        "  recovery  loss: avg {:.2}% (paper: 2.5%), max {:.2}% on {} (paper: 15% on vortex)",
-        avg(&rec),
-        max(&rec).1,
-        max(&rec).0
-    );
-    write_csv(
-        &args,
-        "fig6_7_coverage.csv",
-        "bench,assoc,entries,detection_loss_pct,recovery_loss_pct",
-        &rows,
-    );
+    let units: Vec<CoverageUnit> = profiles::all()
+        .into_iter()
+        .map(|p| coverage_unit(p, args.seed, args.instrs, args.from_programs))
+        .collect();
+    render_fig6_7(&units).print_and_write_csv(&args);
 }

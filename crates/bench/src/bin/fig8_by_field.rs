@@ -15,8 +15,9 @@
 //! Regenerate with:
 //! `cargo run -p itr-bench --bin fig8_by_field --release`
 
-use itr_bench::{write_csv, Args};
-use itr_faults::{run_campaign, CampaignConfig, Outcome};
+use itr_bench::experiments::injection::{byfield_cfg, render_byfield, tally_by_field};
+use itr_bench::Args;
+use itr_faults::run_campaign;
 use itr_workloads::{generate_mimic_sized, profiles};
 
 fn main() {
@@ -29,43 +30,8 @@ fn main() {
     // need many samples per field).
     let profile = profiles::by_name("gap").expect("known benchmark");
     let program = generate_mimic_sized(profile, args.seed, program_instrs);
-    let cfg = CampaignConfig {
-        faults,
-        window_cycles: window,
-        min_decode: 200,
-        max_decode: program_instrs,
-        seed: args.seed ^ 0xF1E1D,
-        threads: 0,
-        ..CampaignConfig::default()
-    };
+    let cfg = byfield_cfg(args.seed, faults, window, program_instrs);
     let result = run_campaign(&program, &cfg);
-
-    println!("=== Figure 8 supplement: {faults} faults on `{}` by signal field ===", profile.name);
-    print!("{:<10} {:>6}", "field", "n");
-    for o in Outcome::ALL {
-        print!("{:>12}", o.label());
-    }
-    println!();
-    let mut rows = Vec::new();
-    for (field, counts) in result.by_field() {
-        let n: u32 = counts.values().sum();
-        print!("{field:<10} {n:>6}");
-        let mut row = format!("{field},{n}");
-        for o in Outcome::ALL {
-            let f = *counts.get(&o).unwrap_or(&0) as f64 * 100.0 / n as f64;
-            print!("{f:>11.1}%");
-            row.push_str(&format!(",{f:.2}"));
-        }
-        println!();
-        rows.push(row);
-    }
-    println!("\nExpected: lat flips nearly all ITR+Mask; rsrc/rdst/opcode/imm carry the");
-    println!("SDC mass; num_rsrc contributes the deadlock rescues (ITR+wdog+R).");
-
-    let mut header = "field,n".to_string();
-    for o in Outcome::ALL {
-        header.push(',');
-        header.push_str(o.label());
-    }
-    write_csv(&args, "fig8_by_field.csv", &header, &rows);
+    let fields = tally_by_field(&result.records);
+    render_byfield(&fields, faults, profile.name).print_and_write_csv(&args);
 }

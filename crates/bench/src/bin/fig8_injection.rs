@@ -12,8 +12,9 @@
 //! Defaults are scaled for minutes-level runtime; paper scale is
 //! `--faults 1000 --window 1000000`.
 
-use itr_bench::{write_csv, Args};
-use itr_faults::{run_campaign, CampaignConfig, Outcome};
+use itr_bench::experiments::injection::{fig8_cfg, render_fig8, tally, Fig8Unit};
+use itr_bench::Args;
+use itr_faults::run_campaign;
 use itr_workloads::{generate_mimic_sized, profiles};
 
 fn main() {
@@ -22,67 +23,14 @@ fn main() {
     let window = args.extra_or("window", 50_000);
     let program_instrs = args.extra_or("program-instrs", 150_000);
 
-    let suite = profiles::coverage_figure_set();
-    println!(
-        "=== Figure 8: outcome of {faults} injected faults per benchmark (window {window} cycles) ==="
-    );
-    print!("{:<10}", "bench");
-    for o in Outcome::ALL {
-        print!("{:>12}", o.label());
-    }
-    println!();
-
-    let mut rows = Vec::new();
-    let mut totals = vec![0.0f64; Outcome::ALL.len()];
-    for profile in &suite {
-        let program = generate_mimic_sized(*profile, args.seed, program_instrs);
-        let cfg = CampaignConfig {
-            faults,
-            window_cycles: window,
-            min_decode: 200,
-            max_decode: program_instrs,
-            seed: args.seed ^ 0xF8,
-            threads: 0,
-            ..CampaignConfig::default()
-        };
-        let result = run_campaign(&program, &cfg);
-        print!("{:<10}", profile.name);
-        let mut row = profile.name.to_string();
-        for (i, o) in Outcome::ALL.into_iter().enumerate() {
-            let f = result.fraction(o) * 100.0;
-            totals[i] += f;
-            print!("{f:>11.1}%");
-            row.push_str(&format!(",{f:.2}"));
-        }
-        println!();
-        rows.push(row);
-    }
-    print!("{:<10}", "Avg");
-    let mut avg_row = "Avg".to_string();
-    for t in &totals {
-        let f = t / suite.len() as f64;
-        print!("{f:>11.1}%");
-        avg_row.push_str(&format!(",{f:.2}"));
-    }
-    println!();
-    rows.push(avg_row);
-
-    let itr_avg: f64 = totals
-        .iter()
-        .zip(Outcome::ALL)
-        .filter(|(_, o)| o.itr_detected())
-        .map(|(t, _)| t)
-        .sum::<f64>()
-        / suite.len() as f64;
-    println!("\nAverage detected through the ITR cache: {itr_avg:.1}% (paper: 95.4%)");
-
-    let header = {
-        let mut h = "bench".to_string();
-        for o in Outcome::ALL {
-            h.push(',');
-            h.push_str(o.label());
-        }
-        h
-    };
-    write_csv(&args, "fig8_injection.csv", &header, &rows);
+    let units: Vec<Fig8Unit> = profiles::coverage_figure_set()
+        .into_iter()
+        .map(|profile| {
+            let program = generate_mimic_sized(profile, args.seed, program_instrs);
+            let cfg = fig8_cfg(args.seed, faults, window, program_instrs);
+            let result = run_campaign(&program, &cfg);
+            Fig8Unit { name: profile.name.to_string(), counts: tally(&result.records) }
+        })
+        .collect();
+    render_fig8(&units, faults, window).print_and_write_csv(&args);
 }

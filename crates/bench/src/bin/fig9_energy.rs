@@ -12,55 +12,14 @@
 //! Regenerate with:
 //! `cargo run -p itr-bench --bin fig9_energy --release`
 
-use itr_bench::{write_csv, Args};
-use itr_power::EnergyRow;
-use itr_sim::{Pipeline, PipelineConfig};
-use itr_stats::Report;
-use itr_workloads::{generate_mimic_sized, profiles};
+use itr_bench::experiments::energy::{energy_unit, render_fig9, EnergyUnit};
+use itr_bench::Args;
+use itr_workloads::profiles;
 
 fn main() {
     let args = Args::parse();
     let instrs = args.extra_or("program-instrs", 300_000);
-    println!("=== Figure 9: energy of ITR cache vs I-cache second fetch (mJ) ===");
-    println!(
-        "{:<10} {:>12} {:>12} {:>14} {:>14} {:>14} {:>8}",
-        "bench", "itr-acc", "ic-acc", "ITR 1rd/wr", "ITR 1rd+1wr", "I-cache", "saving"
-    );
-    let mut rows = Vec::new();
-    for profile in profiles::all() {
-        let program = generate_mimic_sized(profile, args.seed, instrs);
-        let mut pipe = Pipeline::new(&program, PipelineConfig::with_itr());
-        pipe.run(instrs * 10);
-        let report = Report::from_json(&pipe.stats_json())
-            .expect("pipeline emits a valid itr-stats/v1 report");
-        let row = EnergyRow::from_report(profile.name, &report)
-            .expect("ITR-enabled run exports itr_cache and pipeline sections");
-        println!(
-            "{:<10} {:>12} {:>12} {:>14.3} {:>14.3} {:>14.3} {:>7.1}x",
-            row.name,
-            row.itr_accesses,
-            row.icache_accesses,
-            row.itr_single_port_mj,
-            row.itr_dual_port_mj,
-            row.icache_refetch_mj,
-            row.saving_factor()
-        );
-        rows.push(format!(
-            "{},{},{},{:.5},{:.5},{:.5}",
-            row.name,
-            row.itr_accesses,
-            row.icache_accesses,
-            row.itr_single_port_mj,
-            row.itr_dual_port_mj,
-            row.icache_refetch_mj
-        ));
-    }
-    println!("\nPaper shape: the ITR cache is far more energy-efficient than fetching every");
-    println!("instruction twice from the I-cache, for every benchmark.");
-    write_csv(
-        &args,
-        "fig9_energy.csv",
-        "bench,itr_accesses,icache_accesses,itr_single_mj,itr_dual_mj,icache_mj",
-        &rows,
-    );
+    let units: Vec<EnergyUnit> =
+        profiles::all().into_iter().map(|p| energy_unit(p, args.seed, instrs)).collect();
+    render_fig9(&units).print_and_write_csv(&args);
 }

@@ -14,63 +14,22 @@
 //! Regenerate with:
 //! `cargo run -p itr-bench --bin perf_overhead --release`
 
-use itr_bench::{write_csv, Args};
-use itr_core::ItrConfig;
+use itr_bench::experiments::perf::{measure, render_perf, PerfUnit, KERNEL_BUDGET};
+use itr_bench::Args;
 use itr_isa::asm::assemble;
-use itr_isa::Program;
-use itr_sim::{Pipeline, PipelineConfig};
-use itr_stats::Report;
 use itr_workloads::{generate_mimic_sized, kernels, profiles};
-
-/// IPC read back from the run's `itr-stats/v1` JSON export rather than
-/// the live stats struct, exercising the same path external tooling uses.
-fn ipc(program: &Program, cfg: PipelineConfig, max_cycles: u64) -> f64 {
-    let mut pipe = Pipeline::new(program, cfg);
-    pipe.run(max_cycles);
-    let report =
-        Report::from_json(&pipe.stats_json()).expect("pipeline emits a valid itr-stats/v1 report");
-    let cycles = report.counter("pipeline", "cycles").unwrap_or(0);
-    let committed = report.counter("pipeline", "committed").unwrap_or(0);
-    if cycles == 0 {
-        0.0
-    } else {
-        committed as f64 / cycles as f64
-    }
-}
 
 fn main() {
     let args = Args::parse();
     let instrs = args.extra_or("program-instrs", 150_000);
-    println!("=== ITR performance overhead (IPC) ===");
-    println!(
-        "{:<12} {:>9} {:>9} {:>9} {:>10} {:>10}",
-        "workload", "baseline", "ITR", "ITR+rfod", "ITR ovh", "rfod ovh"
-    );
-    let mut rows = Vec::new();
-    let mut run = |name: &str, program: &Program, budget: u64| {
-        let base = ipc(program, PipelineConfig::default(), budget);
-        let itr = ipc(program, PipelineConfig::with_itr(), budget);
-        let rfod_cfg = PipelineConfig {
-            itr: Some(ItrConfig { redundant_fetch_on_miss: true, ..ItrConfig::paper_default() }),
-            ..PipelineConfig::default()
-        };
-        let rfod = ipc(program, rfod_cfg, budget);
-        let ovh = (1.0 - itr / base) * 100.0;
-        let rovh = (1.0 - rfod / base) * 100.0;
-        println!("{name:<12} {base:>9.3} {itr:>9.3} {rfod:>9.3} {ovh:>9.2}% {rovh:>9.2}%");
-        rows.push(format!("{name},{base:.4},{itr:.4},{rfod:.4}"));
-    };
-
+    let mut units: Vec<PerfUnit> = Vec::new();
     for kernel in kernels::all() {
         let program = assemble(kernel.source).expect("kernel assembles");
-        run(kernel.name, &program, 50_000_000);
+        units.push(measure(kernel.name, &program, KERNEL_BUDGET));
     }
     for profile in profiles::all() {
         let program = generate_mimic_sized(profile, args.seed, instrs);
-        run(profile.name, &program, instrs * 20);
+        units.push(measure(profile.name, &program, instrs * 20));
     }
-    println!("\nExpected: plain ITR costs at most a few percent (interlock rarely on the");
-    println!("critical path); the redundant-fetch fallback costs more where miss rates are");
-    println!("high (vortex/perl/gcc), the bandwidth-for-coverage trade §3 describes.");
-    write_csv(&args, "perf_overhead.csv", "workload,baseline_ipc,itr_ipc,rfod_ipc", &rows);
+    render_perf(&units).print_and_write_csv(&args);
 }

@@ -4,27 +4,15 @@
 //! Regenerate with:
 //! `cargo run -p itr-bench --bin table1_static_traces --release`
 
-use itr_bench::{trace_stream, write_csv, Args, StreamStats};
-use itr_workloads::{profiles, MimicModel};
+use itr_bench::experiments::characterize::{characterize_bench, render_table1, BenchChar};
+use itr_bench::Args;
+use itr_workloads::profiles;
 
 fn main() {
     let args = Args::parse();
-    println!("=== Table 1: static traces per benchmark ===");
-    println!(
-        "{:<10} {:>8} {:>9} {:>9}   (modelled = full static population;",
-        "bench", "paper", "modelled", "observed"
-    );
-    println!("{:>52}", "observed = visited within --instrs)");
-    let mut rows = Vec::new();
-    for profile in profiles::all() {
-        let modelled = MimicModel::new(profile, args.seed).modelled_static_traces();
-        let stats = StreamStats::collect(trace_stream(profile, &args));
-        let observed = stats.static_traces();
-        println!(
-            "{:<10} {:>8} {:>9} {:>9}",
-            profile.name, profile.static_traces, modelled, observed
-        );
-        rows.push(format!("{},{},{modelled},{observed}", profile.name, profile.static_traces));
-    }
-    write_csv(&args, "table1_static_traces.csv", "bench,paper,modelled,observed", &rows);
+    let units: Vec<BenchChar> = profiles::all()
+        .into_iter()
+        .map(|p| characterize_bench(p, args.seed, args.instrs, args.from_programs))
+        .collect();
+    render_table1(&units).print_and_write_csv(&args);
 }

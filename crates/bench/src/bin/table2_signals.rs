@@ -5,16 +5,8 @@
 //! Regenerate with:
 //! `cargo run -p itr-bench --bin table2_signals`
 
-use itr_isa::{SIGNAL_FIELDS, TOTAL_SIGNAL_BITS};
+use itr_bench::experiments::statics::render_table2;
 
 fn main() {
-    println!("=== Table 2: list of decode signals ===");
-    println!("{:<10} {:<42} {:>5}", "field", "description", "width");
-    let mut total = 0;
-    for f in SIGNAL_FIELDS {
-        println!("{:<10} {:<42} {:>5}", f.name, f.description, f.width);
-        total += f.width;
-    }
-    println!("{:<10} {:<42} {:>5}", "total", "", total);
-    assert_eq!(total, TOTAL_SIGNAL_BITS);
+    print!("{}", render_table2().text);
 }

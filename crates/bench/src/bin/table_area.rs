@@ -4,23 +4,8 @@
 //! Regenerate with:
 //! `cargo run -p itr-bench --bin table_area`
 
-use itr_power::{itr_cache_area_cm2, AreaComparison};
+use itr_bench::experiments::statics::render_area;
 
 fn main() {
-    let cmp = AreaComparison::paper_itr_cache();
-    println!("=== §5 area comparison (S/390 G5 die photo) ===");
-    println!("I-unit (fetch + decode):          {:>6.2} cm²  (paper: 2.1 cm²)", cmp.iunit_cm2);
-    println!(
-        "ITR cache (1024 × 64-bit, 2-way): {:>6.3} cm²  (paper: ~0.3 cm² BTB-like structure)",
-        cmp.itr_cache_cm2
-    );
-    println!("Ratio: {:.1}× smaller (paper: \"about one seventh\")", cmp.ratio());
-    println!("\nSensitivity:");
-    for (entries, bits) in [(256u32, 64u32), (512, 64), (1024, 64), (2048, 64)] {
-        println!(
-            "  {entries:>5} signatures × {bits} bits: {:>6.3} cm² ({:.1}× smaller than the I-unit)",
-            itr_cache_area_cm2(entries, bits),
-            cmp.iunit_cm2 / itr_cache_area_cm2(entries, bits)
-        );
-    }
+    print!("{}", render_area().text);
 }

@@ -12,58 +12,29 @@
 //! Regenerate with:
 //! `cargo run -p itr-bench --bin window_sensitivity --release`
 
-use itr_bench::{write_csv, Args};
-use itr_faults::{run_campaign, CampaignConfig, Outcome};
+use itr_bench::experiments::injection::tally;
+use itr_bench::experiments::window::{render_window, window_cfg, WindowUnit, WINDOWS};
+use itr_bench::Args;
+use itr_faults::run_campaign;
 use itr_workloads::{generate_mimic_sized, profiles};
 
 fn main() {
     let args = Args::parse();
     let faults = args.extra_or("faults", 150) as u32;
     let program_instrs = args.extra_or("program-instrs", 200_000);
-    let windows = [1_000u64, 4_000, 16_000, 64_000, 256_000];
 
     // Use the far-repeating benchmark so late detections exist (vortex:
     // repeat distances of tens of thousands of instructions, Fig. 3).
     let profile = profiles::by_name("vortex").expect("known");
     let program = generate_mimic_sized(profile, args.seed, program_instrs);
 
-    println!(
-        "=== Window sensitivity: {faults} faults on `{}`, growing observation window ===",
-        profile.name
-    );
-    println!("{:>10} {:>10} {:>10} {:>10} {:>10}", "window", "ITR%", "MayITR%", "Undet%", "spc%");
-    let mut rows = Vec::new();
-    for window in windows {
-        let cfg = CampaignConfig {
-            faults,
-            window_cycles: window,
-            min_decode: 200,
-            max_decode: program_instrs,
-            seed: args.seed ^ 0x71D0,
-            threads: 0,
-            ..CampaignConfig::default()
-        };
-        let result = run_campaign(&program, &cfg);
-        let pct = |f: f64| f * 100.0;
-        let itr = pct(result.itr_detected_fraction());
-        let may = pct(result.fraction(Outcome::MayItrSdc) + result.fraction(Outcome::MayItrMask));
-        let undet = pct(result.fraction(Outcome::UndetSdc)
-            + result.fraction(Outcome::UndetMask)
-            + result.fraction(Outcome::UndetWdog));
-        let spc = pct(result.fraction(Outcome::SpcSdc));
-        println!("{window:>10} {itr:>9.1}% {may:>9.1}% {undet:>9.1}% {spc:>9.1}%");
-        rows.push(format!("{window},{itr:.2},{may:.2},{undet:.2},{spc:.2}"));
-    }
-    println!("\nFinding (matches the paper's footnote 1): detection saturates almost");
-    println!("immediately — faults strike hot traces in proportion to their decode share,");
-    println!("and hot traces re-check within hundreds of cycles. The small MayITR mass");
-    println!("either converts to detection or is evicted (becoming Undet) as the window");
-    println!("grows; nothing changes past the knee, so the paper's 1M-cycle window is");
-    println!("comfortably sufficient.");
-    write_csv(
-        &args,
-        "window_sensitivity.csv",
-        "window_cycles,itr_pct,mayitr_pct,undet_pct,spc_pct",
-        &rows,
-    );
+    let units: Vec<WindowUnit> = WINDOWS
+        .into_iter()
+        .map(|window| {
+            let cfg = window_cfg(args.seed, faults, window, program_instrs);
+            let result = run_campaign(&program, &cfg);
+            WindowUnit { window, counts: tally(&result.records) }
+        })
+        .collect();
+    render_window(&units, faults, profile.name).print_and_write_csv(&args);
 }

@@ -1,0 +1,151 @@
+//! Observation-window sensitivity (the paper's footnote 1): the same
+//! fault population classified under growing windows, one shard per
+//! window point.
+
+use super::{data_payload, emit_payload, get_u64, obj, Csv, Emitted, Scale};
+use crate::experiments::injection::{planned_campaign, tally, OutcomeCounts};
+use itr_faults::{CampaignConfig, Outcome};
+use itr_harness::{JobSpec, Registry, ShardSpec};
+use itr_stats::json::Value;
+use itr_workloads::profiles;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The windows the study sweeps.
+pub const WINDOWS: [u64; 5] = [1_000, 4_000, 16_000, 64_000, 256_000];
+
+/// The generated-program size (the script never overrode the binary's
+/// default).
+pub const WINDOW_PROGRAM_INSTRS: u64 = 200_000;
+
+/// The campaign configuration for one window point (mirrors the
+/// `window_sensitivity` binary).
+pub fn window_cfg(base_seed: u64, faults: u32, window: u64, program_instrs: u64) -> CampaignConfig {
+    CampaignConfig {
+        faults,
+        window_cycles: window,
+        min_decode: 200,
+        max_decode: program_instrs,
+        seed: base_seed ^ 0x71D0,
+        threads: 0,
+        ..CampaignConfig::default()
+    }
+}
+
+/// One window point's tallies.
+#[derive(Debug, Clone)]
+pub struct WindowUnit {
+    /// Observation window in cycles.
+    pub window: u64,
+    /// Outcome tallies in [`Outcome::ALL`] order.
+    pub counts: OutcomeCounts,
+}
+
+impl WindowUnit {
+    fn pcts(&self) -> (f64, f64, f64, f64) {
+        let n = self.counts.iter().sum::<u64>().max(1) as f64;
+        let frac = |o: Outcome| {
+            let i = Outcome::ALL.iter().position(|x| *x == o).expect("known outcome");
+            self.counts[i] as f64 * 100.0 / n
+        };
+        let itr = Outcome::ALL.into_iter().filter(|o| o.itr_detected()).map(frac).sum::<f64>();
+        let may = frac(Outcome::MayItrSdc) + frac(Outcome::MayItrMask);
+        let undet = frac(Outcome::UndetSdc) + frac(Outcome::UndetMask) + frac(Outcome::UndetWdog);
+        let spc = frac(Outcome::SpcSdc);
+        (itr, may, undet, spc)
+    }
+}
+
+/// Renders the study exactly as the `window_sensitivity` binary prints
+/// it.
+pub fn render_window(units: &[WindowUnit], faults: u32, bench: &str) -> Emitted {
+    let mut text = String::new();
+    writeln!(
+        text,
+        "=== Window sensitivity: {faults} faults on `{bench}`, growing observation window ==="
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "{:>10} {:>10} {:>10} {:>10} {:>10}",
+        "window", "ITR%", "MayITR%", "Undet%", "spc%"
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    for u in units {
+        let (itr, may, undet, spc) = u.pcts();
+        writeln!(text, "{:>10} {itr:>9.1}% {may:>9.1}% {undet:>9.1}% {spc:>9.1}%", u.window)
+            .unwrap();
+        rows.push(format!("{},{itr:.2},{may:.2},{undet:.2},{spc:.2}", u.window));
+    }
+    writeln!(text, "\nFinding (matches the paper's footnote 1): detection saturates almost")
+        .unwrap();
+    writeln!(text, "immediately — faults strike hot traces in proportion to their decode share,")
+        .unwrap();
+    writeln!(text, "and hot traces re-check within hundreds of cycles. The small MayITR mass")
+        .unwrap();
+    writeln!(text, "either converts to detection or is evicted (becoming Undet) as the window")
+        .unwrap();
+    writeln!(text, "grows; nothing changes past the knee, so the paper's 1M-cycle window is")
+        .unwrap();
+    writeln!(text, "comfortably sufficient.").unwrap();
+    Emitted {
+        txt_name: "window_sensitivity.txt",
+        text,
+        csv: Some(Csv {
+            name: "window_sensitivity.csv",
+            header: "window_cycles,itr_pct,mayitr_pct,undet_pct,spc_pct".to_string(),
+            rows,
+        }),
+    }
+}
+
+/// Registers the sweep job and its emit job.
+pub fn register(reg: &mut Registry, scale: &Scale, out: &Path) {
+    let s = scale.clone();
+    reg.add(JobSpec::new("window-sweep", &[], move |_| {
+        let profile = profiles::by_name("vortex").expect("known");
+        WINDOWS
+            .into_iter()
+            .enumerate()
+            .map(|(i, window)| {
+                let s = s.clone();
+                ShardSpec::new(i as u32, (window, window + 1), move |ctx| {
+                    let cfg = window_cfg(s.seed, s.faults, window, WINDOW_PROGRAM_INSTRS);
+                    let planned = planned_campaign(profile, s.seed, WINDOW_PROGRAM_INSTRS, &cfg);
+                    let n = planned.plan.faults().len() as u32;
+                    let shard =
+                        planned
+                            .plan
+                            .run_range(&planned.program, &planned.cfg, 0, n, &|| ctx.cancelled());
+                    data_payload(obj(vec![
+                        ("window", Value::UInt(window)),
+                        (
+                            "counts",
+                            Value::Array(
+                                tally(&shard.records).iter().map(|&c| Value::UInt(c)).collect(),
+                            ),
+                        ),
+                    ]))
+                })
+            })
+            .collect()
+    }));
+    let dir = out.to_path_buf();
+    let s = scale.clone();
+    reg.add(JobSpec::single("window-sensitivity", &["window-sweep"], move |_, board| {
+        let units: Vec<WindowUnit> = board
+            .expect("window-sweep")
+            .data()
+            .map(|v| {
+                let arr = v.get("counts").and_then(Value::as_array).expect("counts");
+                let mut counts = [0u64; 10];
+                for (i, c) in arr.iter().enumerate().take(10) {
+                    counts[i] = c.as_u64().expect("count");
+                }
+                WindowUnit { window: get_u64(v, "window"), counts }
+            })
+            .collect();
+        emit_payload(&dir, &render_window(&units, s.faults, "vortex"))
+    }));
+}

@@ -6,6 +6,7 @@
 //! simulator instead of sampling the statistical stream model — slower,
 //! but exercises the full stack).
 
+pub mod experiments;
 pub mod timing;
 
 use itr_core::TraceRecord;
@@ -85,11 +86,22 @@ impl Args {
 /// statistical model or a generated program run on the functional
 /// simulator.
 pub fn trace_stream(profile: SpecProfile, args: &Args) -> Box<dyn Iterator<Item = TraceRecord>> {
-    if args.from_programs {
-        let program = generate_mimic_sized(profile, args.seed, args.instrs);
-        Box::new(TraceStream::new(&program, args.instrs))
+    stream_with(profile, args.seed, args.instrs, args.from_programs)
+}
+
+/// [`trace_stream`] with explicit parameters instead of [`Args`] — the
+/// form the harness experiment shards use.
+pub fn stream_with(
+    profile: SpecProfile,
+    seed: u64,
+    instrs: u64,
+    from_programs: bool,
+) -> Box<dyn Iterator<Item = TraceRecord>> {
+    if from_programs {
+        let program = generate_mimic_sized(profile, seed, instrs);
+        Box::new(TraceStream::new(&program, instrs))
     } else {
-        Box::new(SyntheticTraceStream::new(profile, args.seed, args.instrs))
+        Box::new(SyntheticTraceStream::new(profile, seed, instrs))
     }
 }
 

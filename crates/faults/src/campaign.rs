@@ -4,7 +4,7 @@ use crate::classify::{classify, Observation, Outcome};
 use itr_core::{ItrConfig, ItrEvent, ItrMode};
 use itr_isa::Program;
 use itr_sim::{CommitRecord, DecodeFault, FuncSim, Pipeline, PipelineConfig, RunExit, TraceStream};
-use itr_stats::{Report, SplitMix64};
+use itr_stats::{Counters, Report, SplitMix64, Unit};
 use std::collections::{BTreeMap, HashMap};
 
 /// Parameters of one fault-injection campaign (per benchmark).
@@ -60,6 +60,10 @@ pub struct CampaignResult {
     pub records: Vec<FaultRecord>,
     /// Outcome counts.
     pub counts: BTreeMap<Outcome, u32>,
+    /// The campaign's aggregated `itr-stats` report: every faulty run's
+    /// export merged, plus a `campaign` section with per-outcome
+    /// counters. Identical for any shard decomposition or thread count.
+    pub report: Report,
 }
 
 impl CampaignResult {
@@ -104,14 +108,15 @@ fn golden_reference(program: &Program, max_instrs: u64) -> (Vec<CommitRecord>, H
 }
 
 /// Runs one faulty execution in passive-ITR mode and collects the
-/// observation for classification.
+/// observation for classification, along with the run's full
+/// `itr-stats/v1` export (merged into the campaign report).
 fn observe_fault(
     program: &Program,
     fault: DecodeFault,
     golden: &[CommitRecord],
     itr: ItrConfig,
     window_cycles: u64,
-) -> Observation {
+) -> (Observation, Report) {
     let cfg = PipelineConfig {
         itr: Some(ItrConfig { mode: ItrMode::Passive, ..itr }),
         faults: vec![fault],
@@ -183,13 +188,14 @@ fn observe_fault(
         })
     };
     let resident_lines = pipe.itr().map(|u| u.cache().iter_lines().collect()).unwrap_or_default();
-    Observation {
+    let obs = Observation {
         sdc,
         deadlock: exit == RunExit::Deadlock,
         first_mismatch,
         spc_fired: report.counter("pipeline", "spc_violations").unwrap_or(0) > 0,
         resident_lines,
-    }
+    };
+    (obs, report)
 }
 
 /// Cross-validates a passive classification in *active* recovery mode:
@@ -247,67 +253,172 @@ pub fn validate_active_recovery(
     }
 }
 
+/// Splits `faults` into at most `shards` contiguous `[lo, hi)` ranges.
+///
+/// Empty ranges are never emitted: with fewer faults than shards the
+/// trailing shards simply don't exist (the old chunking spawned workers
+/// over empty chunks in that case). The decomposition depends only on
+/// the two arguments — callers that keep them fixed get the same shard
+/// boundaries on every run, which is what makes journaled shards
+/// replayable under a different thread count.
+pub fn shard_bounds(faults: u32, shards: u32) -> Vec<(u32, u32)> {
+    if faults == 0 || shards == 0 {
+        return Vec::new();
+    }
+    let chunk = faults.div_ceil(shards);
+    let mut bounds = Vec::new();
+    let mut lo = 0;
+    while lo < faults {
+        let hi = (lo + chunk).min(faults);
+        bounds.push((lo, hi));
+        lo = hi;
+    }
+    bounds
+}
+
+/// Precomputed per-campaign state shared by every shard: the golden
+/// committed stream, the clean-signature map and the full planned fault
+/// list. Shards address `faults()` by `[lo, hi)` index range, so the
+/// shard decomposition is a pure function of the campaign parameters —
+/// never of thread count or scheduling.
+pub struct CampaignPlan {
+    golden: Vec<CommitRecord>,
+    clean_sigs: HashMap<u64, u64>,
+    faults: Vec<DecodeFault>,
+}
+
+/// The classified records and merged `itr-stats` report of one shard
+/// (one contiguous fault range).
+#[derive(Debug, Clone, Default)]
+pub struct CampaignShard {
+    /// Records for the shard's fault range, in fault order.
+    pub records: Vec<FaultRecord>,
+    /// Merged report of the shard's faulty runs plus its `campaign`
+    /// outcome counters.
+    pub report: Report,
+}
+
+impl CampaignPlan {
+    /// Builds the golden references and samples the fault list.
+    pub fn new(program: &Program, cfg: &CampaignConfig) -> CampaignPlan {
+        // Golden streams must cover the longest possible faulty
+        // observation: commits ≤ decodes before injection + width ×
+        // window cycles.
+        let golden_len = cfg.max_decode + cfg.window_cycles * 4 + 10_000;
+        let (golden, clean_sigs) = golden_reference(program, golden_len);
+
+        // Clamp the injection range to instructions the program actually
+        // decodes (committed length is a lower bound on decoded length),
+        // so every sampled fault materializes.
+        let max_decode = cfg.max_decode.min(golden.len() as u64).max(cfg.min_decode + 1);
+        let mut rng = SplitMix64::new(cfg.seed);
+        let faults: Vec<DecodeFault> = (0..cfg.faults)
+            .map(|_| DecodeFault {
+                nth_decode: rng.gen_range(cfg.min_decode..max_decode),
+                bit: rng.gen_range(0..64),
+            })
+            .collect();
+        CampaignPlan { golden, clean_sigs, faults }
+    }
+
+    /// The planned fault list (index space for [`CampaignPlan::run_range`]).
+    pub fn faults(&self) -> &[DecodeFault] {
+        &self.faults
+    }
+
+    /// The golden committed stream (also used by
+    /// [`validate_active_recovery`]).
+    pub fn golden(&self) -> &[CommitRecord] {
+        &self.golden
+    }
+
+    /// Runs and classifies the faults in `[lo, hi)`.
+    ///
+    /// `cancelled` is polled between faulty runs; when it turns true the
+    /// shard stops early and returns what it has (the harness treats a
+    /// cancelled shard as quarantined, so a partial result is never
+    /// journaled as complete).
+    pub fn run_range(
+        &self,
+        program: &Program,
+        cfg: &CampaignConfig,
+        lo: u32,
+        hi: u32,
+        cancelled: &dyn Fn() -> bool,
+    ) -> CampaignShard {
+        let mut shard = CampaignShard::default();
+        let mut counts: BTreeMap<Outcome, u32> = BTreeMap::new();
+        for &fault in &self.faults[lo as usize..hi as usize] {
+            if cancelled() {
+                break;
+            }
+            let (obs, report) =
+                observe_fault(program, fault, &self.golden, cfg.itr, cfg.window_cycles);
+            let record = FaultRecord {
+                fault,
+                field: itr_isa::DecodeSignals::field_of_bit(fault.bit),
+                outcome: classify(&obs, &self.clean_sigs),
+            };
+            *counts.entry(record.outcome).or_insert(0) += 1;
+            shard.records.push(record);
+            shard.report.merge(&report);
+        }
+        // Outcome tallies as a `campaign` section, registered for every
+        // outcome (zeros included) so all shards export the same counter
+        // set and the merged report is shard-decomposition-independent.
+        let mut campaign = Counters::new();
+        let injected =
+            campaign.register("injected", Unit::Events, "faults injected and classified");
+        campaign.set(injected, shard.records.len() as u64);
+        for outcome in Outcome::ALL {
+            let c = campaign.register(outcome.label(), Unit::Events, "faults with this outcome");
+            campaign.set(c, u64::from(*counts.get(&outcome).unwrap_or(&0)));
+        }
+        shard.report.push_section("campaign", &campaign, &[]);
+        shard
+    }
+}
+
+impl CampaignResult {
+    /// Folds per-shard results in shard order into the aggregate. The
+    /// outcome is identical for any shard decomposition of the same
+    /// fault list ([`Report::merge`] is commutative over disjoint runs;
+    /// records concatenate in fault order because shards are contiguous
+    /// ranges).
+    pub fn from_shards<I: IntoIterator<Item = CampaignShard>>(shards: I) -> CampaignResult {
+        let mut result = CampaignResult::default();
+        for shard in shards {
+            result.records.extend(shard.records);
+            result.report.merge(&shard.report);
+        }
+        for r in &result.records {
+            *result.counts.entry(r.outcome).or_insert(0) += 1;
+        }
+        result
+    }
+}
+
 /// Runs a full campaign over `program`.
 ///
 /// Faults are sampled uniformly over `(decode index, signal bit)` pairs;
 /// each faulty run is compared against a shared golden reference and
-/// classified. Runs fan out across `threads` workers.
+/// classified. The fault list splits into contiguous range shards
+/// ([`shard_bounds`]) that fan out over [`itr_harness::run_sharded`];
+/// aggregation is deterministic in the thread count.
 pub fn run_campaign(program: &Program, cfg: &CampaignConfig) -> CampaignResult {
-    // Golden streams must cover the longest possible faulty observation:
-    // commits ≤ decodes before injection + width × window cycles.
-    let golden_len = cfg.max_decode + cfg.window_cycles * 4 + 10_000;
-    let (golden, clean_sigs) = golden_reference(program, golden_len);
-
-    // Clamp the injection range to instructions the program actually
-    // decodes (committed length is a lower bound on decoded length), so
-    // every sampled fault materializes.
-    let max_decode = cfg.max_decode.min(golden.len() as u64).max(cfg.min_decode + 1);
-    let mut rng = SplitMix64::new(cfg.seed);
-    let faults: Vec<DecodeFault> = (0..cfg.faults)
-        .map(|_| DecodeFault {
-            nth_decode: rng.gen_range(cfg.min_decode..max_decode),
-            bit: rng.gen_range(0..64),
-        })
+    let plan = CampaignPlan::new(program, cfg);
+    // Fixed-size range shards: the decomposition is a function of the
+    // fault count alone, never of `cfg.threads`, so the aggregate (and
+    // its serialized report) is identical under any worker count.
+    let n = plan.faults().len() as u32;
+    let bounds = shard_bounds(n, n.div_ceil(8));
+    let plan_ref = &plan;
+    let tasks: Vec<_> = bounds
+        .into_iter()
+        .map(|(lo, hi)| move || plan_ref.run_range(program, cfg, lo, hi, &|| false))
         .collect();
-
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-    } else {
-        cfg.threads
-    };
-    let chunk_size = faults.len().div_ceil(threads.max(1));
-    let mut records: Vec<FaultRecord> = Vec::with_capacity(faults.len());
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk in faults.chunks(chunk_size.max(1)) {
-            let golden = &golden;
-            let clean_sigs = &clean_sigs;
-            let itr = cfg.itr;
-            let window = cfg.window_cycles;
-            handles.push(scope.spawn(move || {
-                chunk
-                    .iter()
-                    .map(|&fault| {
-                        let obs = observe_fault(program, fault, golden, itr, window);
-                        FaultRecord {
-                            fault,
-                            field: itr_isa::DecodeSignals::field_of_bit(fault.bit),
-                            outcome: classify(&obs, clean_sigs),
-                        }
-                    })
-                    .collect::<Vec<_>>()
-            }));
-        }
-        for h in handles {
-            records.extend(h.join().expect("worker panicked"));
-        }
-    });
-
-    let mut counts = BTreeMap::new();
-    for r in &records {
-        *counts.entry(r.outcome).or_insert(0) += 1;
-    }
-    CampaignResult { records, counts }
+    let shards = itr_harness::run_sharded(cfg.threads, tasks);
+    CampaignResult::from_shards(shards)
 }
 
 #[cfg(test)]
@@ -359,6 +470,56 @@ mod tests {
         let a = run_campaign(&p, &cfg);
         let b = run_campaign(&p, &cfg);
         assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn campaign_identical_across_thread_counts() {
+        // Aggregation must be a pure function of (program, seed, faults):
+        // one worker and eight workers have to produce byte-identical
+        // serialized reports and the same record sequence.
+        let p = assemble(kernels::FIB.source).unwrap();
+        let serial = run_campaign(&p, &CampaignConfig { threads: 1, ..small_campaign(20) });
+        let parallel = run_campaign(&p, &CampaignConfig { threads: 8, ..small_campaign(20) });
+        assert_eq!(serial.records, parallel.records);
+        assert_eq!(serial.counts, parallel.counts);
+        assert_eq!(serial.report.to_json(), parallel.report.to_json());
+        assert_eq!(serial.report.counter("campaign", "injected"), Some(20));
+    }
+
+    #[test]
+    fn more_threads_than_faults_loses_nothing() {
+        // Regression: the old chunking produced empty chunks (and idle
+        // panicking-prone workers) when faults < threads.
+        let p = assemble(kernels::SUM_LOOP.source).unwrap();
+        let result = run_campaign(&p, &CampaignConfig { threads: 8, ..small_campaign(3) });
+        assert_eq!(result.records.len(), 3);
+        assert_eq!(result.counts.values().sum::<u32>(), 3);
+    }
+
+    #[test]
+    fn shard_bounds_skips_empty_ranges() {
+        assert_eq!(shard_bounds(3, 8), vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(shard_bounds(10, 4), vec![(0, 3), (3, 6), (6, 9), (9, 10)]);
+        assert_eq!(shard_bounds(0, 4), vec![]);
+        assert_eq!(shard_bounds(5, 0), vec![]);
+        assert_eq!(shard_bounds(8, 1), vec![(0, 8)]);
+        for (n, s) in [(1u32, 7u32), (13, 5), (64, 64), (100, 3)] {
+            let bounds = shard_bounds(n, s);
+            assert!(bounds.len() <= s as usize);
+            assert!(bounds.iter().all(|&(lo, hi)| lo < hi), "empty range in {bounds:?}");
+            assert_eq!(bounds.iter().map(|&(lo, hi)| hi - lo).sum::<u32>(), n);
+            assert_eq!(bounds.first().map(|b| b.0), Some(0));
+            assert!(bounds.windows(2).all(|w| w[0].1 == w[1].0), "gap in {bounds:?}");
+        }
+    }
+
+    #[test]
+    fn run_range_respects_cancellation() {
+        let p = assemble(kernels::SUM_LOOP.source).unwrap();
+        let cfg = small_campaign(10);
+        let plan = CampaignPlan::new(&p, &cfg);
+        let shard = plan.run_range(&p, &cfg, 0, 10, &|| true);
+        assert!(shard.records.is_empty());
     }
 
     #[test]

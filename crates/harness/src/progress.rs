@@ -1,0 +1,91 @@
+//! Live progress and ETA reporting on stderr.
+//!
+//! On a terminal the line redraws in place (`\r`); on a pipe (CI logs) a
+//! plain line is printed at most every few seconds so logs stay readable.
+
+use std::io::{IsTerminal, Write};
+use std::time::{Duration, Instant};
+
+/// Tracks shard completion and paints the progress line.
+pub struct Progress {
+    enabled: bool,
+    tty: bool,
+    start: Instant,
+    last_print: Option<Instant>,
+    painted: bool,
+    /// Shards executed this run.
+    pub executed: u32,
+    /// Shards replayed from the journal.
+    pub journaled: u32,
+    /// Shards quarantined (this run or journaled).
+    pub quarantined: u32,
+}
+
+impl Progress {
+    /// A reporter; `enabled == false` silences all output.
+    pub fn new(enabled: bool) -> Progress {
+        Progress {
+            enabled,
+            tty: std::io::stderr().is_terminal(),
+            start: Instant::now(),
+            last_print: None,
+            painted: false,
+            executed: 0,
+            journaled: 0,
+            quarantined: 0,
+        }
+    }
+
+    /// Elapsed wall-clock time since construction.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Repaints the progress line. `done`/`total` count shards known so
+    /// far (jobs build their shards lazily, so `total` can still grow);
+    /// `jobs_done`/`jobs_total` count whole jobs.
+    pub fn tick(&mut self, done: u32, total: u32, jobs_done: u32, jobs_total: u32) {
+        if !self.enabled {
+            return;
+        }
+        let min_interval =
+            if self.tty { Duration::from_millis(200) } else { Duration::from_secs(3) };
+        let finished = jobs_done == jobs_total;
+        if let Some(last) = self.last_print {
+            if last.elapsed() < min_interval && !finished {
+                return;
+            }
+        }
+        self.last_print = Some(Instant::now());
+        let elapsed = self.start.elapsed().as_secs_f64();
+        // ETA from the pace of shards actually executed this run;
+        // journal replays are effectively free and would skew it.
+        let eta = if self.executed > 0 && total > done {
+            let per_shard = elapsed / self.executed as f64;
+            format!("{:.0}s", per_shard * (total - done) as f64)
+        } else {
+            "--".to_string()
+        };
+        let mut line = format!(
+            "[itr-repro] shards {done}/{total} ({} run, {} journaled, {} quarantined) \
+             | jobs {jobs_done}/{jobs_total} | {elapsed:.1}s elapsed | eta {eta}",
+            self.executed, self.journaled, self.quarantined
+        );
+        let mut err = std::io::stderr().lock();
+        if self.tty {
+            line.truncate(120);
+            let _ignored = write!(err, "\r\x1b[2K{line}");
+            let _ignored = err.flush();
+            self.painted = true;
+        } else {
+            let _ignored = writeln!(err, "{line}");
+        }
+    }
+
+    /// Ends an in-place progress line so subsequent output starts clean.
+    pub fn finish(&mut self) {
+        if self.enabled && self.tty && self.painted {
+            let _ignored = writeln!(std::io::stderr());
+        }
+    }
+}

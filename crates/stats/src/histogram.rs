@@ -40,6 +40,25 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Folds another snapshot of the same distribution into this one.
+    ///
+    /// Buckets add element-wise (the shorter vector is zero-extended),
+    /// `count`/`sum` add, `max` takes the maximum — so merging the
+    /// snapshots of N disjoint shards equals the snapshot of one run
+    /// that saw every sample. The operation is commutative and
+    /// associative: any merge order produces the same snapshot.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
 }
 
 impl Histogram {
@@ -125,6 +144,29 @@ mod tests {
         h.record(20);
         assert!((h.mean() - 15.0).abs() < 1e-12);
         assert!((h.snapshot().mean() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_merge_equals_single_histogram() {
+        let samples = [0u64, 1, 2, 3, 9, 100, 5000, 7, 7, 63];
+        let mut whole = Histogram::new("w");
+        let mut left = Histogram::new("w");
+        let mut right = Histogram::new("w");
+        for (i, &s) in samples.iter().enumerate() {
+            whole.record(s);
+            if i % 2 == 0 {
+                left.record(s);
+            } else {
+                right.record(s);
+            }
+        }
+        let mut merged = left.snapshot();
+        merged.merge(&right.snapshot());
+        assert_eq!(merged, whole.snapshot());
+        // The other merge order gives the same snapshot.
+        let mut swapped = right.snapshot();
+        swapped.merge(&left.snapshot());
+        assert_eq!(swapped, merged);
     }
 
     #[test]

@@ -125,6 +125,47 @@ impl Report {
         self.section(section)?.histogram(name)
     }
 
+    /// Folds another report into this one, section by section.
+    ///
+    /// Sections, counters and histograms are matched by name: counter
+    /// values add, histograms merge per [`HistogramSnapshot::merge`],
+    /// and names present only in `other` are appended in `other`'s
+    /// order. Merging the per-shard reports of N disjoint shards thus
+    /// equals the report of one combined run, and — because addition
+    /// and max are commutative and associative — the aggregate is the
+    /// same regardless of shard completion order or thread count, as
+    /// long as every producer registers the same counter set (all our
+    /// producers do: registration order is fixed at construction).
+    ///
+    /// Event rings ([`crate::EventRing`]) are deliberately *not* part
+    /// of the export and therefore not merged: a ring is per-run
+    /// post-mortem state whose length is `min(capacity, pushed)`, so a
+    /// "merged ring" would have no well-defined contents. Consumers
+    /// that need cross-shard event totals must export them as counters.
+    pub fn merge(&mut self, other: &Report) {
+        for os in &other.sections {
+            let section = match self.sections.iter_mut().find(|s| s.name == os.name) {
+                Some(s) => s,
+                None => {
+                    self.sections.push(Section { name: os.name.clone(), ..Section::default() });
+                    self.sections.last_mut().expect("just pushed")
+                }
+            };
+            for oc in &os.counters {
+                match section.counters.iter_mut().find(|c| c.name == oc.name) {
+                    Some(c) => c.value += oc.value,
+                    None => section.counters.push(oc.clone()),
+                }
+            }
+            for oh in &os.histograms {
+                match section.histograms.iter_mut().find(|h| h.name == oh.name) {
+                    Some(h) => h.merge(oh),
+                    None => section.histograms.push(oh.clone()),
+                }
+            }
+        }
+    }
+
     /// Serializes to the compact `itr-stats/v1` JSON document.
     pub fn to_json(&self) -> String {
         let sections = self
@@ -284,6 +325,62 @@ mod tests {
         r.push_section("pipeline", &c, &[]);
         assert_eq!(r.sections().count(), 1);
         assert_eq!(r.counter("pipeline", "cycles"), Some(7));
+    }
+
+    #[test]
+    fn merging_shard_reports_equals_combined_run() {
+        // Simulate one "combined" run and the same samples split across
+        // three shards; the merged shard reports must match exactly.
+        let samples: Vec<u64> = (0..30).map(|i| (i * 7) % 23).collect();
+        let report_of = |chunk: &[u64]| {
+            let mut c = Counters::new();
+            let n = c.register("events", Unit::Events, "");
+            let mut h = Histogram::new("widths");
+            for &s in chunk {
+                c.add(n, 1);
+                h.record(s);
+            }
+            let mut r = Report::new();
+            r.push_section("pipeline", &c, &[h.snapshot()]);
+            r
+        };
+        let combined = report_of(&samples);
+        let mut merged = Report::new();
+        for chunk in samples.chunks(11) {
+            merged.merge(&report_of(chunk));
+        }
+        assert_eq!(merged.to_json(), combined.to_json());
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let a = sample_report();
+        let mut b = Report::new();
+        let mut c = Counters::new();
+        let x = c.register("cycles", Unit::Cycles, "");
+        c.set(x, 7);
+        b.push_section("pipeline", &c, &[]);
+        b.push_section("extra", &c, &[]);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.counter("pipeline", "cycles"), Some(1207));
+        assert_eq!(ba.counter("pipeline", "cycles"), Some(1207));
+        assert_eq!(ab.counter("extra", "cycles"), ba.counter("extra", "cycles"));
+        assert_eq!(
+            ab.histogram("pipeline", "commit_width"),
+            ba.histogram("pipeline", "commit_width")
+        );
+    }
+
+    #[test]
+    fn merge_into_empty_is_identity() {
+        let r = sample_report();
+        let mut m = Report::new();
+        m.merge(&r);
+        assert_eq!(m.to_json(), r.to_json());
     }
 
     #[test]

@@ -6,59 +6,14 @@
 #   quick (default) — minutes-scale defaults
 #   full            — paper-scale fault campaigns (1000 faults, 1M-cycle
 #                     windows; expect hours)
+#
+# This is a thin wrapper over the `itr-repro` harness binary, which
+# shards the whole evaluation across all cores, journals completed
+# shards to results/journal.jsonl, and resumes interrupted runs with
+# `itr-repro --resume` (see DESIGN.md §8).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-MODE="${1:-quick}"
-if [ "$MODE" = "full" ]; then
-    FAULTS=1000; WINDOW=1000000; INSTRS=8000000; PINSTRS=400000
-else
-    FAULTS=200; WINDOW=100000; INSTRS=4000000; PINSTRS=150000
-fi
-
-echo "== building (release) =="
-cargo build --workspace --release -q
-
-RUN=./target/release
-mkdir -p results
-
-echo "== Table 2 (decode signals) =="
-$RUN/table2_signals | tee results/table2_signals.txt
-
-echo "== §5 area comparison =="
-$RUN/table_area | tee results/table_area.txt
-
-echo "== Table 1 (static traces) =="
-$RUN/table1_static_traces --instrs "$INSTRS" | tee results/table1.txt
-
-echo "== Figures 1–2 (repetition) =="
-$RUN/fig1_2_repetition --instrs "$INSTRS" | tee results/fig1_2.txt
-
-echo "== Figures 3–4 (repeat distance) =="
-$RUN/fig3_4_distance --instrs "$INSTRS" | tee results/fig3_4.txt
-
-echo "== Figures 6–7 (coverage design space) =="
-$RUN/fig6_7_coverage --instrs "$INSTRS" | tee results/fig6_7.txt
-
-echo "== Figure 9 (energy) =="
-$RUN/fig9_energy --program-instrs 300000 | tee results/fig9.txt
-
-echo "== Figure 8 (fault injection) =="
-$RUN/fig8_injection --faults "$FAULTS" --window "$WINDOW" \
-    --program-instrs "$PINSTRS" | tee results/fig8.txt
-
-echo "== Figure 8 supplement (by signal field) =="
-$RUN/fig8_by_field --faults "$FAULTS" --window "$WINDOW" | tee results/fig8_by_field.txt
-
-echo "== Window sensitivity (footnote 1) =="
-$RUN/window_sensitivity --faults "$FAULTS" | tee results/window_sensitivity.txt
-
-echo "== Performance overhead =="
-$RUN/perf_overhead --program-instrs "$PINSTRS" | tee results/perf_overhead.txt
-
-echo "== Ablations =="
-$RUN/ablations --instrs "$INSTRS" --program-instrs "$PINSTRS" | tee results/ablations.txt
-
-echo
-echo "All artifacts written to results/."
+cargo build -p itr-bench --release -q
+exec ./target/release/itr-repro --mode "${1:-quick}" --out results
