@@ -12,7 +12,8 @@
 //! ```text
 //! itr-repro [--mode quick|full] [--jobs N] [--resume] [--out DIR]
 //!           [--faults N] [--window N] [--instrs N] [--program-instrs N]
-//!           [--seed N] [--from-programs] [--grace-secs N] [--no-progress]
+//!           [--seed N] [--fuzz-budget N] [--from-programs] [--grace-secs N]
+//!           [--no-progress]
 //! ```
 //!
 //! Exit status: 0 on a clean run, 1 on a configuration error (bad flag,
@@ -66,7 +67,8 @@ fn parse_cli() -> Result<Cli, String> {
                     value("--grace-secs")?.parse().map_err(|e| format!("--grace-secs: {e}"))?,
                 );
             }
-            "--faults" | "--window" | "--instrs" | "--program-instrs" | "--seed" => {
+            "--faults" | "--window" | "--instrs" | "--program-instrs" | "--seed"
+            | "--fuzz-budget" => {
                 let v = value(&arg)?;
                 overrides.push((arg, v));
             }
@@ -92,6 +94,7 @@ fn parse_cli() -> Result<Cli, String> {
             "--instrs" => scale.instrs = parsed,
             "--program-instrs" => scale.program_instrs = parsed,
             "--seed" => scale.seed = parsed,
+            "--fuzz-budget" => scale.fuzz_iters = parsed,
             _ => unreachable!(),
         }
     }
@@ -114,6 +117,7 @@ OPTIONS:
     --instrs N            override trace-stream instruction budget
     --program-instrs N    override generated-program size
     --seed N              override the base RNG seed
+    --fuzz-budget N       override the itr-fuzz campaign iteration budget
     --from-programs       characterize from generated programs
     --grace-secs N        watchdog grace before abandoning a deaf shard
     --progress            force the stderr progress line on

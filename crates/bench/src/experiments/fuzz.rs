@@ -1,0 +1,151 @@
+//! The `itr-fuzz` differential campaign as a harness job family: the
+//! iteration budget splits across fixed seed-derived shards, each shard
+//! runs an independent deterministic fuzzing campaign (same engine the
+//! `itr-fuzz` binary drives), and the emit job renders a per-shard
+//! summary plus any findings into `fuzz.txt` / `fuzz.csv`.
+
+use super::{data_payload, emit_payload, get_str, get_u64, obj, Csv, Emitted, Scale};
+use itr_fuzz::{run, FuzzConfig};
+use itr_harness::{JobSpec, Registry, ShardSpec};
+use itr_stats::json::Value;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Fixed shard count — part of the deterministic decomposition, so a
+/// journaled run resumes shard-for-shard.
+pub const FUZZ_SHARDS: u32 = 4;
+
+/// Per-shard engine configuration: the scale's iteration budget divides
+/// evenly (remainder to the low shards) and each shard derives its own
+/// seed, so shards explore disjoint random streams.
+pub fn shard_cfg(scale: &Scale, shard: u32) -> FuzzConfig {
+    let per = scale.fuzz_iters / FUZZ_SHARDS as u64;
+    let extra = u64::from((shard as u64) < scale.fuzz_iters % FUZZ_SHARDS as u64);
+    FuzzConfig {
+        seed: scale.seed.wrapping_add(0x1000 * (shard as u64 + 1)),
+        iters: per + extra,
+        ..FuzzConfig::default()
+    }
+}
+
+/// One shard's journal-crossing payload: the engine's `itr-fuzz-stats/v1`
+/// export plus the shard index and a findings digest (oracle + detail per
+/// recorded finding).
+fn shard_value(shard: u32, cfg: &FuzzConfig, outcome: &itr_fuzz::FuzzOutcome) -> Value {
+    let findings = outcome
+        .findings
+        .iter()
+        .map(|f| {
+            obj(vec![
+                ("oracle", Value::Str(f.kind.label().to_string())),
+                ("detail", Value::Str(f.detail.clone())),
+                ("fingerprint", Value::Str(format!("{:#018x}", f.case.fingerprint()))),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("shard", Value::UInt(shard as u64)),
+        ("stats", outcome.stats_value(cfg)),
+        ("findings", Value::Array(findings)),
+    ])
+}
+
+/// Renders the campaign summary. Shards arrive in index order (the
+/// harness preserves shard order per job), so the artifact is stable.
+pub fn render_fuzz(shards: &[Value], total_iters: u64) -> Emitted {
+    let mut text = String::new();
+    writeln!(text, "=== itr-fuzz differential campaign ({total_iters} iterations) ===").unwrap();
+    writeln!(
+        text,
+        "{:<6} {:>18} {:>8} {:>6} {:>9} {:>7} {:>19} {:>13} {:>9}",
+        "shard", "seed", "iters", "seeds", "coverage", "corpus", "digest", "golden", "findings"
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    let mut total_findings = 0u64;
+    let mut details: Vec<(u64, String, String)> = Vec::new();
+    for v in shards {
+        let shard = get_u64(v, "shard");
+        let stats = v.get("stats").expect("shard payload carries stats");
+        let seed = get_u64(stats, "seed");
+        let iters = get_u64(stats, "iterations");
+        let seeds = get_u64(stats, "seeds");
+        let coverage = get_u64(stats, "coverage");
+        let corpus = get_u64(stats, "corpus_len");
+        let digest = get_str(stats, "corpus_digest");
+        let golden = get_u64(stats, "golden_instrs");
+        let findings = get_u64(stats, "findings_total");
+        total_findings += findings;
+        writeln!(
+            text,
+            "{shard:<6} {seed:#18x} {iters:>8} {seeds:>6} {coverage:>9} {corpus:>7} \
+             {digest:>19} {golden:>13} {findings:>9}"
+        )
+        .unwrap();
+        rows.push(format!(
+            "{shard},{seed:#x},{iters},{seeds},{coverage},{corpus},{digest},{golden},{findings}"
+        ));
+        if let Some(list) = v.get("findings").and_then(Value::as_array) {
+            for f in list {
+                details.push((
+                    shard,
+                    get_str(f, "oracle").to_string(),
+                    get_str(f, "detail").to_string(),
+                ));
+            }
+        }
+    }
+    if details.is_empty() && total_findings == 0 {
+        writeln!(
+            text,
+            "\nAll three oracles (commit equivalence, signature determinism, fault\n\
+             consistency) held on every input; the corpus digests above make the\n\
+             run reproducible bit-for-bit."
+        )
+        .unwrap();
+    } else {
+        writeln!(text, "\n{total_findings} oracle violation(s):").unwrap();
+        for (shard, oracle, detail) in &details {
+            writeln!(text, "  shard {shard} [{oracle}] {detail}").unwrap();
+        }
+        writeln!(
+            text,
+            "Shrunken reproducers belong in tests/fuzz_regressions/ (see DESIGN.md §9)."
+        )
+        .unwrap();
+    }
+    Emitted {
+        txt_name: "fuzz.txt",
+        text,
+        csv: Some(Csv {
+            name: "fuzz.csv",
+            header: "shard,seed,iterations,seeds,coverage,corpus_len,corpus_digest,\
+                     golden_instrs,findings"
+                .to_string(),
+            rows,
+        }),
+    }
+}
+
+/// Registers the sharded campaign and its emit job.
+pub fn register(reg: &mut Registry, scale: &Scale, out: &Path) {
+    let s = scale.clone();
+    reg.add(JobSpec::new("fuzz-campaign", &[], move |_| {
+        (0..FUZZ_SHARDS)
+            .map(|shard| {
+                let cfg = shard_cfg(&s, shard);
+                let range = (cfg.iters * shard as u64, cfg.iters * (shard as u64 + 1));
+                ShardSpec::new(shard, range, move |ctx| {
+                    let outcome = run(&cfg, &|| ctx.cancelled());
+                    data_payload(shard_value(shard, &cfg, &outcome))
+                })
+            })
+            .collect()
+    }));
+    let dir = out.to_path_buf();
+    let total_iters = scale.fuzz_iters;
+    reg.add(JobSpec::single("fuzz", &["fuzz-campaign"], move |_, board| {
+        let shards: Vec<Value> = board.expect("fuzz-campaign").data().cloned().collect();
+        emit_payload(&dir, &render_fuzz(&shards, total_iters))
+    }));
+}

@@ -21,6 +21,7 @@
 //! window-sweep (one shard per window)         ──► window-sensitivity
 //! perf-ipc (one shard per workload)           ──► perf-overhead
 //! ablations-units                             ──► ablations
+//! fuzz-campaign (seed-derived shards)         ──► fuzz
 //! table2, area (leaf emit jobs)
 //! ```
 
@@ -28,6 +29,7 @@ pub mod ablations;
 pub mod characterize;
 pub mod coverage;
 pub mod energy;
+pub mod fuzz;
 pub mod injection;
 pub mod perf;
 pub mod statics;
@@ -54,6 +56,9 @@ pub struct Scale {
     /// Drive characterization from generated programs instead of the
     /// statistical stream model.
     pub from_programs: bool,
+    /// Iteration budget of the `itr-fuzz` differential campaign
+    /// (`--fuzz-budget`), split across its shards.
+    pub fuzz_iters: u64,
 }
 
 impl Scale {
@@ -66,6 +71,7 @@ impl Scale {
             program_instrs: 150_000,
             seed: 0x1712_2007,
             from_programs: false,
+            fuzz_iters: 160,
         }
     }
 
@@ -76,6 +82,7 @@ impl Scale {
             window_cycles: 1_000_000,
             instrs: 8_000_000,
             program_instrs: 400_000,
+            fuzz_iters: 5000,
             ..Scale::quick()
         }
     }
@@ -84,13 +91,15 @@ impl Scale {
     /// journal written under one scale refuses to resume under another.
     pub fn canonical(&self) -> String {
         format!(
-            "itr-repro/v1 faults={} window={} instrs={} program_instrs={} seed={} from_programs={}",
+            "itr-repro/v1 faults={} window={} instrs={} program_instrs={} seed={} \
+             from_programs={} fuzz_iters={}",
             self.faults,
             self.window_cycles,
             self.instrs,
             self.program_instrs,
             self.seed,
-            self.from_programs
+            self.from_programs,
+            self.fuzz_iters
         )
     }
 }
@@ -209,4 +218,5 @@ pub fn register_all(reg: &mut Registry, scale: &Scale, out: &Path) {
     window::register(reg, scale, out);
     perf::register(reg, scale, out);
     ablations::register(reg, scale, out);
+    fuzz::register(reg, scale, out);
 }

@@ -382,6 +382,71 @@ mod tests {
     }
 
     #[test]
+    fn empty_trace_state_is_inert() {
+        // The empty signature is the XOR identity, and an empty builder
+        // carries no stale state into its first trace.
+        let g = SignatureGen::new();
+        assert_eq!((g.value(), g.count()), (0, 0));
+        let mut g = SignatureGen::with_kind(FoldKind::RotateXor);
+        assert_eq!(g.value(), 0, "rotate-xor shares the empty identity");
+        g.reset();
+        assert_eq!((g.value(), g.count()), (0, 0), "reset of empty is a no-op");
+
+        let mut tb = TraceBuilder::new(16);
+        assert_eq!(tb.pending_len(), 0);
+        tb.reset(); // resetting with nothing pending must be harmless
+        let t = tb.push(0x500, &sig(&Instruction::jump(Opcode::J, 0))).unwrap();
+        assert_eq!((t.start_pc, t.len), (0x500, 1));
+    }
+
+    #[test]
+    fn single_instruction_trace_folds_to_its_own_signals() {
+        // A lone branching instruction forms the minimal trace: len 1,
+        // signature equal to its packed decode signals (fold from 0).
+        let j = sig(&Instruction::jump(Opcode::J, 0x40));
+        let mut tb = TraceBuilder::new(16);
+        let t = tb.push(0x700, &j).unwrap();
+        assert_eq!((t.start_pc, t.len), (0x700, 1));
+        assert_eq!(t.signature, j.pack());
+        assert_eq!(tb.pending_len(), 0, "builder is empty again");
+    }
+
+    #[test]
+    fn max_length_trace_rolls_into_a_fresh_trace() {
+        // Termination at MAX_TRACE_LEN must leave no residue: the 17th
+        // instruction starts a new trace at its own PC.
+        let add = sig(&Instruction::rrr(Opcode::Add, 1, 2, 3));
+        let mut tb = TraceBuilder::new(MAX_TRACE_LEN);
+        let mut full = None;
+        for i in 0..MAX_TRACE_LEN as u64 {
+            full = tb.push(0x600 + i * 4, &add);
+        }
+        let full = full.expect("length limit terminates");
+        assert_eq!((full.start_pc, full.len), (0x600, MAX_TRACE_LEN));
+        assert!(tb.push(0x640, &add).is_none(), "17th instruction opens a new trace");
+        assert_eq!(tb.pending_start_pc(), 0x640);
+        assert_eq!(tb.pending_len(), 1);
+    }
+
+    #[test]
+    fn xor_fold_self_cancels_but_rotate_xor_does_not() {
+        // Corollary of order-insensitivity: folding the same signals an
+        // even number of times returns plain XOR to the empty signature
+        // (the deeper reason same-bit double faults cancel), while the
+        // rotation keeps the two contributions apart.
+        let a = sig(&Instruction::rrr(Opcode::Add, 1, 2, 3));
+        let mut xor = SignatureGen::new();
+        xor.fold(&a);
+        xor.fold(&a);
+        assert_eq!(xor.value(), 0, "a ^ a = 0");
+        assert_eq!(xor.count(), 2, "count still advances");
+        let mut rot = SignatureGen::with_kind(FoldKind::RotateXor);
+        rot.fold(&a);
+        rot.fold(&a);
+        assert_ne!(rot.value(), 0, "rotate(a) ^ a != 0");
+    }
+
+    #[test]
     fn faulty_is_branch_flag_perturbs_trace_formation() {
         // A fault that sets is_branch mid-trace splits the trace; the
         // signature of the split trace differs from the recorded one.

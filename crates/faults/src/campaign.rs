@@ -110,7 +110,13 @@ fn golden_reference(program: &Program, max_instrs: u64) -> (Vec<CommitRecord>, H
 /// Runs one faulty execution in passive-ITR mode and collects the
 /// observation for classification, along with the run's full
 /// `itr-stats/v1` export (merged into the campaign report).
-fn observe_fault(
+///
+/// `golden` must be the *complete* committed stream of the fault-free
+/// program (or at least cover every commit the faulty run can make
+/// within the window) — commits past its end are counted as
+/// architectural divergence. Public so the `itr-fuzz` fault-consistency
+/// oracle can observe single faults outside a campaign.
+pub fn observe_fault(
     program: &Program,
     fault: DecodeFault,
     golden: &[CommitRecord],
@@ -207,6 +213,15 @@ fn observe_fault(
 ///   retry recovers, or the fault was masked anyway);
 /// * [`Outcome::ItrSdcD`] — the active run must raise a machine check
 ///   (the faulty instance already committed; abort is the only option).
+///
+/// The predictions are *typical-case*, not invariant: `ItrMask` cannot
+/// tell whether the faulty instance accessed or *recorded* the cached
+/// signature (in the latter case active mode machine-checks a masked
+/// fault — a spurious DUE inherent to the scheme), and an eviction
+/// between retry flush and refetch can turn a predicted `ItrSdcD`
+/// machine check into a clean re-record. Only the `ItrSdcR` prediction
+/// is sound in every corner case — differential checks (`itr-fuzz`)
+/// validate that one alone.
 ///
 /// Returns `Ok(())` when the prediction holds, or a description of the
 /// divergence.

@@ -25,7 +25,7 @@ mod campaign;
 mod classify;
 
 pub use campaign::{
-    run_campaign, shard_bounds, validate_active_recovery, CampaignConfig, CampaignPlan,
-    CampaignResult, CampaignShard, FaultRecord,
+    observe_fault, run_campaign, shard_bounds, validate_active_recovery, CampaignConfig,
+    CampaignPlan, CampaignResult, CampaignShard, FaultRecord,
 };
 pub use classify::{classify, Observation, Outcome};

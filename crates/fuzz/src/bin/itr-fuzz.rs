@@ -1,0 +1,169 @@
+//! `itr-fuzz` — coverage-guided differential fuzzing of the simulator
+//! and ITR detection stack.
+//!
+//! ```text
+//! itr-fuzz run [--seed N] [--iters N] [--time-secs N] [--mode quick|full]
+//!              [--out DIR] [--no-seeding]
+//! itr-fuzz replay CASE.json [CASE.json ...]
+//! ```
+//!
+//! `run` executes a deterministic fuzzing campaign: same seed and budget
+//! → byte-identical `fuzz_stats.json` and findings. Findings (shrunken
+//! reproducers) are written to `OUT/findings/case-NNN.json`; promote the
+//! ones worth keeping to `tests/fuzz_regressions/`. Exit status: 0 when
+//! every oracle held, 1 on findings, 2 on usage errors.
+//!
+//! `replay` re-runs persisted findings under their recorded budgets.
+//! Exit status: 0 when nothing reproduces (regressions stay fixed), 1
+//! when a case still fails, 2 on usage or parse errors.
+
+use itr_fuzz::{FuzzConfig, RegressionCase};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const HELP: &str = "\
+itr-fuzz — coverage-guided differential fuzzing of the ITR reproduction
+
+USAGE:
+    itr-fuzz run [OPTIONS]
+    itr-fuzz replay CASE.json [CASE.json ...]
+
+RUN OPTIONS:
+    --seed N         master RNG seed (default 1)
+    --iters N        mutation iterations (default 1000)
+    --time-secs N    additional wall-clock budget; stops early when hit
+    --mode quick|full  budget preset (default full; quick = smoke scale)
+    --out DIR        output directory (default fuzz-out/)
+    --no-seeding     skip the itr-workloads seed corpus
+";
+
+fn run_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let mut seed = 1u64;
+    let mut iters = 1000u64;
+    let mut time_secs: Option<u64> = None;
+    let mut mode = "full".to_string();
+    let mut out = PathBuf::from("fuzz-out");
+    let mut no_seeding = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--iters" => iters = value("--iters")?.parse().map_err(|e| format!("--iters: {e}"))?,
+            "--time-secs" => {
+                time_secs =
+                    Some(value("--time-secs")?.parse().map_err(|e| format!("--time-secs: {e}"))?);
+            }
+            "--mode" => mode = value("--mode")?,
+            "--out" => out = PathBuf::from(value("--out")?),
+            "--no-seeding" => no_seeding = true,
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+
+    let mut cfg = match mode.as_str() {
+        "quick" => FuzzConfig::quick(seed, iters),
+        "full" => FuzzConfig { seed, iters, ..FuzzConfig::default() },
+        other => return Err(format!("--mode must be quick or full, got `{other}`")),
+    };
+    cfg.skip_seeding = no_seeding;
+
+    let deadline = time_secs.map(|s| Instant::now() + Duration::from_secs(s));
+    let cancelled = move || deadline.is_some_and(|d| Instant::now() >= d);
+
+    eprintln!("itr-fuzz: mode={mode} seed={seed} iters={iters}");
+    let started = Instant::now();
+    let outcome = itr_fuzz::run(&cfg, &cancelled);
+
+    std::fs::create_dir_all(&out).map_err(|e| format!("create {}: {e}", out.display()))?;
+    let stats_path = out.join("fuzz_stats.json");
+    std::fs::write(&stats_path, outcome.stats_value(&cfg).to_json())
+        .map_err(|e| format!("write {}: {e}", stats_path.display()))?;
+    let findings_dir = out.join("findings");
+    if !outcome.findings.is_empty() {
+        std::fs::create_dir_all(&findings_dir)
+            .map_err(|e| format!("create {}: {e}", findings_dir.display()))?;
+    }
+    for (i, rc) in outcome.findings.iter().enumerate() {
+        let path = findings_dir.join(format!("case-{i:03}.json"));
+        std::fs::write(&path, rc.to_json())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        eprintln!("itr-fuzz: finding [{}] -> {}", rc.kind.label(), path.display());
+    }
+
+    let s = &outcome.stats;
+    eprintln!(
+        "itr-fuzz: {} iterations ({} seeds) in {:.1}s — coverage {}, corpus {} \
+         (digest {:#018x}), {} findings",
+        s.iterations,
+        s.seeds,
+        started.elapsed().as_secs_f64(),
+        s.coverage,
+        s.corpus_len,
+        s.corpus_digest,
+        s.findings(),
+    );
+    eprintln!("itr-fuzz: stats -> {}", stats_path.display());
+    if s.findings() > 0 {
+        eprintln!("itr-fuzz: ORACLE VIOLATIONS FOUND — inspect {}", findings_dir.display());
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn replay_cmd(args: &[String]) -> Result<ExitCode, String> {
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{HELP}");
+        return if args.is_empty() {
+            Err("replay needs at least one case file".into())
+        } else {
+            Ok(ExitCode::SUCCESS)
+        };
+    }
+    let mut reproduced = 0usize;
+    for path in args {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let rc = RegressionCase::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        match rc.reproduces() {
+            Some(finding) => {
+                reproduced += 1;
+                eprintln!("itr-fuzz: {path}: STILL FAILS [{}]", finding.kind.label());
+                eprintln!("{}", finding.detail);
+            }
+            None => eprintln!("itr-fuzz: {path}: ok [{}]", rc.kind.label()),
+        }
+    }
+    if reproduced > 0 {
+        eprintln!("itr-fuzz: {reproduced}/{} cases reproduce", args.len());
+        return Ok(ExitCode::from(1));
+    }
+    eprintln!("itr-fuzz: all {} cases hold", args.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => run_cmd(&args[1..]),
+        Some("replay") => replay_cmd(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{HELP}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try --help)")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("itr-fuzz: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! The novelty-feedback map that decides corpus retention.
+//!
+//! Every oracle run distills into a set of small integer *features* over
+//! four axes:
+//!
+//! * **opcode pairs** — consecutive committed opcodes (the control-flow
+//!   edges of the executed program),
+//! * **branch outcomes** — (branch opcode, taken) pairs,
+//! * **pipeline telemetry** — log₂ buckets over the `itr-stats` counters
+//!   the cycle-level pipeline exports (mispredicts, retry flushes, cache
+//!   misses, SPC violations, …),
+//! * **ITR-unit states** — the [`itr_core::ItrEvent`] kinds a run drove
+//!   the detection stack through (mismatch, retry, recovery, machine
+//!   check, cache-fault repair, miss insertion, unreferenced eviction),
+//!   plus cache hit/miss/eviction buckets and observed trace lengths.
+//!
+//! A case earns a corpus slot when it lights any feature no earlier case
+//! lit — the classic coverage-guided retention rule, with the feature map
+//! sized so the whole state space fits in a flat bitmap.
+
+use itr_core::ItrEvent;
+use itr_sim::{RunExit, StopReason};
+use itr_stats::Report;
+
+/// Number of opcodes in the `rISA` (the pair-feature stride).
+const OPS: u32 = 66;
+
+const PAIR_BASE: u32 = 0;
+const PAIR_SIZE: u32 = OPS * OPS;
+const BRANCH_BASE: u32 = PAIR_BASE + PAIR_SIZE;
+const BRANCH_SIZE: u32 = OPS * 2;
+const STOP_BASE: u32 = BRANCH_BASE + BRANCH_SIZE;
+const STOP_SIZE: u32 = 4;
+const EXIT_BASE: u32 = STOP_BASE + STOP_SIZE;
+const EXIT_SIZE: u32 = 6;
+const COUNTER_BASE: u32 = EXIT_BASE + EXIT_SIZE;
+const COUNTER_SIZE: u32 = BUCKETED_COUNTERS.len() as u32 * 16;
+const EVENT_BASE: u32 = COUNTER_BASE + COUNTER_SIZE;
+const EVENT_SIZE: u32 = 7 * 16;
+const TRACE_LEN_BASE: u32 = EVENT_BASE + EVENT_SIZE;
+const TRACE_LEN_SIZE: u32 = 17;
+const OUTCOME_BASE: u32 = TRACE_LEN_BASE + TRACE_LEN_SIZE;
+const OUTCOME_SIZE: u32 = 10;
+
+/// Total feature-space size.
+pub const MAP_SIZE: usize = (OUTCOME_BASE + OUTCOME_SIZE) as usize;
+
+/// The `itr-stats` counters bucketed into telemetry features.
+const BUCKETED_COUNTERS: &[(&str, &str)] = &[
+    ("pipeline", "mispredicts"),
+    ("pipeline", "retry_flushes"),
+    ("pipeline", "icache_misses"),
+    ("pipeline", "dcache_misses"),
+    ("pipeline", "spc_violations"),
+    ("itr", "mismatches"),
+    ("itr", "retries"),
+    ("itr", "machine_checks"),
+    ("itr", "recovery_loss_instrs"),
+    ("itr", "detection_loss_instrs"),
+    ("itr_cache", "hits"),
+    ("itr_cache", "misses"),
+    ("itr_cache", "evictions"),
+    ("itr_cache", "evictions_unreferenced"),
+];
+
+/// log₂ bucket of a counter value, clamped to 0..16.
+fn bucket(v: u64) -> u32 {
+    (64 - v.leading_zeros()).min(15)
+}
+
+/// Feature: committed opcode pair `prev → cur`.
+pub fn pair_feature(prev_id: u8, cur_id: u8) -> u32 {
+    PAIR_BASE + u32::from(prev_id).min(OPS - 1) * OPS + u32::from(cur_id).min(OPS - 1)
+}
+
+/// Feature: branch opcode with its resolved direction.
+pub fn branch_feature(op_id: u8, taken: bool) -> u32 {
+    BRANCH_BASE + u32::from(op_id).min(OPS - 1) * 2 + u32::from(taken)
+}
+
+/// Feature: why the functional reference stopped.
+pub fn stop_feature(stop: StopReason) -> u32 {
+    let k = match stop {
+        StopReason::Halted => 0,
+        StopReason::Aborted(_) => 1,
+        StopReason::DecodeError(_) => 2,
+        StopReason::InstrLimit => 3,
+    };
+    STOP_BASE + k
+}
+
+/// Feature: how the pipeline run exited.
+pub fn exit_feature(exit: RunExit) -> u32 {
+    let k = match exit {
+        RunExit::Halted => 0,
+        RunExit::Aborted(_) => 1,
+        RunExit::MachineCheck { .. } => 2,
+        RunExit::Deadlock => 3,
+        RunExit::CycleLimit => 4,
+        RunExit::Stopped => 5,
+    };
+    EXIT_BASE + k
+}
+
+/// Features: bucketed telemetry counters of one run's report.
+pub fn counter_features(report: &Report, out: &mut Vec<u32>) {
+    for (i, (section, name)) in BUCKETED_COUNTERS.iter().enumerate() {
+        let v = report.counter(section, name).unwrap_or(0);
+        out.push(COUNTER_BASE + i as u32 * 16 + bucket(v));
+    }
+}
+
+/// Feature: one ITR-unit event kind, bucketed by occurrence count.
+pub fn event_feature(event: &ItrEvent, count: u64) -> u32 {
+    let k = match event {
+        ItrEvent::Mismatch { .. } => 0,
+        ItrEvent::RetryInitiated { .. } => 1,
+        ItrEvent::RecoverySuccess { .. } => 2,
+        ItrEvent::MachineCheck { .. } => 3,
+        ItrEvent::CacheFaultRepaired { .. } => 4,
+        ItrEvent::MissCommitted { .. } => 5,
+        ItrEvent::EvictionUnreferenced { .. } => 6,
+    };
+    EVENT_BASE + k * 16 + bucket(count)
+}
+
+/// Feature: an observed dynamic trace length (1..=16).
+pub fn trace_len_feature(len: u32) -> u32 {
+    TRACE_LEN_BASE + len.min(TRACE_LEN_SIZE - 1)
+}
+
+/// Feature: a Figure-8 fault outcome produced by the classifier.
+pub fn outcome_feature(outcome: itr_faults::Outcome) -> u32 {
+    let idx = itr_faults::Outcome::ALL.iter().position(|&o| o == outcome).unwrap_or(0);
+    OUTCOME_BASE + (idx as u32).min(OUTCOME_SIZE - 1)
+}
+
+/// The global seen-feature bitmap.
+#[derive(Debug, Clone)]
+pub struct CoverageMap {
+    seen: Vec<bool>,
+    covered: usize,
+}
+
+impl Default for CoverageMap {
+    fn default() -> CoverageMap {
+        CoverageMap::new()
+    }
+}
+
+impl CoverageMap {
+    /// An empty map over the full feature space.
+    pub fn new() -> CoverageMap {
+        CoverageMap { seen: vec![false; MAP_SIZE], covered: 0 }
+    }
+
+    /// Marks `features` seen; returns how many were new. Out-of-range
+    /// features (impossible by construction) are ignored.
+    pub fn observe(&mut self, features: &[u32]) -> usize {
+        let mut new = 0;
+        for &f in features {
+            if let Some(slot) = self.seen.get_mut(f as usize) {
+                if !*slot {
+                    *slot = true;
+                    new += 1;
+                }
+            }
+        }
+        self.covered += new;
+        new
+    }
+
+    /// Total features lit so far.
+    pub fn covered(&self) -> usize {
+        self.covered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_ranges_are_disjoint_and_in_bounds() {
+        let all = [
+            pair_feature(65, 65),
+            branch_feature(65, true),
+            stop_feature(StopReason::InstrLimit),
+            exit_feature(RunExit::Stopped),
+            COUNTER_BASE + COUNTER_SIZE - 1,
+            event_feature(&ItrEvent::EvictionUnreferenced { start_pc: 0, len: 1 }, u64::MAX),
+            trace_len_feature(16),
+        ];
+        for f in all {
+            assert!((f as usize) < MAP_SIZE, "feature {f} out of range");
+        }
+        assert!(pair_feature(65, 65) < BRANCH_BASE);
+        assert!(branch_feature(65, true) < STOP_BASE);
+        assert!(stop_feature(StopReason::InstrLimit) < EXIT_BASE);
+        assert!(exit_feature(RunExit::Stopped) < COUNTER_BASE);
+    }
+
+    #[test]
+    fn observe_counts_only_new_features() {
+        let mut map = CoverageMap::new();
+        assert_eq!(map.observe(&[1, 2, 3]), 3);
+        assert_eq!(map.observe(&[2, 3, 4]), 1);
+        assert_eq!(map.covered(), 4);
+    }
+
+    #[test]
+    fn buckets_are_logarithmic() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(1024), 11);
+        assert_eq!(bucket(u64::MAX), 15);
+    }
+}

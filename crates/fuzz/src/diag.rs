@@ -1,0 +1,194 @@
+//! Divergence diagnostics for FuncSim-vs-pipeline comparison.
+//!
+//! The equivalence oracle (and the `tests/equivalence.rs` guard) used to
+//! assert bare stream equality, which on failure printed two opaque
+//! `CommitRecord`s. This module locates the first divergent commit and
+//! renders everything a human needs to debug it: the commit index, the
+//! PC and disassembly on both sides, both commit records, and the two
+//! architectural states — reconstructed by replaying each committed
+//! stream's register writebacks — with a register-level diff.
+
+use itr_isa::Program;
+use itr_sim::{ArchState, CommitRecord};
+use std::fmt;
+
+/// The first point where two committed streams disagree.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Index of the first divergent commit.
+    pub index: usize,
+    /// The golden (functional-simulator) record, if the golden stream
+    /// reaches this index.
+    pub golden: Option<CommitRecord>,
+    /// The other (pipeline) record, if its stream reaches this index.
+    pub actual: Option<CommitRecord>,
+    /// Golden architectural state immediately *before* the divergent
+    /// commit.
+    pub golden_state: ArchState,
+    /// Actual architectural state immediately before the divergent
+    /// commit.
+    pub actual_state: ArchState,
+    /// Disassembly of the instruction at the golden record's PC.
+    pub golden_disasm: String,
+    /// Disassembly of the instruction at the actual record's PC.
+    pub actual_disasm: String,
+}
+
+/// Replays the register writebacks of `records[..upto]` from the reset
+/// state, reconstructing the architectural state just before commit
+/// `upto`.
+fn replay(program: &Program, records: &[CommitRecord], upto: usize) -> ArchState {
+    let mut a = ArchState::new(program.entry());
+    a.set_int_reg(29, itr_isa::STACK_TOP as u32);
+    for r in &records[..upto.min(records.len())] {
+        if let Some((dst, value)) = r.dst {
+            a.set_reg(dst, value);
+        }
+        a.pc = r.next_pc;
+    }
+    a
+}
+
+fn disasm_at(program: &Program, record: Option<&CommitRecord>) -> String {
+    match record {
+        None => "<stream ended>".to_string(),
+        Some(r) => match program.instruction_at(r.pc) {
+            Some(inst) => inst.to_string(),
+            None => "<outside text segment>".to_string(),
+        },
+    }
+}
+
+/// Locates the first divergent commit between `golden` and `actual`, or
+/// `None` when the streams are identical (same records, same length).
+pub fn first_divergence(
+    program: &Program,
+    golden: &[CommitRecord],
+    actual: &[CommitRecord],
+) -> Option<Divergence> {
+    let index = golden
+        .iter()
+        .zip(actual.iter())
+        .position(|(g, a)| g != a)
+        .or_else(|| (golden.len() != actual.len()).then(|| golden.len().min(actual.len())))?;
+    Some(Divergence {
+        index,
+        golden: golden.get(index).copied(),
+        actual: actual.get(index).copied(),
+        golden_state: replay(program, golden, index),
+        actual_state: replay(program, actual, index),
+        golden_disasm: disasm_at(program, golden.get(index)),
+        actual_disasm: disasm_at(program, actual.get(index)),
+    })
+}
+
+fn reg_name(idx: u16) -> String {
+    match idx {
+        0..=31 => format!("r{idx}"),
+        32..=63 => format!("f{}", idx - 32),
+        _ => "fcc".to_string(),
+    }
+}
+
+fn fmt_record(r: Option<&CommitRecord>) -> String {
+    r.map(|r| r.to_string()).unwrap_or_else(|| "<stream ended>".to_string())
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "first divergent commit: #{}", self.index)?;
+        writeln!(f, "  golden: {}  [{}]", fmt_record(self.golden.as_ref()), self.golden_disasm)?;
+        writeln!(f, "  actual: {}  [{}]", fmt_record(self.actual.as_ref()), self.actual_disasm)?;
+        writeln!(
+            f,
+            "  arch state before the commit (golden pc={:#010x}, actual pc={:#010x}):",
+            self.golden_state.pc, self.actual_state.pc
+        )?;
+        let mut differing = 0;
+        for idx in 0..itr_sim::NUM_ARCH_REGS as u16 {
+            let (g, a) = (self.golden_state.reg(idx), self.actual_state.reg(idx));
+            if g != a {
+                writeln!(f, "    {:<4} golden={g:#010x} actual={a:#010x}", reg_name(idx))?;
+                differing += 1;
+            }
+        }
+        if differing == 0 {
+            writeln!(f, "    registers identical — the divergence is within the commit itself")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itr_isa::asm::assemble;
+    use itr_sim::FuncSim;
+
+    fn stream(src: &str, n: u64) -> (Program, Vec<CommitRecord>) {
+        let p = assemble(src).unwrap();
+        let mut sim = FuncSim::new(&p);
+        let (records, _) = sim.run_collect(n);
+        (p, records)
+    }
+
+    const SRC: &str = "main:\n li r8, 3\n add r9, r8, r8\n add r10, r9, r8\n halt\n";
+
+    #[test]
+    fn identical_streams_have_no_divergence() {
+        let (p, s) = stream(SRC, 100);
+        assert!(first_divergence(&p, &s, &s).is_none());
+    }
+
+    #[test]
+    fn record_level_divergence_is_located_and_rendered() {
+        let (p, golden) = stream(SRC, 100);
+        let mut actual = golden.clone();
+        let i = actual.len() - 2;
+        if let Some((_, v)) = &mut actual[i].dst {
+            *v ^= 0x40;
+        }
+        let d = first_divergence(&p, &golden, &actual).expect("diverges");
+        assert_eq!(d.index, i);
+        let text = d.to_string();
+        assert!(text.contains("first divergent commit"), "{text}");
+        assert!(text.contains("golden:") && text.contains("actual:"), "{text}");
+        assert!(text.contains("add "), "disassembly missing: {text}");
+    }
+
+    #[test]
+    fn length_divergence_reports_the_truncated_side() {
+        let (p, golden) = stream(SRC, 100);
+        let actual = golden[..golden.len() - 1].to_vec();
+        let d = first_divergence(&p, &golden, &actual).expect("diverges");
+        assert_eq!(d.index, actual.len());
+        assert!(d.actual.is_none());
+        assert!(d.to_string().contains("<stream ended>"));
+    }
+
+    #[test]
+    fn state_diff_shows_the_poisoned_register() {
+        let (p, golden) = stream(SRC, 100);
+        let mut actual = golden.clone();
+        // Poison the writeback of an *earlier* commit so the replayed
+        // states differ at the divergence point.
+        if let Some((r, v)) = &mut actual[1].dst {
+            assert_eq!(*r, 9, "second commit writes r9");
+            *v = 0xDEAD;
+        }
+        let d = first_divergence(&p, &golden, &actual).expect("diverges");
+        assert_eq!(d.index, 1, "divergence at the poisoned commit");
+        // Diverge later instead: splice golden prefix so states differ.
+        let mut late = golden.clone();
+        if let Some((_, v)) = &mut late[1].dst {
+            *v = 0xDEAD;
+        }
+        if let Some((_, v)) = &mut late[2].dst {
+            *v = 0xBEEF;
+        }
+        let d = first_divergence(&p, &golden, &late).unwrap();
+        let text = d.to_string();
+        assert_eq!(d.index, 1);
+        assert!(text.contains("registers identical"), "{text}");
+    }
+}

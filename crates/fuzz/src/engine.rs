@@ -1,0 +1,292 @@
+//! The fuzzing engine: seed, mutate, evaluate, retain, shrink.
+//!
+//! Fully deterministic for a fixed [`FuzzConfig`]: every random choice
+//! flows from one `SplitMix64` stream, the fault-consistency oracle runs
+//! on a fixed cadence, and the exported statistics are built from
+//! ordered containers — two runs with the same seed and budget produce
+//! byte-identical stats and findings.
+
+use crate::case::FuzzCase;
+use crate::corpus::{seed_corpus, Corpus, RegressionCase};
+use crate::coverage::CoverageMap;
+use crate::mutate;
+use crate::oracle::{self, OracleConfig, OracleKind};
+use crate::shrink::shrink;
+use itr_stats::json::Value;
+use itr_stats::SplitMix64;
+use std::collections::BTreeMap;
+
+/// Schema tag of the exported statistics document.
+pub const STATS_SCHEMA: &str = "itr-fuzz-stats/v1";
+
+/// Engine parameters.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed; every random decision derives from it.
+    pub seed: u64,
+    /// Mutation/evaluation iterations (seed evaluations not counted).
+    pub iters: u64,
+    /// Oracle budgets.
+    pub oracle: OracleConfig,
+    /// Run the fault-consistency oracle every `fault_every`-th iteration.
+    pub fault_every: u64,
+    /// Maximum retained corpus entries.
+    pub corpus_cap: usize,
+    /// Dynamic size of the seeded SPEC2K mimics.
+    pub mimic_seed_instrs: u64,
+    /// Skip workload seeding (unit tests and shrink-replay paths).
+    pub skip_seeding: bool,
+    /// Probability of generating a fresh case instead of mutating.
+    pub fresh_ratio: f64,
+    /// Shrinker evaluation budget per finding.
+    pub shrink_budget: usize,
+    /// Stop recording findings past this many (the loop keeps running
+    /// for coverage, but shrinking duplicates of a systemic bug is
+    /// wasted work).
+    pub max_findings: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            seed: 1,
+            iters: 1000,
+            oracle: OracleConfig::default(),
+            fault_every: 4,
+            corpus_cap: 256,
+            mimic_seed_instrs: 1500,
+            skip_seeding: false,
+            fresh_ratio: 0.15,
+            shrink_budget: 48,
+            max_findings: 8,
+        }
+    }
+}
+
+impl FuzzConfig {
+    /// A small configuration for smoke tests and the harness's quick
+    /// scale: tight budgets, few iterations, cheap faults.
+    pub fn quick(seed: u64, iters: u64) -> FuzzConfig {
+        FuzzConfig {
+            seed,
+            iters,
+            oracle: OracleConfig { max_instrs: 600, fault_count: 1, window_cycles: 2500 },
+            fault_every: 8,
+            corpus_cap: 64,
+            mimic_seed_instrs: 500,
+            ..FuzzConfig::default()
+        }
+    }
+}
+
+/// Aggregate statistics of one fuzzing run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzStats {
+    /// Iterations executed (may stop early on cancellation).
+    pub iterations: u64,
+    /// Seed cases evaluated.
+    pub seeds: u64,
+    /// Coverage features lit.
+    pub coverage: usize,
+    /// Retained corpus size.
+    pub corpus_len: usize,
+    /// Order-insensitive digest of the retained corpus.
+    pub corpus_digest: u64,
+    /// Total instructions the golden reference committed.
+    pub golden_instrs: u64,
+    /// Findings per oracle.
+    pub findings_by_oracle: BTreeMap<&'static str, u64>,
+}
+
+impl FuzzStats {
+    /// Total findings across oracles.
+    pub fn findings(&self) -> u64 {
+        self.findings_by_oracle.values().sum()
+    }
+}
+
+/// Everything one run produced.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzOutcome {
+    /// Run statistics.
+    pub stats: FuzzStats,
+    /// Shrunken, deduplicated findings ready for persistence.
+    pub findings: Vec<RegressionCase>,
+}
+
+impl FuzzOutcome {
+    /// The deterministic `itr-fuzz-stats/v1` export.
+    pub fn stats_value(&self, cfg: &FuzzConfig) -> Value {
+        let findings = self
+            .stats
+            .findings_by_oracle
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::UInt(*v)))
+            .collect();
+        Value::Object(vec![
+            ("schema".to_string(), Value::Str(STATS_SCHEMA.to_string())),
+            ("seed".to_string(), Value::UInt(cfg.seed)),
+            ("iterations".to_string(), Value::UInt(self.stats.iterations)),
+            ("seeds".to_string(), Value::UInt(self.stats.seeds)),
+            ("coverage".to_string(), Value::UInt(self.stats.coverage as u64)),
+            ("corpus_len".to_string(), Value::UInt(self.stats.corpus_len as u64)),
+            (
+                "corpus_digest".to_string(),
+                Value::Str(format!("{:#018x}", self.stats.corpus_digest)),
+            ),
+            ("golden_instrs".to_string(), Value::UInt(self.stats.golden_instrs)),
+            ("findings_total".to_string(), Value::UInt(self.stats.findings())),
+            ("findings".to_string(), Value::Object(findings)),
+        ])
+    }
+}
+
+/// Shrinks one finding down to a minimal reproducer.
+fn shrink_finding(case: &FuzzCase, finding: &oracle::Finding, cfg: &FuzzConfig) -> RegressionCase {
+    let ocfg = cfg.oracle.clone();
+    let mut reproduces: Box<dyn FnMut(&FuzzCase) -> bool> = match (finding.kind, finding.fault) {
+        (OracleKind::FaultConsistency, Some(fault)) => {
+            Box::new(move |c| oracle::replay_fault(c, fault, &ocfg).is_some())
+        }
+        (kind, _) => Box::new(move |c| {
+            let mut rng = SplitMix64::new(0);
+            oracle::evaluate(c, &ocfg, false, &mut rng).findings.iter().any(|f| f.kind == kind)
+        }),
+    };
+    let small = shrink(case, cfg.shrink_budget, &mut reproduces);
+    RegressionCase::new(small, finding, cfg.oracle.clone())
+}
+
+/// Runs one fuzzing campaign. `cancelled` is polled between iterations;
+/// a `true` return stops the loop early (the outcome reflects the work
+/// done so far).
+pub fn run(cfg: &FuzzConfig, cancelled: &dyn Fn() -> bool) -> FuzzOutcome {
+    let mut rng = SplitMix64::new(cfg.seed ^ 0x17F2_0070_F22D_2007);
+    let mut map = CoverageMap::new();
+    let mut corpus = Corpus::new(cfg.corpus_cap);
+    let mut out = FuzzOutcome::default();
+    let mut finding_ids: Vec<(OracleKind, u64)> = Vec::new();
+
+    // Seed from the workload suite: evaluate for coverage, retain all.
+    if !cfg.skip_seeding {
+        for seed_case in seed_corpus(cfg.seed, cfg.mimic_seed_instrs) {
+            if cancelled() {
+                break;
+            }
+            let eval = oracle::evaluate(&seed_case, &cfg.oracle, false, &mut rng);
+            map.observe(&eval.features);
+            out.stats.golden_instrs += eval.golden_len as u64;
+            out.stats.seeds += 1;
+            record_findings(&seed_case, &eval.findings, cfg, &mut out, &mut finding_ids);
+            corpus.push(seed_case);
+        }
+    }
+
+    for iter in 0..cfg.iters {
+        if cancelled() {
+            break;
+        }
+        let case = if corpus.is_empty() || rng.gen_bool(cfg.fresh_ratio) {
+            let target = 24 + rng.gen_range(0usize..64);
+            mutate::fresh(&mut rng, target)
+        } else {
+            let parent = corpus.pick(&mut rng).cloned().expect("non-empty corpus");
+            let donor = if rng.gen_bool(0.5) { corpus.pick(&mut rng).cloned() } else { None };
+            mutate::mutate(&mut rng, &parent, donor.as_ref())
+        };
+        let with_faults = cfg.fault_every > 0 && iter % cfg.fault_every == 0;
+        let eval = oracle::evaluate(&case, &cfg.oracle, with_faults, &mut rng);
+        out.stats.golden_instrs += eval.golden_len as u64;
+        out.stats.iterations += 1;
+        if map.observe(&eval.features) > 0 {
+            corpus.push(case.clone());
+        }
+        record_findings(&case, &eval.findings, cfg, &mut out, &mut finding_ids);
+    }
+
+    out.stats.coverage = map.covered();
+    out.stats.corpus_len = corpus.len();
+    out.stats.corpus_digest = corpus.digest();
+    out
+}
+
+/// Shrinks and records findings, deduplicating by (oracle, shrunken
+/// fingerprint) and respecting the findings cap.
+fn record_findings(
+    case: &FuzzCase,
+    findings: &[oracle::Finding],
+    cfg: &FuzzConfig,
+    out: &mut FuzzOutcome,
+    seen: &mut Vec<(OracleKind, u64)>,
+) {
+    for finding in findings {
+        *out.stats.findings_by_oracle.entry(finding.kind.label()).or_insert(0) += 1;
+        if out.findings.len() >= cfg.max_findings {
+            continue;
+        }
+        let rc = shrink_finding(case, finding, cfg);
+        let id = (rc.kind, rc.case.fingerprint());
+        if seen.contains(&id) {
+            continue;
+        }
+        seen.push(id);
+        out.findings.push(rc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(seed: u64, iters: u64) -> FuzzConfig {
+        FuzzConfig {
+            oracle: OracleConfig { max_instrs: 400, fault_count: 1, window_cycles: 2000 },
+            fault_every: 8,
+            skip_seeding: true,
+            ..FuzzConfig::quick(seed, iters)
+        }
+    }
+
+    #[test]
+    fn the_engine_is_deterministic() {
+        let cfg = tiny_cfg(1, 24);
+        let a = run(&cfg, &|| false);
+        let b = run(&cfg, &|| false);
+        assert_eq!(a.stats.corpus_digest, b.stats.corpus_digest);
+        assert_eq!(a.stats_value(&cfg).to_json(), b.stats_value(&cfg).to_json());
+        assert_eq!(a.findings.len(), b.findings.len());
+    }
+
+    #[test]
+    fn coverage_and_corpus_grow() {
+        let out = run(&tiny_cfg(2, 24), &|| false);
+        assert_eq!(out.stats.iterations, 24);
+        assert!(out.stats.coverage > 0);
+        assert!(out.stats.corpus_len > 0);
+        assert!(out.stats.golden_instrs > 0);
+    }
+
+    #[test]
+    fn cancellation_stops_the_loop_early() {
+        use std::cell::Cell;
+        let calls = Cell::new(0u32);
+        let out = run(&tiny_cfg(3, 1000), &|| {
+            calls.set(calls.get() + 1);
+            calls.get() > 5
+        });
+        assert!(out.stats.iterations <= 5);
+    }
+
+    #[test]
+    fn seeding_pulls_in_the_workload_suite() {
+        let cfg = FuzzConfig { skip_seeding: false, ..tiny_cfg(4, 0) };
+        let out = run(&cfg, &|| false);
+        assert!(out.stats.seeds >= 8, "expected suite seeds, got {}", out.stats.seeds);
+        assert!(out.stats.corpus_len as u64 <= out.stats.seeds.max(cfg.corpus_cap as u64));
+        assert!(
+            out.findings.is_empty(),
+            "workload seeds must pass the oracles: {:?}",
+            out.findings.iter().map(|f| &f.detail).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Structure-aware `rISA` program generation.
+//!
+//! Random *words* would spend the whole fuzzing budget in the decoder's
+//! error path; random *instruction soup* would almost never terminate or
+//! repeat. This generator instead emits programs with the structure the
+//! ITR paper cares about — straight-line arithmetic, guarded forward
+//! skips, and bounded counted loops whose traces repeat — so every input
+//! exercises the trace builder, the ITR cache and the retry machinery.
+//!
+//! Termination is by construction: backward branches exist only as
+//! counted down-loops whose counter register is written nowhere else,
+//! and every program ends in `trap HALT`. Stores go through a dedicated
+//! base register (see [`sanitize`]) so no generated or mutated program
+//! can overwrite its own text — self-modifying code would make the
+//! functional simulator (fetch at execute) and the pipeline (fetch ahead)
+//! diverge for reasons that are not bugs.
+
+use crate::case::FuzzCase;
+use itr_isa::{trap, Instruction, Opcode, SignalFlags, Syntax};
+use itr_stats::SplitMix64;
+
+/// General-purpose integer pool the generator allocates from.
+pub const INT_POOL: &[u8] = &[8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19];
+/// Loop-counter registers (never written by loop bodies).
+pub const LOOP_POOL: &[u8] = &[20, 21, 22];
+/// The data-segment base pointer every store indexes through.
+pub const DATA_PTR: u8 = 24;
+/// FP register pool.
+pub const FP_POOL: &[u8] = &[0, 1, 2, 3, 4, 5, 6, 7];
+
+/// Three-register ALU opcodes the generator samples.
+const ALU3: &[Opcode] = &[
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Nor,
+    Opcode::Slt,
+    Opcode::Sltu,
+    Opcode::Mul,
+    Opcode::Div,
+    Opcode::Rem,
+];
+const ALUI: &[Opcode] =
+    &[Opcode::Addi, Opcode::Slti, Opcode::Sltiu, Opcode::Andi, Opcode::Ori, Opcode::Xori];
+const SHIFT: &[Opcode] = &[Opcode::Sll, Opcode::Srl, Opcode::Sra];
+const SHIFTV: &[Opcode] = &[Opcode::Sllv, Opcode::Srlv, Opcode::Srav];
+const LOAD: &[Opcode] = &[Opcode::Lw, Opcode::Lb, Opcode::Lbu, Opcode::Lh, Opcode::Lhu];
+const STORE: &[Opcode] = &[Opcode::Sw, Opcode::Sb, Opcode::Sh];
+const BRANCH2: &[Opcode] = &[Opcode::Beq, Opcode::Bne];
+const BRANCH1: &[Opcode] = &[Opcode::Blez, Opcode::Bgtz, Opcode::Bltz, Opcode::Bgez];
+const FP3: &[Opcode] = &[Opcode::AddS, Opcode::SubS, Opcode::MulS, Opcode::DivS];
+const FP2: &[Opcode] =
+    &[Opcode::AbsS, Opcode::MovS, Opcode::NegS, Opcode::CvtSW, Opcode::CvtWS, Opcode::SqrtS];
+const FPCMP: &[Opcode] = &[Opcode::CEqS, Opcode::CLtS, Opcode::CLeS];
+
+fn pick<T: Copy>(rng: &mut SplitMix64, pool: &[T]) -> T {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// One random body (non-branch) instruction.
+fn body_instr(rng: &mut SplitMix64) -> Instruction {
+    match rng.gen_range(0u32..100) {
+        0..=29 => Instruction::rrr(
+            pick(rng, ALU3),
+            pick(rng, INT_POOL),
+            pick(rng, INT_POOL),
+            pick(rng, INT_POOL),
+        ),
+        30..=49 => Instruction::rri(
+            pick(rng, ALUI),
+            pick(rng, INT_POOL),
+            pick(rng, INT_POOL),
+            rng.gen_range(-128i32..128),
+        ),
+        50..=57 => Instruction::shift(
+            pick(rng, SHIFT),
+            pick(rng, INT_POOL),
+            pick(rng, INT_POOL),
+            rng.gen_range(0u8..32),
+        ),
+        58..=61 => Instruction::rrr(
+            pick(rng, SHIFTV),
+            pick(rng, INT_POOL),
+            pick(rng, INT_POOL),
+            pick(rng, INT_POOL),
+        ),
+        62..=64 => Instruction::rri(Opcode::Lui, pick(rng, INT_POOL), 0, rng.gen_range(0i32..256)),
+        65..=76 => Instruction::mem(
+            pick(rng, LOAD),
+            pick(rng, INT_POOL),
+            DATA_PTR,
+            rng.gen_range(0i32..256),
+        ),
+        77..=86 => Instruction::mem(
+            pick(rng, STORE),
+            pick(rng, INT_POOL),
+            DATA_PTR,
+            rng.gen_range(0i32..256),
+        ),
+        87..=89 => Instruction::mem(
+            Opcode::Lwc1,
+            pick(rng, FP_POOL),
+            DATA_PTR,
+            4 * rng.gen_range(0i32..64),
+        ),
+        90..=91 => Instruction::mem(
+            Opcode::Swc1,
+            pick(rng, FP_POOL),
+            DATA_PTR,
+            4 * rng.gen_range(0i32..64),
+        ),
+        92..=95 => Instruction::rrr(
+            pick(rng, FP3),
+            pick(rng, FP_POOL),
+            pick(rng, FP_POOL),
+            pick(rng, FP_POOL),
+        ),
+        96..=97 => Instruction::rrr(pick(rng, FP2), pick(rng, FP_POOL), pick(rng, FP_POOL), 0),
+        _ => Instruction::rrr(pick(rng, FPCMP), 0, pick(rng, FP_POOL), pick(rng, FP_POOL)),
+    }
+}
+
+/// A straight-line run of body instructions.
+fn straight(rng: &mut SplitMix64, out: &mut Vec<Instruction>, len: usize) {
+    for _ in 0..len {
+        out.push(body_instr(rng));
+    }
+}
+
+/// A guarded forward skip: `branch +k` over `k` body instructions.
+fn forward_skip(rng: &mut SplitMix64, out: &mut Vec<Instruction>) {
+    let k = rng.gen_range(1i32..4);
+    let br = match rng.gen_range(0u32..10) {
+        0..=4 => {
+            Instruction::branch(pick(rng, BRANCH2), pick(rng, INT_POOL), pick(rng, INT_POOL), k)
+        }
+        5..=8 => Instruction::branch(pick(rng, BRANCH1), pick(rng, INT_POOL), 0, k),
+        _ => Instruction::branch(
+            if rng.gen_bool(0.5) { Opcode::Bc1t } else { Opcode::Bc1f },
+            0,
+            0,
+            k,
+        ),
+    };
+    out.push(br);
+    straight(rng, out, k as usize);
+}
+
+/// A counted down-loop: `li cnt, trips; top: body…; addi cnt,cnt,-1;
+/// bne cnt, r0, top`. The counter register is written nowhere else, so
+/// the loop always terminates.
+fn counted_loop(rng: &mut SplitMix64, out: &mut Vec<Instruction>) {
+    let cnt = pick(rng, LOOP_POOL);
+    let trips = rng.gen_range(1i32..9);
+    out.push(Instruction::rri(Opcode::Addi, cnt, 0, trips));
+    let top = out.len();
+    let body = rng.gen_range(2usize..7);
+    straight(rng, out, body);
+    if rng.gen_bool(0.3) {
+        forward_skip(rng, out);
+    }
+    out.push(Instruction::rri(Opcode::Addi, cnt, cnt, -1));
+    let back = top as i32 - (out.len() as i32 + 1);
+    out.push(Instruction::branch(Opcode::Bne, cnt, 0, back));
+}
+
+/// Generates a fresh structured program of roughly `target_len`
+/// instructions (clamped to a handful of blocks).
+pub fn generate(rng: &mut SplitMix64, target_len: usize) -> FuzzCase {
+    let mut text = Vec::with_capacity(target_len + 16);
+    // Prologue: the data base pointer and a few live values.
+    text.push(Instruction::rri(Opcode::Lui, DATA_PTR, 0, (itr_isa::DATA_BASE >> 16) as i32));
+    text.push(Instruction::rri(
+        Opcode::Ori,
+        DATA_PTR,
+        DATA_PTR,
+        (itr_isa::DATA_BASE & 0xFFFF) as i32,
+    ));
+    for _ in 0..rng.gen_range(2usize..5) {
+        text.push(Instruction::rri(
+            Opcode::Addi,
+            pick(rng, INT_POOL),
+            0,
+            rng.gen_range(-100i32..100),
+        ));
+    }
+    while text.len() < target_len {
+        match rng.gen_range(0u32..10) {
+            0..=3 => {
+                let n = rng.gen_range(3usize..9);
+                straight(rng, &mut text, n);
+            }
+            4..=6 => forward_skip(rng, &mut text),
+            7..=8 => counted_loop(rng, &mut text),
+            _ => {
+                // Unconditional forward jump over a small shadow region.
+                let k = rng.gen_range(1u32..4);
+                let target = text.len() as u32 + 1 + k;
+                text.push(Instruction::jump(Opcode::J, (itr_isa::TEXT_BASE as u32 >> 2) + target));
+                straight(rng, &mut text, k as usize);
+            }
+        }
+    }
+    if rng.gen_bool(0.4) {
+        // Print one live value through `trap PUT_INT` (reads r4).
+        text.push(Instruction::rri(Opcode::Addi, 4, pick(rng, INT_POOL), 0));
+        text.push(Instruction::trap(trap::PUT_INT));
+    }
+    text.push(Instruction::trap(trap::HALT));
+
+    let data: Vec<u8> = (0..rng.gen_range(64usize..257)).map(|_| rng.next_u64() as u8).collect();
+    let mut case = FuzzCase { text, data, entry: 0 };
+    sanitize(&mut case);
+    case
+}
+
+/// `true` when `inst` writes the given *integer* register.
+fn writes_int_reg(inst: &Instruction, reg: u8) -> bool {
+    let p = inst.op.props();
+    if p.num_rdst == 0 || p.flags.contains(SignalFlags::IS_FP) && inst.op != Opcode::Mfc1 {
+        return false;
+    }
+    match p.syntax {
+        Syntax::ThreeReg | Syntax::Shift | Syntax::ShiftV | Syntax::TwoReg => inst.rd == reg,
+        Syntax::TwoRegImm | Syntax::RegImm16 => inst.rt == reg,
+        Syntax::Mem => p.flags.contains(SignalFlags::IS_LD) && inst.rt == reg,
+        Syntax::FpMove => inst.op == Opcode::Mfc1 && inst.rt == reg,
+        _ => false,
+    }
+}
+
+/// Restores the case-level safety invariants after generation, mutation
+/// or shrinking:
+///
+/// * every store's base register is [`DATA_PTR`] with a non-negative
+///   offset, and nothing past the two-instruction prologue writes
+///   [`DATA_PTR`] — so stores land in `[r24, r24 + 32 KiB)`, which is the
+///   data segment when the prologue ran and low memory (below the text
+///   base) when a mutation removed it: text is never overwritten;
+/// * the entry index stays inside the text segment.
+pub fn sanitize(case: &mut FuzzCase) {
+    for (i, inst) in case.text.iter_mut().enumerate() {
+        if inst.op.is_store() {
+            inst.rs = DATA_PTR;
+            inst.imm &= 0x7FFF;
+        }
+        if i >= 2 && writes_int_reg(inst, DATA_PTR) {
+            let p = inst.op.props().syntax;
+            match p {
+                Syntax::ThreeReg | Syntax::Shift | Syntax::ShiftV | Syntax::TwoReg => {
+                    inst.rd = DATA_PTR - 1;
+                }
+                _ => inst.rt = DATA_PTR - 1,
+            }
+        }
+    }
+    if !case.text.is_empty() {
+        case.entry = case.entry.min(case.text.len() as u32 - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itr_sim::{FuncSim, StopReason};
+
+    #[test]
+    fn generated_programs_halt_within_budget() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..40 {
+            let case = generate(&mut rng, 48);
+            let p = case.program();
+            let mut sim = FuncSim::new(&p);
+            let stop = sim.run(200_000);
+            assert_eq!(stop, StopReason::Halted, "case {:#018x}", case.fingerprint());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(&mut SplitMix64::new(3), 64);
+        let b = generate(&mut SplitMix64::new(3), 64);
+        assert_eq!(a, b);
+        let c = generate(&mut SplitMix64::new(4), 64);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn sanitize_pins_store_bases_and_data_ptr() {
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..20 {
+            let case = generate(&mut rng, 40);
+            for (i, inst) in case.text.iter().enumerate() {
+                if inst.op.is_store() {
+                    assert_eq!(inst.rs, DATA_PTR, "store base at {i}");
+                    assert!(inst.imm >= 0, "store offset at {i}");
+                }
+                if i >= 2 {
+                    assert!(!writes_int_reg(inst, DATA_PTR), "data ptr clobbered at {i}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # itr-fuzz — coverage-guided differential fuzzing of the simulator
+//! and ITR detection stack
+//!
+//! The reproduction's correctness rests on three pillars this crate
+//! attacks continuously:
+//!
+//! 1. the cycle-level pipeline commits the same architectural stream as
+//!    the functional reference ([`oracle::OracleKind::CommitEquivalence`]),
+//! 2. trace signatures are a pure function of trace identity
+//!    ([`oracle::OracleKind::SignatureDeterminism`] — the invariant the
+//!    whole ITR scheme stands on), and
+//! 3. the §4 fault classifier agrees with architectural ground truth
+//!    ([`oracle::OracleKind::FaultConsistency`]).
+//!
+//! The engine ([`engine::run`]) generates structure-aware `rISA`
+//! programs ([`gen`]), mutates them ([`mutate`]), and retains any case
+//! that lights a new feature in the novelty map ([`coverage`]) built
+//! from opcode pairs, branch outcomes, `itr-stats` pipeline telemetry,
+//! and ITR-unit events. Violations are delta-debugged to minimal
+//! reproducers ([`shrink`]) and persisted as replayable JSON documents
+//! ([`corpus::RegressionCase`]) under `tests/fuzz_regressions/`.
+//!
+//! Everything is deterministic per seed — `itr-fuzz run --seed 1
+//! --iters 5000` twice yields byte-identical statistics and findings.
+
+pub mod case;
+pub mod corpus;
+pub mod coverage;
+pub mod diag;
+pub mod engine;
+pub mod gen;
+pub mod mutate;
+pub mod oracle;
+pub mod shrink;
+
+pub use case::{FuzzCase, CASE_SCHEMA};
+pub use corpus::{seed_corpus, Corpus, RegressionCase, FINDING_SCHEMA};
+pub use coverage::{CoverageMap, MAP_SIZE};
+pub use diag::{first_divergence, Divergence};
+pub use engine::{run, FuzzConfig, FuzzOutcome, FuzzStats, STATS_SCHEMA};
+pub use oracle::{evaluate, replay_fault, Evaluation, Finding, OracleConfig, OracleKind};
+pub use shrink::{shrink, DEFAULT_BUDGET};

@@ -1,0 +1,270 @@
+//! Structure-aware mutation engine.
+//!
+//! Mutations act on decoded [`Instruction`]s, never on raw words, so
+//! every mutant re-encodes to a valid program and the fuzzing budget is
+//! spent on *behavioural* diversity: different opcode mixes, operand
+//! aliasing, control-flow shapes, and loop trip structures — the axes the
+//! ITR trace builder and cache actually discriminate on. The classic
+//! mutators are all here: opcode substitution (within a syntax class),
+//! operand perturbation, branch retargeting, block splice (within a case
+//! or across two corpus entries), and loop fold/unroll.
+//!
+//! Mutants may stop terminating (a retargeted branch can loop); the
+//! engine bounds every run by an instruction budget, so non-terminating
+//! mutants cost time but never wedge the fuzzer. What mutants can *not*
+//! do is overwrite their own text — [`sanitize`] re-establishes the
+//! store-safety invariant after every mutation.
+
+use crate::case::FuzzCase;
+use crate::gen::{self, sanitize, DATA_PTR, INT_POOL};
+use itr_isa::{Instruction, Opcode, Syntax};
+use itr_stats::SplitMix64;
+
+/// Hard cap on mutant text size: splice and unroll stop growing a case
+/// past this.
+pub const MAX_TEXT: usize = 512;
+
+/// Opcodes sharing a syntax class — the substitution pool.
+fn same_class(s: Syntax) -> Vec<Opcode> {
+    Opcode::ALL.iter().copied().filter(|op| op.props().syntax == s).collect()
+}
+
+fn pick_index(rng: &mut SplitMix64, len: usize) -> usize {
+    rng.gen_range(0..len.max(1))
+}
+
+/// Substitutes the opcode of one instruction with another of the same
+/// syntax class, keeping every operand field.
+fn substitute_opcode(rng: &mut SplitMix64, text: &mut [Instruction]) {
+    let i = pick_index(rng, text.len());
+    let class = same_class(text[i].op.props().syntax);
+    text[i].op = class[rng.gen_range(0..class.len())];
+}
+
+/// Perturbs one operand field of one instruction.
+fn perturb_operand(rng: &mut SplitMix64, text: &mut [Instruction]) {
+    let i = pick_index(rng, text.len());
+    let inst = &mut text[i];
+    let is_branchy = inst.op.ends_trace();
+    match rng.gen_range(0u32..5) {
+        0 => inst.rs = rng.gen_range(0u8..32),
+        1 => inst.rt = rng.gen_range(0u8..32),
+        2 => inst.rd = rng.gen_range(0u8..32),
+        3 => inst.shamt = rng.gen_range(0u8..32),
+        // Branch and jump immediates belong to `retarget_branch`; for
+        // everything else flip between a small delta and a fresh value.
+        _ if !is_branchy => {
+            inst.imm = if rng.gen_bool(0.5) {
+                inst.imm.wrapping_add(rng.gen_range(-8i32..9))
+            } else {
+                rng.gen_range(-0x8000i32..0x8000)
+            };
+        }
+        _ => inst.rs = rng.gen_range(0u8..32),
+    }
+}
+
+/// Retargets one branch or jump to a random instruction in the text.
+fn retarget_branch(rng: &mut SplitMix64, text: &mut [Instruction]) {
+    let branches: Vec<usize> = text
+        .iter()
+        .enumerate()
+        .filter(|(_, inst)| {
+            matches!(
+                inst.op.props().syntax,
+                Syntax::Branch2 | Syntax::Branch1 | Syntax::FpBranch | Syntax::Jump
+            )
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if branches.is_empty() {
+        return;
+    }
+    let b = branches[rng.gen_range(0..branches.len())];
+    let target = rng.gen_range(0..text.len()) as i64;
+    if text[b].op.props().syntax == Syntax::Jump {
+        text[b].imm = ((itr_isa::TEXT_BASE >> 2) as i64 + target) as i32 & 0x03FF_FFFF;
+    } else {
+        let offset = target - (b as i64 + 1);
+        text[b].imm = offset.clamp(-0x8000, 0x7FFF) as i32;
+    }
+}
+
+/// Splices a short block from `donor` (another corpus entry, or the case
+/// itself) into a random position.
+fn splice_block(rng: &mut SplitMix64, text: &mut Vec<Instruction>, donor: &[Instruction]) {
+    if donor.is_empty() || text.len() >= MAX_TEXT {
+        return;
+    }
+    let len = rng.gen_range(1usize..9).min(donor.len()).min(MAX_TEXT - text.len());
+    let from = rng.gen_range(0..donor.len() - len + 1);
+    let at = rng.gen_range(0..text.len() + 1);
+    let block: Vec<Instruction> = donor[from..from + len].to_vec();
+    text.splice(at..at, block);
+}
+
+/// Finds the backward branches (loop latches) in the text.
+fn latches(text: &[Instruction]) -> Vec<usize> {
+    text.iter()
+        .enumerate()
+        .filter(|(i, inst)| {
+            matches!(inst.op.props().syntax, Syntax::Branch2 | Syntax::Branch1 | Syntax::FpBranch)
+                && inst.imm < 0
+                && (*i as i64 + 1 + i64::from(inst.imm)) >= 0
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Unrolls one loop once: duplicates the body before the latch and
+/// re-aims the latch at the original loop top.
+fn unroll_loop(rng: &mut SplitMix64, text: &mut Vec<Instruction>) {
+    let latches = latches(text);
+    if latches.is_empty() {
+        return;
+    }
+    let b = latches[rng.gen_range(0..latches.len())];
+    let top = (b as i64 + 1 + i64::from(text[b].imm)) as usize;
+    let body: Vec<Instruction> = text[top..b].to_vec();
+    if body.is_empty() || text.len() + body.len() > MAX_TEXT {
+        return;
+    }
+    text.splice(b..b, body.clone());
+    let new_b = b + body.len();
+    text[new_b].imm = (top as i64 - (new_b as i64 + 1)).clamp(-0x8000, 0) as i32;
+}
+
+/// Folds one loop: deletes one body instruction and tightens the latch.
+fn fold_loop(rng: &mut SplitMix64, text: &mut Vec<Instruction>) {
+    let latches = latches(text);
+    if latches.is_empty() {
+        return;
+    }
+    let b = latches[rng.gen_range(0..latches.len())];
+    let top = (b as i64 + 1 + i64::from(text[b].imm)) as usize;
+    if b - top < 2 {
+        return;
+    }
+    let victim = top + rng.gen_range(0..b - top - 1);
+    text.remove(victim);
+    text[b - 1].imm += 1;
+}
+
+/// Inserts one fresh body instruction, or deletes one (keeping at least
+/// three instructions so the case stays runnable).
+fn insert_or_delete(rng: &mut SplitMix64, text: &mut Vec<Instruction>) {
+    if rng.gen_bool(0.5) && text.len() < MAX_TEXT {
+        let at = rng.gen_range(0..text.len() + 1);
+        let inst = Instruction::rri(
+            Opcode::Addi,
+            INT_POOL[rng.gen_range(0..INT_POOL.len())],
+            DATA_PTR - 1,
+            rng.gen_range(-64i32..64),
+        );
+        text.insert(at, inst);
+    } else if text.len() > 3 {
+        let at = rng.gen_range(0..text.len());
+        text.remove(at);
+    }
+}
+
+/// Produces one mutant: 1–3 stacked mutations over `base`, spliced
+/// against `donor` when the corpus offers one, then re-sanitized.
+pub fn mutate(rng: &mut SplitMix64, base: &FuzzCase, donor: Option<&FuzzCase>) -> FuzzCase {
+    let mut case = base.clone();
+    let rounds = rng.gen_range(1u32..4);
+    for _ in 0..rounds {
+        match rng.gen_range(0u32..12) {
+            0..=2 => substitute_opcode(rng, &mut case.text),
+            3..=5 => perturb_operand(rng, &mut case.text),
+            6..=7 => retarget_branch(rng, &mut case.text),
+            8 => {
+                let donor_text = donor.map(|d| d.text.clone()).unwrap_or_else(|| case.text.clone());
+                splice_block(rng, &mut case.text, &donor_text);
+            }
+            9 => unroll_loop(rng, &mut case.text),
+            10 => fold_loop(rng, &mut case.text),
+            _ => insert_or_delete(rng, &mut case.text),
+        }
+    }
+    if case.text.is_empty() || !case.text.iter().any(|i| i.op == Opcode::Trap) {
+        // Keep a halt reachable at the end — mutants may still never get
+        // there, but the common path stays terminating.
+        case.text.push(Instruction::trap(itr_isa::trap::HALT));
+    }
+    sanitize(&mut case);
+    case
+}
+
+/// Generates a fresh structured case (the engine's non-mutation path).
+pub fn fresh(rng: &mut SplitMix64, target_len: usize) -> FuzzCase {
+    gen::generate(rng, target_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itr_isa::encode;
+
+    fn base(seed: u64) -> FuzzCase {
+        gen::generate(&mut SplitMix64::new(seed), 40)
+    }
+
+    #[test]
+    fn mutants_always_reencode_to_valid_words() {
+        let mut rng = SplitMix64::new(5);
+        let b = base(1);
+        for _ in 0..200 {
+            let m = mutate(&mut rng, &b, None);
+            for inst in &m.text {
+                let w = encode(inst);
+                itr_isa::decode(w).expect("mutant word decodes");
+            }
+            // And the program still assembles into an image.
+            let p = m.program();
+            assert!(!p.text().is_empty());
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let b = base(2);
+        let d = base(3);
+        let a1 = mutate(&mut SplitMix64::new(9), &b, Some(&d));
+        let a2 = mutate(&mut SplitMix64::new(9), &b, Some(&d));
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn mutants_respect_the_store_safety_invariant() {
+        let mut rng = SplitMix64::new(13);
+        let b = base(4);
+        for _ in 0..200 {
+            let m = mutate(&mut rng, &b, Some(&b));
+            for inst in &m.text {
+                if inst.op.is_store() {
+                    assert_eq!(inst.rs, DATA_PTR);
+                    assert!(inst.imm >= 0);
+                }
+            }
+            assert!(m.text.len() <= MAX_TEXT + 8, "unbounded growth");
+        }
+    }
+
+    #[test]
+    fn unroll_preserves_the_loop_top() {
+        // li r20,2; top: add; addi r20,-1; bne r20,r0,top  (offset -3)
+        let mut text = vec![
+            Instruction::rri(Opcode::Addi, 20, 0, 2),
+            Instruction::rrr(Opcode::Add, 8, 8, 9),
+            Instruction::rri(Opcode::Addi, 20, 20, -1),
+            Instruction::branch(Opcode::Bne, 20, 0, -3),
+        ];
+        let mut rng = SplitMix64::new(1);
+        unroll_loop(&mut rng, &mut text);
+        assert_eq!(text.len(), 6, "body duplicated once");
+        let b = 5;
+        assert_eq!(text[b].op, Opcode::Bne);
+        assert_eq!(b as i64 + 1 + i64::from(text[b].imm), 1, "latch still aims at top");
+    }
+}

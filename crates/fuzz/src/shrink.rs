@@ -1,0 +1,140 @@
+//! Delta-debugging shrinker for findings.
+//!
+//! Classic ddmin over the text segment: try removing progressively
+//! smaller chunks, then try replacing single instructions with `nop`,
+//! keeping every candidate that still reproduces the finding. Each
+//! candidate is re-[`sanitize`]d so shrunken cases obey the same
+//! store-safety invariant as generated ones, and the whole search runs
+//! under a fixed evaluation budget so shrinking a pathological case
+//! cannot stall the fuzzer.
+
+use crate::case::FuzzCase;
+use crate::gen::sanitize;
+use itr_isa::Instruction;
+
+/// Maximum number of predicate evaluations one shrink may spend.
+pub const DEFAULT_BUDGET: usize = 128;
+
+/// Shrinks `case` while `reproduces` keeps returning `true` for the
+/// candidate, returning the smallest reproducer found. The predicate is
+/// called at most `budget` times; the input case itself is assumed to
+/// reproduce (callers shrink only confirmed findings).
+pub fn shrink(
+    case: &FuzzCase,
+    budget: usize,
+    reproduces: &mut dyn FnMut(&FuzzCase) -> bool,
+) -> FuzzCase {
+    let mut best = case.clone();
+    let mut evals = 0usize;
+    let mut try_candidate = |cand: &mut FuzzCase, evals: &mut usize| -> bool {
+        if *evals >= budget || cand.text.is_empty() {
+            return false;
+        }
+        sanitize(cand);
+        *evals += 1;
+        reproduces(cand)
+    };
+
+    // Phase 1: ddmin chunk removal, halving chunk size each round.
+    let mut chunk = (best.text.len() / 2).max(1);
+    while chunk >= 1 && evals < budget {
+        let mut shrunk_this_round = false;
+        let mut start = 0;
+        while start < best.text.len() && evals < budget {
+            let end = (start + chunk).min(best.text.len());
+            if end - start == best.text.len() {
+                break; // never remove everything
+            }
+            let mut cand = best.clone();
+            cand.text.drain(start..end);
+            if cand.entry as usize >= cand.text.len() {
+                cand.entry = 0;
+            }
+            if try_candidate(&mut cand, &mut evals) {
+                best = cand;
+                shrunk_this_round = true;
+                // Re-scan from the same offset: the next chunk slid in.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !shrunk_this_round {
+            break;
+        }
+        if !shrunk_this_round {
+            chunk /= 2;
+        }
+    }
+
+    // Phase 2: neutralize single instructions that cannot be removed
+    // outright (e.g. they keep a branch offset aligned).
+    let mut i = 0;
+    while i < best.text.len() && evals < budget {
+        if best.text[i] != Instruction::nop() {
+            let mut cand = best.clone();
+            cand.text[i] = Instruction::nop();
+            if try_candidate(&mut cand, &mut evals) {
+                best = cand;
+            }
+        }
+        i += 1;
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use itr_isa::Opcode;
+    use itr_stats::SplitMix64;
+
+    #[test]
+    fn shrink_preserves_the_predicate() {
+        let case = gen::generate(&mut SplitMix64::new(11), 60);
+        // "Finding": the case contains at least one Mul instruction.
+        let has_mul = |c: &FuzzCase| c.text.iter().any(|i| i.op == Opcode::Mul);
+        if !has_mul(&case) {
+            return; // generator happened not to emit one; nothing to test
+        }
+        let mut pred = |c: &FuzzCase| has_mul(c);
+        let small = shrink(&case, DEFAULT_BUDGET, &mut pred);
+        assert!(has_mul(&small), "shrunk case must still reproduce");
+        assert!(small.text.len() <= case.text.len());
+    }
+
+    #[test]
+    fn shrink_reaches_a_minimal_core() {
+        let case = gen::generate(&mut SplitMix64::new(12), 80);
+        let mut pred = |c: &FuzzCase| !c.text.is_empty();
+        let small = shrink(&case, DEFAULT_BUDGET, &mut pred);
+        assert!(small.text.len() <= 2, "trivial predicate shrinks to near-nothing");
+    }
+
+    #[test]
+    fn shrink_respects_the_budget() {
+        let case = gen::generate(&mut SplitMix64::new(13), 120);
+        let mut calls = 0usize;
+        let mut pred = |_: &FuzzCase| {
+            calls += 1;
+            false
+        };
+        let out = shrink(&case, 10, &mut pred);
+        assert!(calls <= 10);
+        assert_eq!(out.text.len(), case.text.len(), "nothing reproduced, nothing removed");
+    }
+
+    #[test]
+    fn shrunk_cases_keep_the_store_safety_invariant() {
+        let case = gen::generate(&mut SplitMix64::new(14), 60);
+        let mut pred = |c: &FuzzCase| c.text.len() > 4;
+        let small = shrink(&case, DEFAULT_BUDGET, &mut pred);
+        for inst in &small.text {
+            if inst.op.is_store() {
+                assert_eq!(inst.rs, crate::gen::DATA_PTR);
+                assert!(inst.imm >= 0);
+            }
+        }
+    }
+}

@@ -17,6 +17,8 @@
 //! * [`workloads`] — assembly kernels and SPEC2K-mimic workloads,
 //! * [`faults`] — single-event-upset campaigns and the Figure-8 outcome
 //!   taxonomy,
+//! * [`fuzz`] — coverage-guided differential fuzzing of the simulator
+//!   and the ITR detection stack, with three replayable oracles,
 //! * [`power`] — CACTI-lite energy and the S/390 G5 area comparison,
 //! * [`stats`] — the unified telemetry layer: typed counters, per-stage
 //!   histograms, the post-mortem event ring, the `itr-stats/v1` JSON
@@ -54,6 +56,7 @@
 
 pub use itr_core as core;
 pub use itr_faults as faults;
+pub use itr_fuzz as fuzz;
 pub use itr_isa as isa;
 pub use itr_power as power;
 pub use itr_sim as sim;

@@ -15,6 +15,7 @@
 //! UPDATE_GOLDEN=1 cargo test --test equivalence
 //! ```
 
+use itr::fuzz::first_divergence;
 use itr::sim::{FuncSim, Pipeline, PipelineConfig, RunExit};
 use itr::stats::json::Value;
 use itr::stats::Report;
@@ -44,20 +45,19 @@ fn commit_streams_match_funcsim_on_every_workload() {
         for (label, cfg) in
             [("plain", PipelineConfig::default()), ("itr", PipelineConfig::with_itr())]
         {
-            let mut i = 0usize;
+            let mut actual = Vec::with_capacity(golden.len() + 8);
             let mut pipe = Pipeline::new(&w.program, cfg);
             let exit = pipe.run_with(CYCLE_BUDGET, |r| {
-                assert!(
-                    i < golden.len(),
-                    "{} ({label}): pipeline committed more than FuncSim",
-                    w.name
-                );
-                assert_eq!(*r, golden[i], "{} ({label}): commit {i} diverged", w.name);
-                i += 1;
-                true
+                actual.push(*r);
+                actual.len() <= golden.len()
             });
+            // On failure, report the first divergent commit with PC,
+            // disassembly and both replayed architectural states —
+            // not just two opaque records.
+            if let Some(d) = first_divergence(&w.program, &golden, &actual) {
+                panic!("{} ({label}): commit stream diverged\n{d}", w.name);
+            }
             assert_eq!(exit, RunExit::Halted, "{} ({label})", w.name);
-            assert_eq!(i, golden.len(), "{} ({label}): committed count", w.name);
             if let Some(expected) = w.expected_output {
                 assert_eq!(pipe.output(), expected, "{} ({label}): output", w.name);
             }

@@ -1,0 +1,40 @@
+//! Replays every archived fuzz finding in `tests/fuzz_regressions/`.
+//!
+//! Each document is a shrunken `itr-fuzz-finding/v1` case that once
+//! violated one of the differential oracles. A fixed bug must stay
+//! fixed: if any archived case reproduces its finding again, this test
+//! fails with the oracle's account. `itr-fuzz replay` runs the same
+//! check from the command line (and in CI on every push).
+
+use itr::fuzz::RegressionCase;
+use std::path::Path;
+
+#[test]
+fn archived_fuzz_regressions_stay_fixed() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fuzz_regressions");
+    let mut replayed = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/fuzz_regressions exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable case");
+        let rc =
+            RegressionCase::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        if let Some(f) = rc.reproduces() {
+            panic!(
+                "{} reproduces again under oracle `{}`:\n{}\n(archived account: {})",
+                path.display(),
+                f.kind.label(),
+                f.detail,
+                rc.detail
+            );
+        }
+        replayed += 1;
+    }
+    assert!(replayed >= 1, "expected at least one archived regression case");
+}
