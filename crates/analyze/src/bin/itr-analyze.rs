@@ -1,0 +1,262 @@
+//! `itr-analyze` — static CFG / trace / signature-alias analysis of the
+//! workload suite with dynamic cross-validation.
+//!
+//! ```text
+//! itr-analyze [--workload NAME]... [--seed N] [--mimic-instrs N]
+//!             [--trace-lens 4,8,16] [--verify-dynamic N] [--jobs N]
+//!             [--out FILE] [--baseline FILE] [--write-baseline FILE]
+//!             [--deny-unreachable]
+//! ```
+//!
+//! The report is byte-identical across runs and `--jobs` settings:
+//! workloads are analyzed in parallel but merged in input order, and
+//! every analysis iterates sorted structures only. Exit status: 0 when
+//! all checks hold, 1 on cross-validation violations, baseline
+//! mismatches, or (with `--deny-unreachable`) unreachable workload
+//! code, 2 on usage errors.
+
+use itr_analyze::{analyze_program, AnalyzeConfig, AnalyzeReport};
+use itr_stats::json::Value;
+use itr_workloads::suite::{self, Workload, WorkloadKind};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+const HELP: &str = "\
+itr-analyze — static CFG / trace / signature-alias analysis of rISA programs
+
+USAGE:
+    itr-analyze [OPTIONS]
+
+OPTIONS:
+    --workload NAME      analyze one workload (repeatable; default: all)
+    --seed N             mimic-workload generation seed (default 0x17122007)
+    --mimic-instrs N     mimic dynamic-instruction target (default 30000)
+    --trace-lens L,L,..  trace-length limits to enumerate (default 4,8,16)
+    --verify-dynamic N   dynamic instruction budget for the cross-validation
+                         oracle, 0 to disable (default 200000)
+    --jobs N             worker threads (default 1; output is identical
+                         for any value)
+    --out FILE           write the itr-analyze/v1 report here (default:
+                         stdout)
+    --baseline FILE      check against a stored itr-analyze-baseline/v1
+    --write-baseline FILE  write the baseline derived from this run
+    --deny-unreachable   fail when any workload has unreachable code
+";
+
+struct Options {
+    workloads: Vec<String>,
+    seed: u64,
+    mimic_instrs: u64,
+    cfg: AnalyzeConfig,
+    jobs: usize,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    deny_unreachable: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        workloads: Vec::new(),
+        seed: 0x1712_2007,
+        mimic_instrs: 30_000,
+        cfg: AnalyzeConfig::default(),
+        jobs: 1,
+        out: None,
+        baseline: None,
+        write_baseline: None,
+        deny_unreachable: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--workload" => opts.workloads.push(value("--workload")?),
+            "--seed" => {
+                opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--mimic-instrs" => {
+                opts.mimic_instrs =
+                    value("--mimic-instrs")?.parse().map_err(|e| format!("--mimic-instrs: {e}"))?;
+            }
+            "--trace-lens" => {
+                let raw = value("--trace-lens")?;
+                let mut lens = Vec::new();
+                for part in raw.split(',') {
+                    let len: u32 =
+                        part.trim().parse().map_err(|e| format!("--trace-lens `{part}`: {e}"))?;
+                    if len == 0 {
+                        return Err("--trace-lens: lengths must be nonzero".into());
+                    }
+                    lens.push(len);
+                }
+                if lens.is_empty() {
+                    return Err("--trace-lens: need at least one length".into());
+                }
+                opts.cfg.trace_lens = lens;
+            }
+            "--verify-dynamic" => {
+                opts.cfg.verify_budget = value("--verify-dynamic")?
+                    .parse()
+                    .map_err(|e| format!("--verify-dynamic: {e}"))?;
+            }
+            "--jobs" => {
+                opts.jobs = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
+            "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--write-baseline" => {
+                opts.write_baseline = Some(PathBuf::from(value("--write-baseline")?));
+            }
+            "--deny-unreachable" => opts.deny_unreachable = true,
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn kind_label(kind: &WorkloadKind) -> &'static str {
+    match kind {
+        WorkloadKind::Kernel => "kernel",
+        WorkloadKind::Mimic => "mimic",
+    }
+}
+
+fn select_workloads(opts: &Options) -> Result<Vec<Workload>, String> {
+    if opts.workloads.is_empty() {
+        return Ok(suite::everything(opts.seed, opts.mimic_instrs));
+    }
+    opts.workloads
+        .iter()
+        .map(|name| {
+            suite::by_name(name, opts.seed, opts.mimic_instrs)
+                .ok_or_else(|| format!("unknown workload `{name}`"))
+        })
+        .collect()
+}
+
+/// Analyzes `workloads` on `jobs` threads. Workers claim indices from a
+/// shared counter and write into per-index slots, so the merged result
+/// is in input order regardless of scheduling.
+fn analyze_all(
+    workloads: &[Workload],
+    cfg: &AnalyzeConfig,
+    jobs: usize,
+) -> Vec<itr_analyze::WorkloadAnalysis> {
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<itr_analyze::WorkloadAnalysis>>> =
+        Mutex::new((0..workloads.len()).map(|_| None).collect());
+    let workers = jobs.min(workloads.len()).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(w) = workloads.get(i) else { break };
+                let analysis = analyze_program(&w.name, kind_label(&w.kind), &w.program, cfg);
+                if let Ok(mut slots) = slots.lock() {
+                    slots[i] = Some(analysis);
+                }
+            });
+        }
+    });
+    match slots.into_inner() {
+        Ok(slots) => slots.into_iter().flatten().collect(),
+        Err(poisoned) => poisoned.into_inner().into_iter().flatten().collect(),
+    }
+}
+
+fn run(opts: Options) -> Result<ExitCode, String> {
+    let workloads = select_workloads(&opts)?;
+    eprintln!(
+        "itr-analyze: {} workloads, trace lens {:?}, verify budget {}, jobs {}",
+        workloads.len(),
+        opts.cfg.trace_lens,
+        opts.cfg.verify_budget,
+        opts.jobs
+    );
+    let analyses = analyze_all(&workloads, &opts.cfg, opts.jobs);
+    let report = AnalyzeReport { config: opts.cfg.clone(), workloads: analyses };
+
+    let text = report.to_value().to_json();
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("write {}: {e}", path.display()))?;
+            eprintln!("itr-analyze: report -> {}", path.display());
+        }
+        None => println!("{text}"),
+    }
+    if let Some(path) = &opts.write_baseline {
+        std::fs::write(path, report.baseline_value().to_json())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        eprintln!("itr-analyze: baseline -> {}", path.display());
+    }
+
+    let mut failed = false;
+    for w in &report.workloads {
+        if w.violations() > 0 {
+            failed = true;
+            eprintln!("itr-analyze: {}: {} cross-validation violations", w.name, w.violations());
+        }
+        if opts.deny_unreachable && w.unreachable_instrs > 0 {
+            failed = true;
+            eprintln!(
+                "itr-analyze: {}: {} unreachable instructions (first at {})",
+                w.name,
+                w.unreachable_instrs,
+                w.unreachable_sample.first().map_or("?".to_string(), |pc| format!("{pc:#010x}")),
+            );
+        }
+    }
+    if let Some(path) = &opts.baseline {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let baseline = Value::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+        if let Err(problems) = report.check_baseline(&baseline) {
+            failed = true;
+            for p in &problems {
+                eprintln!("itr-analyze: baseline: {p}");
+            }
+        } else {
+            eprintln!("itr-analyze: baseline ok ({} workloads)", report.workloads.len());
+        }
+    }
+
+    if failed {
+        eprintln!("itr-analyze: FAILED");
+        return Ok(ExitCode::from(1));
+    }
+    eprintln!(
+        "itr-analyze: ok — {} workloads, {} total violations",
+        report.workloads.len(),
+        report.violations()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(Some(opts)) => match run(opts) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("itr-analyze: {e}");
+                ExitCode::from(2)
+            }
+        },
+        Ok(None) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("itr-analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! Control-flow graph recovery over the text segment.
+//!
+//! Basic blocks are split at *leaders*: the entry point, every direct
+//! branch/jump target, every instruction following a trace-ending
+//! instruction, and every member of the conservative indirect-target
+//! set. Edges follow the same successor semantics as the static trace
+//! enumerator ([`crate::trace`]), restricted to the text segment —
+//! control flow that leaves text (runaway nop-space walks) is recorded
+//! as an *exit edge* on the block rather than materialized as nodes.
+//!
+//! On top of the graph the module computes reachability from the entry
+//! block, immediate dominators (the iterative Cooper–Harvey–Kennedy
+//! scheme over a reverse-post-order numbering), and natural loops (back
+//! edges `tail → head` where `head` dominates `tail`).
+
+use crate::image::ProgramImage;
+use itr_isa::{trap, Instruction, Opcode, INSTRUCTION_BYTES};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a basic block transfers control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockExit {
+    /// Falls into the next block (a leader split, not a branch).
+    FallThrough,
+    /// Conditional branch: target plus fall-through.
+    CondBranch,
+    /// Unconditional direct jump (`j`).
+    Jump,
+    /// Direct call (`jal`) — control transfers to the callee.
+    Call,
+    /// Indirect jump (`jr`/`jalr`).
+    Indirect,
+    /// `trap HALT` / `trap ABORT`.
+    Stop,
+    /// Non-stopping trap; control continues at the next instruction.
+    Trap,
+    /// The terminating word does not decode; execution faults here.
+    Undecodable,
+}
+
+/// A maximal straight-line run of text-segment instructions.
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    /// Address of the first instruction.
+    pub start: u64,
+    /// One past the last instruction.
+    pub end: u64,
+    /// How the block exits.
+    pub exit: BlockExit,
+    /// Successor block indices, sorted.
+    pub succs: Vec<usize>,
+    /// Predecessor block indices, sorted.
+    pub preds: Vec<usize>,
+    /// Successor addresses outside the text segment (nop-space exits).
+    pub exits_text: u64,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> u64 {
+        (self.end - self.start) / INSTRUCTION_BYTES
+    }
+
+    /// `true` when the block holds no instructions (never produced by
+    /// recovery; present for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+/// A natural loop discovered from a dominator-respecting back edge.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// Header block index (the back edge's destination).
+    pub header: usize,
+    /// Indices of every block in the loop body, header included.
+    pub blocks: BTreeSet<usize>,
+}
+
+/// The recovered control-flow graph of a program's text segment.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks sorted by start address.
+    pub blocks: Vec<BasicBlock>,
+    /// Block index of the entry point.
+    pub entry: usize,
+    /// Immediate dominator of each block (`None` for the entry and for
+    /// unreachable blocks).
+    pub idom: Vec<Option<usize>>,
+    /// Natural loops, sorted by header block index.
+    pub loops: Vec<NaturalLoop>,
+    /// Blocks reachable from the entry.
+    pub reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Recovers the CFG of `image`'s text segment.
+    pub fn build(image: &ProgramImage) -> Cfg {
+        let leaders = find_leaders(image);
+        let mut blocks = build_blocks(image, &leaders);
+        let index: BTreeMap<u64, usize> =
+            blocks.iter().enumerate().map(|(i, b)| (b.start, i)).collect();
+        connect(image, &mut blocks, &index);
+        let entry = index.get(&image.entry()).copied().unwrap_or(0);
+        let reachable = mark_reachable(&blocks, entry);
+        let idom = dominators(&blocks, entry, &reachable);
+        let loops = natural_loops(&blocks, &idom, &reachable);
+        Cfg { blocks, entry, idom, loops, reachable }
+    }
+
+    /// Block index containing `pc`, if any.
+    pub fn block_at(&self, pc: u64) -> Option<usize> {
+        let i = self.blocks.partition_point(|b| b.end <= pc);
+        let b = self.blocks.get(i)?;
+        (pc >= b.start && pc < b.end).then_some(i)
+    }
+
+    /// `true` when block `a` dominates block `b`.
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur] {
+                Some(next) if next != cur => cur = next,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Total CFG edges.
+    pub fn edge_count(&self) -> u64 {
+        self.blocks.iter().map(|b| b.succs.len() as u64).sum()
+    }
+
+    /// Addresses of instructions in blocks unreachable from the entry,
+    /// sorted.
+    pub fn unreachable_pcs(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (i, block) in self.blocks.iter().enumerate() {
+            if !self.reachable[i] {
+                let mut pc = block.start;
+                while pc < block.end {
+                    out.push(pc);
+                    pc += INSTRUCTION_BYTES;
+                }
+            }
+        }
+        out
+    }
+}
+
+fn classify_exit(inst: &Instruction) -> Option<BlockExit> {
+    if !inst.ends_trace() {
+        return None;
+    }
+    Some(match inst.op {
+        Opcode::Trap => {
+            let code = (inst.imm as u32 & 0xFFFF) as u16;
+            if code == trap::HALT || code == trap::ABORT {
+                BlockExit::Stop
+            } else {
+                BlockExit::Trap
+            }
+        }
+        Opcode::J => BlockExit::Jump,
+        Opcode::Jal => BlockExit::Call,
+        Opcode::Jr | Opcode::Jalr => BlockExit::Indirect,
+        _ => BlockExit::CondBranch,
+    })
+}
+
+fn find_leaders(image: &ProgramImage) -> BTreeSet<u64> {
+    let mut leaders = BTreeSet::new();
+    let mut consider = |addr: u64| {
+        if image.in_text(addr) {
+            leaders.insert(addr);
+        }
+    };
+    consider(image.entry());
+    consider(image.text_base());
+    for target in image.indirect_targets() {
+        consider(*target);
+    }
+    let mut pc = image.text_base();
+    while pc < image.text_end() {
+        if let Some((inst, _)) = image.fetch(pc) {
+            if inst.ends_trace() {
+                consider(pc + INSTRUCTION_BYTES);
+                if let Some(target) = inst.direct_target(pc) {
+                    consider(target);
+                }
+            }
+        } else {
+            // Undecodable word: execution faults; the next word starts a
+            // fresh block if anything jumps there.
+            consider(pc + INSTRUCTION_BYTES);
+        }
+        pc += INSTRUCTION_BYTES;
+    }
+    leaders
+}
+
+fn build_blocks(image: &ProgramImage, leaders: &BTreeSet<u64>) -> Vec<BasicBlock> {
+    let mut blocks = Vec::new();
+    let starts: Vec<u64> = leaders.iter().copied().collect();
+    for (i, &start) in starts.iter().enumerate() {
+        let limit = starts.get(i + 1).copied().unwrap_or_else(|| image.text_end());
+        let mut pc = start;
+        let mut exit = BlockExit::FallThrough;
+        while pc < limit {
+            match image.fetch(pc) {
+                Some((inst, _)) => {
+                    if let Some(e) = classify_exit(&inst) {
+                        exit = e;
+                        pc += INSTRUCTION_BYTES;
+                        break;
+                    }
+                }
+                None => {
+                    exit = BlockExit::Undecodable;
+                    pc += INSTRUCTION_BYTES;
+                    break;
+                }
+            }
+            pc += INSTRUCTION_BYTES;
+        }
+        blocks.push(BasicBlock {
+            start,
+            end: pc.max(start + INSTRUCTION_BYTES).min(limit.max(start + INSTRUCTION_BYTES)),
+            exit,
+            succs: Vec::new(),
+            preds: Vec::new(),
+            exits_text: 0,
+        });
+    }
+    blocks
+}
+
+fn connect(image: &ProgramImage, blocks: &mut [BasicBlock], index: &BTreeMap<u64, usize>) {
+    let mut all_edges: Vec<(usize, Vec<u64>)> = Vec::new();
+    for (i, block) in blocks.iter().enumerate() {
+        let last_pc = block.end - INSTRUCTION_BYTES;
+        let fallthrough = block.end;
+        let mut targets: Vec<u64> = Vec::new();
+        match block.exit {
+            BlockExit::FallThrough | BlockExit::Trap => targets.push(fallthrough),
+            BlockExit::CondBranch => {
+                if let Some((inst, _)) = image.fetch(last_pc) {
+                    if let Some(t) = inst.direct_target(last_pc) {
+                        targets.push(t);
+                    }
+                }
+                if !targets.contains(&fallthrough) {
+                    targets.push(fallthrough);
+                }
+            }
+            BlockExit::Jump | BlockExit::Call => {
+                if let Some((inst, _)) = image.fetch(last_pc) {
+                    if let Some(t) = inst.direct_target(last_pc) {
+                        targets.push(t);
+                    }
+                }
+            }
+            BlockExit::Indirect => {
+                targets.extend(image.indirect_targets().iter().copied());
+            }
+            BlockExit::Stop | BlockExit::Undecodable => {}
+        }
+        all_edges.push((i, targets));
+    }
+    for (i, targets) in all_edges {
+        for t in targets {
+            match index.get(&t) {
+                Some(&j) => {
+                    if !blocks[i].succs.contains(&j) {
+                        blocks[i].succs.push(j);
+                    }
+                }
+                None => blocks[i].exits_text += 1,
+            }
+        }
+        blocks[i].succs.sort_unstable();
+    }
+    let edges: Vec<(usize, Vec<usize>)> =
+        blocks.iter().enumerate().map(|(i, b)| (i, b.succs.clone())).collect();
+    for (i, succs) in edges {
+        for j in succs {
+            blocks[j].preds.push(i);
+        }
+    }
+    for b in blocks.iter_mut() {
+        b.preds.sort_unstable();
+        b.preds.dedup();
+    }
+}
+
+fn mark_reachable(blocks: &[BasicBlock], entry: usize) -> Vec<bool> {
+    let mut reachable = vec![false; blocks.len()];
+    let mut stack = vec![entry];
+    while let Some(i) = stack.pop() {
+        if reachable[i] {
+            continue;
+        }
+        reachable[i] = true;
+        stack.extend(blocks[i].succs.iter().copied());
+    }
+    reachable
+}
+
+/// Reverse post-order over reachable blocks.
+fn rpo(blocks: &[BasicBlock], entry: usize, reachable: &[bool]) -> Vec<usize> {
+    let mut order = Vec::new();
+    let mut state = vec![0u8; blocks.len()]; // 0 unseen, 1 in-progress, 2 done
+    let mut stack: Vec<(usize, usize)> = vec![(entry, 0)];
+    state[entry] = 1;
+    while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+        let succs = &blocks[node].succs;
+        if *next < succs.len() {
+            let s = succs[*next];
+            *next += 1;
+            if reachable[s] && state[s] == 0 {
+                state[s] = 1;
+                stack.push((s, 0));
+            }
+        } else {
+            state[node] = 2;
+            order.push(node);
+            stack.pop();
+        }
+    }
+    order.reverse();
+    order
+}
+
+/// Iterative dominator computation (Cooper–Harvey–Kennedy).
+fn dominators(blocks: &[BasicBlock], entry: usize, reachable: &[bool]) -> Vec<Option<usize>> {
+    let order = rpo(blocks, entry, reachable);
+    let mut rpo_num = vec![usize::MAX; blocks.len()];
+    for (n, &b) in order.iter().enumerate() {
+        rpo_num[b] = n;
+    }
+    let mut idom: Vec<Option<usize>> = vec![None; blocks.len()];
+    idom[entry] = Some(entry);
+    let intersect = |idom: &[Option<usize>], rpo_num: &[usize], mut a: usize, mut b: usize| {
+        while a != b {
+            while rpo_num[a] > rpo_num[b] {
+                a = idom[a].unwrap_or(a);
+            }
+            while rpo_num[b] > rpo_num[a] {
+                b = idom[b].unwrap_or(b);
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in order.iter().skip(1) {
+            let mut new_idom = None;
+            for &p in &blocks[b].preds {
+                if !reachable[p] || idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &rpo_num, p, cur),
+                });
+            }
+            if new_idom.is_some() && idom[b] != new_idom {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    // Entry's idom is conventionally itself inside the algorithm; report
+    // it as None to callers.
+    idom[entry] = None;
+    idom
+}
+
+fn dominates(idom: &[Option<usize>], entry: usize, a: usize, b: usize) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        if cur == entry {
+            return false;
+        }
+        match idom[cur] {
+            Some(next) if next != cur => cur = next,
+            _ => return false,
+        }
+    }
+}
+
+fn natural_loops(
+    blocks: &[BasicBlock],
+    idom: &[Option<usize>],
+    reachable: &[bool],
+) -> Vec<NaturalLoop> {
+    let entry = reachable.iter().position(|&r| r).unwrap_or(0);
+    let mut loops: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for (tail, block) in blocks.iter().enumerate() {
+        if !reachable[tail] {
+            continue;
+        }
+        for &head in &block.succs {
+            if !dominates(idom, entry, head, tail) {
+                continue;
+            }
+            // Back edge tail → head: the loop body is every block that
+            // reaches tail without passing through head.
+            let body = loops.entry(head).or_default();
+            body.insert(head);
+            let mut stack = vec![tail];
+            while let Some(n) = stack.pop() {
+                if body.contains(&n) {
+                    continue;
+                }
+                body.insert(n);
+                stack.extend(blocks[n].preds.iter().copied().filter(|&p| reachable[p]));
+            }
+        }
+    }
+    loops.into_iter().map(|(header, blocks)| NaturalLoop { header, blocks }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use itr_isa::asm::assemble;
+
+    fn cfg(src: &str) -> (Cfg, ProgramImage) {
+        let p = assemble(src).unwrap();
+        let image = ProgramImage::new(&p);
+        (Cfg::build(&image), image)
+    }
+
+    #[test]
+    fn single_block_program() {
+        let (cfg, _) = cfg("main:\n add r8, r9, r10\n halt\n");
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].exit, BlockExit::Stop);
+        assert_eq!(cfg.blocks[0].len(), 2);
+        assert!(cfg.loops.is_empty());
+        assert!(cfg.reachable[0]);
+    }
+
+    #[test]
+    fn loop_with_dominating_header_is_detected() {
+        let (cfg, image) = cfg(r#"
+            main:
+                li r8, 5
+            top:
+                addi r8, r8, -1
+                bgtz r8, top
+                halt
+            "#);
+        assert_eq!(cfg.loops.len(), 1);
+        let header = cfg.loops[0].header;
+        assert_eq!(cfg.blocks[header].start, image.entry() + 4);
+        assert!(cfg.loops[0].blocks.contains(&header));
+        // Entry block dominates the loop header.
+        assert!(cfg.dominates(cfg.entry, header));
+    }
+
+    #[test]
+    fn unreachable_code_after_jump_is_reported() {
+        let (cfg, image) = cfg(r#"
+            main:
+                j done
+            dead:
+                add r8, r8, r8
+                sub r9, r9, r9
+            done:
+                halt
+            "#);
+        let dead: Vec<u64> = cfg.unreachable_pcs();
+        assert_eq!(dead, vec![image.entry() + 4, image.entry() + 8]);
+    }
+
+    #[test]
+    fn branch_to_next_instruction_makes_a_two_edge_block() {
+        // Both edges of the branch land on the same block: target ==
+        // fall-through. The successor list is deduplicated.
+        let (cfg, _) = cfg("main:\n beq r8, r9, next\nnext:\n halt\n");
+        assert_eq!(cfg.blocks.len(), 2);
+        assert_eq!(cfg.blocks[0].succs, vec![1]);
+        assert_eq!(cfg.blocks[1].preds, vec![0]);
+    }
+
+    #[test]
+    fn self_loop_block() {
+        let (cfg, image) = cfg("main:\ntop:\n j top\n");
+        let header = cfg.block_at(image.entry()).unwrap();
+        assert_eq!(cfg.blocks[header].succs, vec![header]);
+        assert_eq!(cfg.loops.len(), 1);
+        assert_eq!(cfg.loops[0].blocks.len(), 1);
+    }
+
+    #[test]
+    fn call_and_indirect_return_edges() {
+        let (cfg, image) = cfg(r#"
+            main:
+                jal callee
+                halt
+            callee:
+                jr ra
+            "#);
+        let entry = cfg.block_at(image.entry()).unwrap();
+        let ret_site = cfg.block_at(image.entry() + 4).unwrap();
+        let callee = cfg.block_at(image.entry() + 8).unwrap();
+        assert_eq!(cfg.blocks[entry].exit, BlockExit::Call);
+        assert!(cfg.blocks[entry].succs.contains(&callee));
+        assert_eq!(cfg.blocks[callee].exit, BlockExit::Indirect);
+        assert!(cfg.blocks[callee].succs.contains(&ret_site), "jr closes over return sites");
+        // Every block reachable.
+        assert!(cfg.reachable.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn runaway_branch_out_of_text_counts_exit_edges() {
+        let (cfg, _) = cfg("main:\n beq r0, r0, 2000\n halt\n");
+        let b = &cfg.blocks[cfg.entry];
+        assert_eq!(b.exits_text, 1);
+        assert_eq!(b.succs.len(), 1, "only the fall-through stays in text");
+    }
+}

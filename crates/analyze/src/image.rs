@@ -1,0 +1,255 @@
+//! A static, memory-accurate view of an assembled program.
+//!
+//! The analyzer must see exactly the instruction stream the simulator's
+//! fetch unit sees, *without running anything*. `itr-sim`'s sparse
+//! memory returns zero for any unmapped word, and the zero word decodes
+//! as `sll r0, r0, 0` (`nop`) — so runaway control flow that leaves the
+//! text segment walks an endless ribbon of nops. [`ProgramImage`]
+//! reproduces that fetch semantics: text words come from the image,
+//! data-segment words from the initial data bytes, and everything else
+//! is the zero word.
+//!
+//! Because the nop ribbon is infinite, static enumeration bounds itself
+//! to a *region* around the text segment ([`ProgramImage::in_region`]).
+//! Dynamic traces that start outside the region are accounted as
+//! *region escapes* by the cross-validation oracle rather than walked.
+
+use itr_isa::{decode, DecodeSignals, Instruction, Opcode, Program, INSTRUCTION_BYTES};
+use std::collections::BTreeSet;
+
+/// Default region padding on each side of the text segment, in bytes.
+///
+/// Generous enough that ordinary runaway control flow (a mutated branch
+/// displacement walking nop-space under a fuzzing instruction budget)
+/// stays inside the enumerated universe; anything farther is reported
+/// as a region escape.
+pub const DEFAULT_REGION_PAD: u64 = 32 * 1024;
+
+/// Fetch-accurate static view of a [`Program`] plus the analysis region.
+#[derive(Debug, Clone)]
+pub struct ProgramImage {
+    text_base: u64,
+    text: Vec<u32>,
+    data_base: u64,
+    data: Vec<u8>,
+    entry: u64,
+    region_lo: u64,
+    region_hi: u64,
+    indirect_targets: BTreeSet<u64>,
+    indirect_sites: u64,
+}
+
+impl ProgramImage {
+    /// Builds the image with the default region padding.
+    pub fn new(program: &Program) -> ProgramImage {
+        ProgramImage::with_region_pad(program, DEFAULT_REGION_PAD)
+    }
+
+    /// Builds the image with `pad` bytes of nop-space on each side of
+    /// the text segment included in the analysis region.
+    pub fn with_region_pad(program: &Program, pad: u64) -> ProgramImage {
+        let text_base = program.text_base();
+        let text_end = text_base + program.text().len() as u64 * INSTRUCTION_BYTES;
+        let mut image = ProgramImage {
+            text_base,
+            text: program.text().to_vec(),
+            data_base: program.data_base(),
+            data: program.data().to_vec(),
+            entry: program.entry(),
+            region_lo: text_base.saturating_sub(pad) & !3,
+            region_hi: text_end + pad,
+            indirect_targets: BTreeSet::new(),
+            indirect_sites: 0,
+        };
+        image.collect_indirect_targets(program);
+        image
+    }
+
+    /// Conservative target set for indirect jumps (`jr`/`jalr`):
+    ///
+    /// * the entry point and every text-segment symbol (function labels
+    ///   are the canonical `jr` destinations),
+    /// * the return site `pc + 4` of every `jal`/`jalr` (covers `jr ra`),
+    /// * every word-aligned 32-bit data word whose value lands inside
+    ///   the text segment (jump tables built with `.word label` /
+    ///   `data_word_addr`).
+    fn collect_indirect_targets(&mut self, program: &Program) {
+        let text_base = self.text_base;
+        let text_end = self.text_end();
+        let mut targets = BTreeSet::new();
+        let mut consider = |addr: u64| {
+            if addr >= text_base && addr < text_end && addr.is_multiple_of(INSTRUCTION_BYTES) {
+                targets.insert(addr);
+            }
+        };
+        consider(self.entry);
+        for (_, addr) in program.symbols() {
+            consider(addr);
+        }
+        for (index, &word) in self.text.iter().enumerate() {
+            let Ok(inst) = decode(word) else { continue };
+            if matches!(inst.op, Opcode::Jal | Opcode::Jalr) {
+                let pc = self.text_base + index as u64 * INSTRUCTION_BYTES;
+                consider(pc + INSTRUCTION_BYTES);
+            }
+            if matches!(inst.op, Opcode::Jr | Opcode::Jalr) {
+                self.indirect_sites += 1;
+            }
+        }
+        for chunk_start in (0..self.data.len().saturating_sub(3)).step_by(4) {
+            let bytes = [
+                self.data[chunk_start],
+                self.data[chunk_start + 1],
+                self.data[chunk_start + 2],
+                self.data[chunk_start + 3],
+            ];
+            consider(u64::from(u32::from_le_bytes(bytes)));
+        }
+        self.indirect_targets = targets;
+    }
+
+    /// Entry point of the program.
+    pub fn entry(&self) -> u64 {
+        self.entry
+    }
+
+    /// Base address of the text segment.
+    pub fn text_base(&self) -> u64 {
+        self.text_base
+    }
+
+    /// One-past-the-end address of the text segment.
+    pub fn text_end(&self) -> u64 {
+        self.text_base + self.text.len() as u64 * INSTRUCTION_BYTES
+    }
+
+    /// Number of static instructions in the text segment.
+    pub fn text_len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// The analysis region as `(lo, hi)` — `hi` exclusive.
+    pub fn region(&self) -> (u64, u64) {
+        (self.region_lo, self.region_hi)
+    }
+
+    /// `true` when `addr` falls inside the text segment.
+    pub fn in_text(&self, addr: u64) -> bool {
+        addr >= self.text_base && addr < self.text_end()
+    }
+
+    /// `true` when `addr` falls inside the analysis region.
+    pub fn in_region(&self, addr: u64) -> bool {
+        addr >= self.region_lo && addr < self.region_hi
+    }
+
+    /// The number of `jr`/`jalr` sites in the text segment.
+    pub fn indirect_sites(&self) -> u64 {
+        self.indirect_sites
+    }
+
+    /// The conservative indirect-jump target set.
+    pub fn indirect_targets(&self) -> &BTreeSet<u64> {
+        &self.indirect_targets
+    }
+
+    /// `true` when the program contains indirect jumps whose dynamic
+    /// targets the conservative set may not capture (arbitrary
+    /// register-computed destinations).
+    pub fn has_indirect_jumps(&self) -> bool {
+        self.indirect_sites > 0
+    }
+
+    /// The word fetch at `pc` would read: a text word, an initial
+    /// data-segment word, or zero (the sparse-memory default).
+    pub fn word_at(&self, pc: u64) -> u32 {
+        if self.in_text(pc) {
+            let index = ((pc - self.text_base) / INSTRUCTION_BYTES) as usize;
+            return self.text[index];
+        }
+        let data_end = self.data_base + self.data.len() as u64;
+        if pc >= self.data_base && pc < data_end {
+            let mut bytes = [0u8; 4];
+            for (i, byte) in bytes.iter_mut().enumerate() {
+                let addr = pc + i as u64;
+                if addr < data_end {
+                    *byte = self.data[(addr - self.data_base) as usize];
+                }
+            }
+            return u32::from_le_bytes(bytes);
+        }
+        0
+    }
+
+    /// Decodes the instruction a fetch at `pc` would execute; `None`
+    /// when the word does not decode (the simulator stops with
+    /// `StopReason::DecodeError` there).
+    pub fn fetch(&self, pc: u64) -> Option<(Instruction, DecodeSignals)> {
+        let inst = decode(self.word_at(pc)).ok()?;
+        let signals = DecodeSignals::from_instruction(&inst);
+        Some((inst, signals))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use itr_isa::asm::assemble;
+
+    #[test]
+    fn out_of_image_fetch_is_nop() {
+        let p = assemble("main:\n halt\n").unwrap();
+        let image = ProgramImage::new(&p);
+        let (inst, _) = image.fetch(image.text_end() + 400).unwrap();
+        assert_eq!(inst, Instruction::nop());
+        let (inst, _) = image.fetch(image.text_base() - 400).unwrap();
+        assert_eq!(inst, Instruction::nop());
+    }
+
+    #[test]
+    fn data_words_are_visible_to_fetch() {
+        let p = assemble(".data\nw: .word 0x01020304\n.text\nmain:\n halt\n").unwrap();
+        let image = ProgramImage::new(&p);
+        assert_eq!(image.word_at(p.data_base()), 0x01020304);
+        // A misaligned read near the end of data pads with zeros.
+        assert_eq!(image.word_at(p.data_base() + 2), 0x0000_0102);
+    }
+
+    #[test]
+    fn indirect_targets_cover_symbols_return_sites_and_jump_tables() {
+        let p = assemble(
+            r#"
+            .data
+            table: .word fn_a, fn_b
+            .text
+            main:
+                jal fn_a
+                halt
+            fn_a:
+                jr ra
+            fn_b:
+                jr ra
+            "#,
+        )
+        .unwrap();
+        let image = ProgramImage::new(&p);
+        let targets = image.indirect_targets();
+        assert!(targets.contains(&p.symbol("fn_a").unwrap()), "symbol target");
+        assert!(targets.contains(&p.symbol("fn_b").unwrap()), "jump-table target");
+        assert!(targets.contains(&(p.entry() + 4)), "return site of jal");
+        assert!(image.has_indirect_jumps());
+        assert_eq!(image.indirect_sites(), 2);
+    }
+
+    #[test]
+    fn region_bounds_surround_text() {
+        let p = assemble("main:\n halt\n").unwrap();
+        let image = ProgramImage::with_region_pad(&p, 1024);
+        let (lo, hi) = image.region();
+        assert_eq!(lo, p.text_base() - 1024);
+        assert_eq!(hi, image.text_end() + 1024);
+        assert!(image.in_region(p.entry()));
+        assert!(!image.in_region(hi));
+    }
+}

@@ -1,0 +1,492 @@
+//! Whole-program analysis reports and the regression baseline.
+//!
+//! [`analyze_program`] runs the full static stack over one program —
+//! CFG recovery, trace enumeration per configured length, signature
+//! aliasing, ITR-cache set conflicts — and cross-validates against a
+//! bounded dynamic run. [`AnalyzeReport`] aggregates workloads and
+//! serializes to the `itr-analyze/v1` schema; a reduced
+//! `itr-analyze-baseline/v1` document pins the regression-sensitive
+//! numbers (static trace counts, unreachable instructions, alias
+//! groups) for CI.
+//!
+//! Everything here iterates sorted structures only, so a report is
+//! byte-identical across runs and thread counts.
+
+use crate::cfg::Cfg;
+use crate::image::ProgramImage;
+use crate::oracle::{cross_validate, dynamic_traces, CrossValidation, ViolationKind};
+use crate::trace::{enumerate, EnumOptions, Universe};
+use itr_core::ItrCacheConfig;
+use itr_isa::Program;
+use itr_stats::json::Value;
+use std::collections::BTreeMap;
+
+/// Schema tag of the full report document.
+pub const SCHEMA: &str = "itr-analyze/v1";
+/// Schema tag of the regression baseline document.
+pub const BASELINE_SCHEMA: &str = "itr-analyze-baseline/v1";
+
+/// Analyzer configuration.
+#[derive(Debug, Clone)]
+pub struct AnalyzeConfig {
+    /// Trace-length limits to enumerate under.
+    pub trace_lens: Vec<u32>,
+    /// Cache geometry for the set-conflict map.
+    pub cache: ItrCacheConfig,
+    /// Dynamic instruction budget per workload per length for the
+    /// cross-validation oracle; `0` disables dynamic verification.
+    pub verify_budget: u64,
+    /// Enumeration edge switches (tests cripple these to prove the
+    /// oracle catches an unsound enumerator).
+    pub opts: EnumOptions,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> AnalyzeConfig {
+        AnalyzeConfig {
+            trace_lens: vec![4, 8, 16],
+            cache: ItrCacheConfig::paper_default(),
+            verify_budget: 200_000,
+            opts: EnumOptions::default(),
+        }
+    }
+}
+
+/// Signature-alias summary of one universe.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AliasSummary {
+    /// Signatures shared by two or more distinct static traces.
+    pub groups: u64,
+    /// Alias groups whose members differ in instruction *content* (the
+    /// dangerous kind: the fold genuinely collides).
+    pub content_groups: u64,
+    /// Alias groups whose members are identical instruction sequences
+    /// at different addresses (benign placement duplicates).
+    pub placement_groups: u64,
+    /// Total traces participating in any alias group.
+    pub aliased_traces: u64,
+    /// Size of the largest alias group.
+    pub largest_group: u64,
+}
+
+/// ITR-cache set-conflict summary of one universe.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConflictSummary {
+    /// Distinct cache sets the static traces index.
+    pub sets_used: u64,
+    /// Most traces mapping to any single set.
+    pub max_set_occupancy: u64,
+    /// Sets indexed by more traces than the cache holds ways — resident
+    /// working sets larger than this thrash.
+    pub overfull_sets: u64,
+}
+
+/// Analysis of one program under one trace-length limit.
+#[derive(Debug, Clone)]
+pub struct LenAnalysis {
+    /// The trace-length limit.
+    pub max_len: u32,
+    /// Enumerated static traces.
+    pub static_traces: u64,
+    /// Enumerated starts whose walk hit an undecodable word.
+    pub undecodable: u64,
+    /// Successor edges cut at the region boundary.
+    pub cut_edges: u64,
+    /// Signature aliasing.
+    pub alias: AliasSummary,
+    /// Cache set conflicts.
+    pub conflicts: ConflictSummary,
+    /// Dynamic cross-validation (absent when `verify_budget == 0`).
+    pub dynamic: Option<CrossValidation>,
+}
+
+/// Full analysis of one workload program.
+#[derive(Debug, Clone)]
+pub struct WorkloadAnalysis {
+    /// Workload name.
+    pub name: String,
+    /// Workload kind label (`kernel` / `mimic` / caller-chosen).
+    pub kind: String,
+    /// Static text-segment instructions.
+    pub text_instrs: u64,
+    /// Basic blocks recovered.
+    pub cfg_blocks: u64,
+    /// CFG edges.
+    pub cfg_edges: u64,
+    /// Natural loops.
+    pub loops: u64,
+    /// `jr`/`jalr` sites.
+    pub indirect_sites: u64,
+    /// Instructions in blocks unreachable from the entry.
+    pub unreachable_instrs: u64,
+    /// First few unreachable instruction addresses (diagnostic aid).
+    pub unreachable_sample: Vec<u64>,
+    /// Per-length analyses, in `trace_lens` order.
+    pub lens: Vec<LenAnalysis>,
+}
+
+fn alias_summary(universe: &Universe) -> AliasSummary {
+    let mut groups: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for trace in universe.traces.values() {
+        if let Some(record) = trace.record {
+            groups.entry(record.signature).or_default().push(trace.content_fp);
+        }
+    }
+    let mut summary = AliasSummary::default();
+    for members in groups.values() {
+        if members.len() < 2 {
+            continue;
+        }
+        summary.groups += 1;
+        summary.aliased_traces += members.len() as u64;
+        summary.largest_group = summary.largest_group.max(members.len() as u64);
+        let mut fps = members.clone();
+        fps.sort_unstable();
+        fps.dedup();
+        if fps.len() > 1 {
+            summary.content_groups += 1;
+        } else {
+            summary.placement_groups += 1;
+        }
+    }
+    summary
+}
+
+fn conflict_summary(universe: &Universe, cache: &ItrCacheConfig) -> ConflictSummary {
+    let mut occupancy: BTreeMap<u32, u64> = BTreeMap::new();
+    for &start_pc in universe.traces.keys() {
+        *occupancy.entry(cache.set_index(start_pc)).or_insert(0) += 1;
+    }
+    let ways = u64::from(cache.ways());
+    ConflictSummary {
+        sets_used: occupancy.len() as u64,
+        max_set_occupancy: occupancy.values().copied().max().unwrap_or(0),
+        overfull_sets: occupancy.values().filter(|&&n| n > ways).count() as u64,
+    }
+}
+
+/// Runs the full analysis stack over one program.
+pub fn analyze_program(
+    name: &str,
+    kind: &str,
+    program: &Program,
+    cfg: &AnalyzeConfig,
+) -> WorkloadAnalysis {
+    let image = ProgramImage::new(program);
+    let graph = Cfg::build(&image);
+    let unreachable = graph.unreachable_pcs();
+    let mut lens = Vec::with_capacity(cfg.trace_lens.len());
+    for &max_len in &cfg.trace_lens {
+        let universe = enumerate(&image, max_len, &cfg.opts);
+        let dynamic = (cfg.verify_budget > 0).then(|| {
+            let records = dynamic_traces(program, cfg.verify_budget, max_len);
+            cross_validate(&image, &universe, &records)
+        });
+        lens.push(LenAnalysis {
+            max_len,
+            static_traces: universe.traces.len() as u64,
+            undecodable: universe.undecodable(),
+            cut_edges: universe.cut_edges,
+            alias: alias_summary(&universe),
+            conflicts: conflict_summary(&universe, &cfg.cache),
+            dynamic,
+        });
+    }
+    WorkloadAnalysis {
+        name: name.to_string(),
+        kind: kind.to_string(),
+        text_instrs: image.text_len() as u64,
+        cfg_blocks: graph.blocks.len() as u64,
+        cfg_edges: graph.edge_count(),
+        loops: graph.loops.len() as u64,
+        indirect_sites: image.indirect_sites(),
+        unreachable_instrs: unreachable.len() as u64,
+        unreachable_sample: unreachable.into_iter().take(16).collect(),
+        lens,
+    }
+}
+
+/// Aggregated report over a set of workloads.
+#[derive(Debug, Clone)]
+pub struct AnalyzeReport {
+    /// Configuration the analyses ran under.
+    pub config: AnalyzeConfig,
+    /// Per-workload analyses, in input order.
+    pub workloads: Vec<WorkloadAnalysis>,
+}
+
+impl WorkloadAnalysis {
+    /// Total cross-validation violations across lengths.
+    pub fn violations(&self) -> u64 {
+        self.lens.iter().filter_map(|l| l.dynamic.as_ref()).map(|d| d.violations.len() as u64).sum()
+    }
+
+    fn len16(&self) -> Option<&LenAnalysis> {
+        self.lens.iter().find(|l| l.max_len == 16).or(self.lens.last())
+    }
+
+    fn to_value(&self) -> Value {
+        let lens = self
+            .lens
+            .iter()
+            .map(|l| {
+                let mut fields = vec![
+                    ("max_len".to_string(), Value::UInt(u64::from(l.max_len))),
+                    ("static_traces".to_string(), Value::UInt(l.static_traces)),
+                    ("undecodable".to_string(), Value::UInt(l.undecodable)),
+                    ("cut_edges".to_string(), Value::UInt(l.cut_edges)),
+                    (
+                        "alias".to_string(),
+                        Value::Object(vec![
+                            ("groups".to_string(), Value::UInt(l.alias.groups)),
+                            ("content_groups".to_string(), Value::UInt(l.alias.content_groups)),
+                            ("placement_groups".to_string(), Value::UInt(l.alias.placement_groups)),
+                            ("aliased_traces".to_string(), Value::UInt(l.alias.aliased_traces)),
+                            ("largest_group".to_string(), Value::UInt(l.alias.largest_group)),
+                        ]),
+                    ),
+                    (
+                        "conflicts".to_string(),
+                        Value::Object(vec![
+                            ("sets_used".to_string(), Value::UInt(l.conflicts.sets_used)),
+                            (
+                                "max_set_occupancy".to_string(),
+                                Value::UInt(l.conflicts.max_set_occupancy),
+                            ),
+                            ("overfull_sets".to_string(), Value::UInt(l.conflicts.overfull_sets)),
+                        ]),
+                    ),
+                ];
+                if let Some(d) = &l.dynamic {
+                    let content =
+                        d.violations.iter().filter(|v| v.kind == ViolationKind::Content).count()
+                            as u64;
+                    fields.push((
+                        "dynamic".to_string(),
+                        Value::Object(vec![
+                            ("checked".to_string(), Value::UInt(d.checked)),
+                            ("matched".to_string(), Value::UInt(d.matched)),
+                            ("region_escapes".to_string(), Value::UInt(d.region_escapes)),
+                            ("indirect_escapes".to_string(), Value::UInt(d.indirect_escapes)),
+                            ("violations".to_string(), Value::UInt(d.violations.len() as u64)),
+                            ("content_violations".to_string(), Value::UInt(content)),
+                        ]),
+                    ));
+                }
+                Value::Object(fields)
+            })
+            .collect();
+        Value::Object(vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("kind".to_string(), Value::Str(self.kind.clone())),
+            ("text_instrs".to_string(), Value::UInt(self.text_instrs)),
+            ("cfg_blocks".to_string(), Value::UInt(self.cfg_blocks)),
+            ("cfg_edges".to_string(), Value::UInt(self.cfg_edges)),
+            ("loops".to_string(), Value::UInt(self.loops)),
+            ("indirect_sites".to_string(), Value::UInt(self.indirect_sites)),
+            ("unreachable_instrs".to_string(), Value::UInt(self.unreachable_instrs)),
+            (
+                "unreachable_sample".to_string(),
+                Value::Array(
+                    self.unreachable_sample
+                        .iter()
+                        .map(|pc| Value::Str(format!("{pc:#010x}")))
+                        .collect(),
+                ),
+            ),
+            ("lens".to_string(), Value::Array(lens)),
+        ])
+    }
+}
+
+impl AnalyzeReport {
+    /// Total violations across all workloads and lengths.
+    pub fn violations(&self) -> u64 {
+        self.workloads.iter().map(WorkloadAnalysis::violations).sum()
+    }
+
+    /// Total unreachable instructions across all workloads.
+    pub fn unreachable_instrs(&self) -> u64 {
+        self.workloads.iter().map(|w| w.unreachable_instrs).sum()
+    }
+
+    /// Serializes the full `itr-analyze/v1` document.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("schema".to_string(), Value::Str(SCHEMA.to_string())),
+            (
+                "config".to_string(),
+                Value::Object(vec![
+                    (
+                        "trace_lens".to_string(),
+                        Value::Array(
+                            self.config
+                                .trace_lens
+                                .iter()
+                                .map(|&l| Value::UInt(u64::from(l)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "cache_entries".to_string(),
+                        Value::UInt(u64::from(self.config.cache.entries)),
+                    ),
+                    ("cache_ways".to_string(), Value::UInt(u64::from(self.config.cache.ways()))),
+                    ("verify_budget".to_string(), Value::UInt(self.config.verify_budget)),
+                ]),
+            ),
+            (
+                "workloads".to_string(),
+                Value::Array(self.workloads.iter().map(WorkloadAnalysis::to_value).collect()),
+            ),
+            (
+                "totals".to_string(),
+                Value::Object(vec![
+                    ("workloads".to_string(), Value::UInt(self.workloads.len() as u64)),
+                    ("violations".to_string(), Value::UInt(self.violations())),
+                    ("unreachable_instrs".to_string(), Value::UInt(self.unreachable_instrs())),
+                ]),
+            ),
+        ])
+    }
+
+    /// Serializes the reduced `itr-analyze-baseline/v1` document pinning
+    /// the regression-sensitive numbers.
+    pub fn baseline_value(&self) -> Value {
+        let entries = self
+            .workloads
+            .iter()
+            .map(|w| {
+                let l = w.len16();
+                Value::Object(vec![
+                    ("name".to_string(), Value::Str(w.name.clone())),
+                    ("static_traces".to_string(), Value::UInt(l.map_or(0, |l| l.static_traces))),
+                    ("unreachable_instrs".to_string(), Value::UInt(w.unreachable_instrs)),
+                    ("alias_groups".to_string(), Value::UInt(l.map_or(0, |l| l.alias.groups))),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("schema".to_string(), Value::Str(BASELINE_SCHEMA.to_string())),
+            ("workloads".to_string(), Value::Array(entries)),
+        ])
+    }
+
+    /// Checks this report against a stored baseline document.
+    ///
+    /// Static trace counts and unreachable-instruction counts must match
+    /// exactly; alias-group counts may shrink but not grow.
+    pub fn check_baseline(&self, baseline: &Value) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        let schema = baseline.get("schema").and_then(Value::as_str);
+        if schema != Some(BASELINE_SCHEMA) {
+            return Err(vec![format!("baseline schema mismatch: {schema:?}")]);
+        }
+        let mut pinned: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+        if let Some(entries) = baseline.get("workloads").and_then(Value::as_array) {
+            for entry in entries {
+                let Some(name) = entry.get("name").and_then(Value::as_str) else { continue };
+                pinned.insert(
+                    name,
+                    (
+                        entry.get("static_traces").and_then(Value::as_u64).unwrap_or(0),
+                        entry.get("unreachable_instrs").and_then(Value::as_u64).unwrap_or(0),
+                        entry.get("alias_groups").and_then(Value::as_u64).unwrap_or(0),
+                    ),
+                );
+            }
+        }
+        for w in &self.workloads {
+            let Some(&(traces, unreachable, aliases)) = pinned.get(w.name.as_str()) else {
+                problems.push(format!("{}: not in baseline", w.name));
+                continue;
+            };
+            let l = w.len16();
+            let got_traces = l.map_or(0, |l| l.static_traces);
+            let got_aliases = l.map_or(0, |l| l.alias.groups);
+            if got_traces != traces {
+                problems.push(format!(
+                    "{}: static traces {} != baseline {}",
+                    w.name, got_traces, traces
+                ));
+            }
+            if w.unreachable_instrs != unreachable {
+                problems.push(format!(
+                    "{}: unreachable instrs {} != baseline {}",
+                    w.name, w.unreachable_instrs, unreachable
+                ));
+            }
+            if got_aliases > aliases {
+                problems.push(format!(
+                    "{}: alias groups regressed {} > baseline {}",
+                    w.name, got_aliases, aliases
+                ));
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use itr_isa::asm::assemble;
+
+    fn report_for(src: &str) -> AnalyzeReport {
+        let p = assemble(src).unwrap();
+        let cfg = AnalyzeConfig { verify_budget: 20_000, ..AnalyzeConfig::default() };
+        let w = analyze_program("t", "kernel", &p, &cfg);
+        AnalyzeReport { config: cfg, workloads: vec![w] }
+    }
+
+    const SRC: &str = r#"
+        main:
+            li r8, 4
+        top:
+            addi r8, r8, -1
+            bgtz r8, top
+            halt
+    "#;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = report_for(SRC);
+        let text = report.to_value().to_json();
+        let parsed = Value::parse(&text).unwrap();
+        assert_eq!(parsed.get("schema").and_then(Value::as_str), Some(SCHEMA));
+        assert_eq!(report.violations(), 0);
+    }
+
+    #[test]
+    fn baseline_accepts_itself_and_rejects_drift() {
+        let report = report_for(SRC);
+        let baseline = report.baseline_value();
+        assert!(report.check_baseline(&baseline).is_ok());
+
+        // Forge a baseline with a different trace count.
+        let mut other = report_for("main:\n halt\n");
+        other.workloads[0].name = "t".to_string();
+        let forged = other.baseline_value();
+        let err = report.check_baseline(&forged).unwrap_err();
+        assert!(err.iter().any(|p| p.contains("static traces")));
+    }
+
+    #[test]
+    fn alias_growth_is_a_regression_but_shrink_is_not() {
+        let report = report_for(SRC);
+        let mut inflated = report.clone();
+        for l in &mut inflated.workloads[0].lens {
+            l.alias.groups += 5;
+        }
+        // Baseline from the inflated report tolerates the smaller real one…
+        assert!(report.check_baseline(&inflated.baseline_value()).is_ok());
+        // …but the inflated report fails against the real baseline.
+        let err = inflated.check_baseline(&report.baseline_value()).unwrap_err();
+        assert!(err.iter().any(|p| p.contains("alias groups regressed")));
+    }
+}

@@ -21,7 +21,7 @@ use itr_isa::{decode, DecodeSignals};
 use itr_sim::{Memory, TraceStream};
 use itr_stats::SplitMix64;
 use itr_workloads::{generate_mimic_sized, profiles};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Decoded signal sequence of one static trace.
 fn trace_signals(mem: &Memory, start_pc: u64, max_len: u32) -> Option<Vec<DecodeSignals>> {
@@ -56,7 +56,9 @@ fn main() {
     let mem = Memory::with_program(&program);
 
     // Collect the executed static traces with at least two instructions.
-    let starts: HashSet<u64> = TraceStream::new(&program, 100_000).map(|t| t.start_pc).collect();
+    // A BTreeSet keeps the trace order (and thus the fault-sampling
+    // sequence) independent of the per-process hash seed.
+    let starts: BTreeSet<u64> = TraceStream::new(&program, 100_000).map(|t| t.start_pc).collect();
     let traces: Vec<Vec<DecodeSignals>> = starts
         .iter()
         .filter_map(|&pc| trace_signals(&mem, pc, 16))

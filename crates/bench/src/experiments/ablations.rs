@@ -222,65 +222,62 @@ pub fn render_ablations(units: &[AblationUnit]) -> Emitted {
     let mut text = String::new();
     let mut rows = Vec::new();
 
-    writeln!(text, "=== Ablation 1: checked-bit-aware replacement (2-way, 256 signatures) ===")
-        .unwrap();
-    writeln!(
+    let _ =
+        writeln!(text, "=== Ablation 1: checked-bit-aware replacement (2-way, 256 signatures) ===");
+    let _ = writeln!(
         text,
         "{:<10} {:>10} {:>10} {:>10} {:>10}",
         "bench", "det(LRU)", "det(ckd)", "rec(LRU)", "rec(ckd)"
-    )
-    .unwrap();
+    );
     for u in units {
         if let AblationUnit::CheckedBit { bench, det_lru, det_ckd, rec_lru, rec_ckd } = u {
-            writeln!(
+            let _ = writeln!(
                 text,
                 "{bench:<10} {det_lru:>9.2}% {det_ckd:>9.2}% {rec_lru:>9.2}% {rec_ckd:>9.2}%"
-            )
-            .unwrap();
+            );
             rows.push(format!(
                 "checked_bit,{bench},{det_lru:.4},{det_ckd:.4},{rec_lru:.4},{rec_ckd:.4}"
             ));
         }
     }
 
-    writeln!(text, "\n=== Ablation 2: trace length limit (generated programs, 1024×2-way) ===")
-        .unwrap();
-    writeln!(
+    let _ =
+        writeln!(text, "\n=== Ablation 2: trace length limit (generated programs, 1024×2-way) ===");
+    let _ = writeln!(
         text,
         "{:<10} {:>6} {:>14} {:>10} {:>10}",
         "bench", "limit", "static traces", "det loss", "rec loss"
-    )
-    .unwrap();
+    );
     for u in units {
         if let AblationUnit::TraceLen { bench, points } = u {
             for &(limit, statics, det, rec) in points {
-                writeln!(text, "{bench:<10} {limit:>6} {statics:>14} {det:>9.2}% {rec:>9.2}%")
-                    .unwrap();
+                let _ =
+                    writeln!(text, "{bench:<10} {limit:>6} {statics:>14} {det:>9.2}% {rec:>9.2}%");
                 rows.push(format!("trace_len,{bench},{limit},{statics},{det:.4},{rec:.4}"));
             }
         }
     }
 
-    writeln!(text, "\n=== Ablation 3: redundant fetch on ITR miss vs full duplication (§3) ===")
-        .unwrap();
-    writeln!(
+    let _ = writeln!(
+        text,
+        "\n=== Ablation 3: redundant fetch on ITR miss vs full duplication (§3) ==="
+    );
+    let _ = writeln!(
         text,
         "{:<10} {:>10} {:>14} {:>14} {:>14}",
         "bench", "rec loss", "gated (mJ)", "full dup (mJ)", "saving"
-    )
-    .unwrap();
+    );
     for u in units {
         if let AblationUnit::RedundantFetch { bench, rec, gated_mj, full_dup_mj } = u {
-            writeln!(
+            let _ = writeln!(
                 text,
                 "{bench:<10} {rec:>9.2}% {gated_mj:>14.4} {full_dup_mj:>14.4} {:>13.1}x",
                 full_dup_mj / gated_mj.max(1e-12)
-            )
-            .unwrap();
+            );
             rows.push(format!("redundant_fetch,{bench},{rec:.4},{gated_mj:.5},{full_dup_mj:.5}"));
         }
     }
-    writeln!(text, "(either fallback closes recovery loss to 0.00% for every benchmark)").unwrap();
+    let _ = writeln!(text, "(either fallback closes recovery loss to 0.00% for every benchmark)");
     Emitted {
         txt_name: "ablations.txt",
         text,

@@ -128,18 +128,16 @@ pub fn characterize_bench(
 /// Renders Table 1 exactly as the `table1_static_traces` binary prints it.
 pub fn render_table1(units: &[BenchChar]) -> Emitted {
     let mut text = String::new();
-    writeln!(text, "=== Table 1: static traces per benchmark ===").unwrap();
-    writeln!(
+    let _ = writeln!(text, "=== Table 1: static traces per benchmark ===");
+    let _ = writeln!(
         text,
         "{:<10} {:>8} {:>9} {:>9}   (modelled = full static population;",
         "bench", "paper", "modelled", "observed"
-    )
-    .unwrap();
-    writeln!(text, "{:>52}", "observed = visited within --instrs)").unwrap();
+    );
+    let _ = writeln!(text, "{:>52}", "observed = visited within --instrs)");
     let mut rows = Vec::new();
     for u in units {
-        writeln!(text, "{:<10} {:>8} {:>9} {:>9}", u.name, u.paper, u.modelled, u.observed)
-            .unwrap();
+        let _ = writeln!(text, "{:<10} {:>8} {:>9} {:>9}", u.name, u.paper, u.modelled, u.observed);
         rows.push(format!("{},{},{},{}", u.name, u.paper, u.modelled, u.observed));
     }
     Emitted {
@@ -162,37 +160,34 @@ pub fn render_fig1_2(units: &[BenchChar]) -> Emitted {
         ("Figure 1 (integer)", false, INT_POINTS.as_slice()),
         ("Figure 2 (floating point)", true, FP_POINTS.as_slice()),
     ] {
-        writeln!(
+        let _ = writeln!(
             text,
             "\n=== {title}: cumulative % dynamic instructions by top-N static traces ==="
-        )
-        .unwrap();
-        write!(text, "{:<10}", "bench").unwrap();
+        );
+        let _ = write!(text, "{:<10}", "bench");
         for n in points {
-            write!(text, "{:>9}", format!("top{n}")).unwrap();
+            let _ = write!(text, "{:>9}", format!("top{n}"));
         }
-        writeln!(text).unwrap();
+        let _ = writeln!(text);
         for u in units.iter().filter(|u| u.fp == fp) {
-            write!(text, "{:<10}", u.name).unwrap();
+            let _ = write!(text, "{:<10}", u.name);
             for &n in points {
-                write!(text, "{:>9}", pct(u.top(n))).unwrap();
+                let _ = write!(text, "{:>9}", pct(u.top(n)));
             }
-            writeln!(text).unwrap();
+            let _ = writeln!(text);
             for &n in points {
                 rows.push(format!("{},{},{:.3}", u.name, n, u.top(n)));
             }
         }
     }
-    writeln!(
+    let _ = writeln!(
         text,
         "\nPaper shape: in most integer benchmarks <500 static traces contribute nearly all"
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         text,
         "dynamic instructions (gcc/vortex excepted); FP benchmarks are more repetitive."
-    )
-    .unwrap();
+    );
     Emitted {
         txt_name: "fig1_2.txt",
         text,
@@ -211,31 +206,34 @@ pub fn render_fig3_4(units: &[BenchChar]) -> Emitted {
     let mut text = String::new();
     let mut rows = Vec::new();
     for (title, fp) in [("Figure 3 (integer)", false), ("Figure 4 (floating point)", true)] {
-        writeln!(text, "\n=== {title}: % dynamic instructions from repeats within distance ===")
-            .unwrap();
-        write!(text, "{:<10}", "bench").unwrap();
+        let _ = writeln!(
+            text,
+            "\n=== {title}: % dynamic instructions from repeats within distance ==="
+        );
+        let _ = write!(text, "{:<10}", "bench");
         for d in [500u64, 1000, 1500, 2000, 5000, 10000] {
-            write!(text, "{:>9}", format!("<{d}")).unwrap();
+            let _ = write!(text, "{:>9}", format!("<{d}"));
         }
-        writeln!(text).unwrap();
+        let _ = writeln!(text);
         for u in units.iter().filter(|u| u.fp == fp) {
-            write!(text, "{:<10}", u.name).unwrap();
+            let _ = write!(text, "{:<10}", u.name);
             for d in [500u64, 1000, 1500, 2000, 5000, 10000] {
-                write!(text, "{:>9}", pct(u.dist(d))).unwrap();
+                let _ = write!(text, "{:>9}", pct(u.dist(d)));
             }
-            writeln!(text).unwrap();
+            let _ = writeln!(text);
             for &d in &buckets {
                 rows.push(format!("{},{},{:.3}", u.name, d, u.dist(d)));
             }
         }
     }
-    writeln!(
+    let _ = writeln!(
         text,
         "\nPaper shape: most integer benchmarks reach 85% within 5000 instructions (perl"
-    )
-    .unwrap();
-    writeln!(text, "and vortex excepted); FP benchmarks reach near-total coverage within 1500.")
-        .unwrap();
+    );
+    let _ = writeln!(
+        text,
+        "and vortex excepted); FP benchmarks reach near-total coverage within 1500."
+    );
     Emitted {
         txt_name: "fig3_4.txt",
         text,

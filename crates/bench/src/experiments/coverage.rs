@@ -132,23 +132,23 @@ pub fn render_fig6_7(units: &[CoverageUnit]) -> Emitted {
     let mut text = String::new();
     let mut rows = Vec::new();
 
-    writeln!(text, "=== Figures 6/7: coverage loss (% of all dynamic instructions) ===").unwrap();
-    writeln!(text, "(rows: benchmark × associativity; paired columns per cache size)\n").unwrap();
-    write!(text, "{:<10} {:<7}", "bench", "assoc").unwrap();
+    let _ = writeln!(text, "=== Figures 6/7: coverage loss (% of all dynamic instructions) ===");
+    let _ = writeln!(text, "(rows: benchmark × associativity; paired columns per cache size)\n");
+    let _ = write!(text, "{:<10} {:<7}", "bench", "assoc");
     for s in SIZES {
-        write!(text, "  {:>8} {:>8}", format!("det{s}"), format!("rec{s}")).unwrap();
+        let _ = write!(text, "  {:>8} {:>8}", format!("det{s}"), format!("rec{s}"));
     }
-    writeln!(text).unwrap();
+    let _ = writeln!(text);
 
     for u in units.iter().filter(|u| u.in_figure_set) {
         for (ai, assoc) in Associativity::SWEEP.into_iter().enumerate() {
-            write!(text, "{:<10} {:<7}", u.name, assoc.label()).unwrap();
+            let _ = write!(text, "{:<10} {:<7}", u.name, assoc.label());
             for (si, &size) in SIZES.iter().enumerate() {
                 let (det, rec) = u.sweep[ai][si];
-                write!(text, "  {det:>7.2}% {rec:>7.2}%").unwrap();
+                let _ = write!(text, "  {det:>7.2}% {rec:>7.2}%");
                 rows.push(format!("{},{},{size},{det:.4},{rec:.4}", u.name, assoc.label()));
             }
-            writeln!(text).unwrap();
+            let _ = writeln!(text);
         }
     }
 
@@ -160,23 +160,21 @@ pub fn render_fig6_7(units: &[CoverageUnit]) -> Emitted {
     fn max<'a>(v: &[(&'a str, f64)]) -> (&'a str, f64) {
         v.iter().fold(("", 0.0f64), |m, &(n, x)| if x > m.1 { (n, x) } else { m })
     }
-    writeln!(text, "\n2-way, 1024 signatures across all 16 benchmarks:").unwrap();
-    writeln!(
+    let _ = writeln!(text, "\n2-way, 1024 signatures across all 16 benchmarks:");
+    let _ = writeln!(
         text,
         "  detection loss: avg {:.2}% (paper: 1.3%), max {:.2}% on {} (paper: 8.2% on vortex)",
         avg(&det),
         max(&det).1,
         max(&det).0
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         text,
         "  recovery  loss: avg {:.2}% (paper: 2.5%), max {:.2}% on {} (paper: 15% on vortex)",
         avg(&rec),
         max(&rec).1,
         max(&rec).0
-    )
-    .unwrap();
+    );
     Emitted {
         txt_name: "fig6_7.txt",
         text,

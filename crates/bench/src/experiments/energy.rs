@@ -89,16 +89,15 @@ pub fn energy_unit(profile: SpecProfile, seed: u64, program_instrs: u64) -> Ener
 /// Renders Figure 9 exactly as the `fig9_energy` binary prints it.
 pub fn render_fig9(units: &[EnergyUnit]) -> Emitted {
     let mut text = String::new();
-    writeln!(text, "=== Figure 9: energy of ITR cache vs I-cache second fetch (mJ) ===").unwrap();
-    writeln!(
+    let _ = writeln!(text, "=== Figure 9: energy of ITR cache vs I-cache second fetch (mJ) ===");
+    let _ = writeln!(
         text,
         "{:<10} {:>12} {:>12} {:>14} {:>14} {:>14} {:>8}",
         "bench", "itr-acc", "ic-acc", "ITR 1rd/wr", "ITR 1rd+1wr", "I-cache", "saving"
-    )
-    .unwrap();
+    );
     let mut rows = Vec::new();
     for u in units {
-        writeln!(
+        let _ = writeln!(
             text,
             "{:<10} {:>12} {:>12} {:>14.3} {:>14.3} {:>14.3} {:>7.1}x",
             u.name,
@@ -108,8 +107,7 @@ pub fn render_fig9(units: &[EnergyUnit]) -> Emitted {
             u.itr_dual_port_mj,
             u.icache_refetch_mj,
             u.saving_factor()
-        )
-        .unwrap();
+        );
         rows.push(format!(
             "{},{},{},{:.5},{:.5},{:.5}",
             u.name,
@@ -120,9 +118,11 @@ pub fn render_fig9(units: &[EnergyUnit]) -> Emitted {
             u.icache_refetch_mj
         ));
     }
-    writeln!(text, "\nPaper shape: the ITR cache is far more energy-efficient than fetching every")
-        .unwrap();
-    writeln!(text, "instruction twice from the I-cache, for every benchmark.").unwrap();
+    let _ = writeln!(
+        text,
+        "\nPaper shape: the ITR cache is far more energy-efficient than fetching every"
+    );
+    let _ = writeln!(text, "instruction twice from the I-cache, for every benchmark.");
     Emitted {
         txt_name: "fig9.txt",
         text,

@@ -54,13 +54,12 @@ fn shard_value(shard: u32, cfg: &FuzzConfig, outcome: &itr_fuzz::FuzzOutcome) ->
 /// harness preserves shard order per job), so the artifact is stable.
 pub fn render_fuzz(shards: &[Value], total_iters: u64) -> Emitted {
     let mut text = String::new();
-    writeln!(text, "=== itr-fuzz differential campaign ({total_iters} iterations) ===").unwrap();
-    writeln!(
+    let _ = writeln!(text, "=== itr-fuzz differential campaign ({total_iters} iterations) ===");
+    let _ = writeln!(
         text,
         "{:<6} {:>18} {:>8} {:>6} {:>9} {:>7} {:>19} {:>13} {:>9}",
         "shard", "seed", "iters", "seeds", "coverage", "corpus", "digest", "golden", "findings"
-    )
-    .unwrap();
+    );
     let mut rows = Vec::new();
     let mut total_findings = 0u64;
     let mut details: Vec<(u64, String, String)> = Vec::new();
@@ -76,12 +75,11 @@ pub fn render_fuzz(shards: &[Value], total_iters: u64) -> Emitted {
         let golden = get_u64(stats, "golden_instrs");
         let findings = get_u64(stats, "findings_total");
         total_findings += findings;
-        writeln!(
+        let _ = writeln!(
             text,
             "{shard:<6} {seed:#18x} {iters:>8} {seeds:>6} {coverage:>9} {corpus:>7} \
              {digest:>19} {golden:>13} {findings:>9}"
-        )
-        .unwrap();
+        );
         rows.push(format!(
             "{shard},{seed:#x},{iters},{seeds},{coverage},{corpus},{digest},{golden},{findings}"
         ));
@@ -96,23 +94,21 @@ pub fn render_fuzz(shards: &[Value], total_iters: u64) -> Emitted {
         }
     }
     if details.is_empty() && total_findings == 0 {
-        writeln!(
+        let _ = writeln!(
             text,
             "\nAll three oracles (commit equivalence, signature determinism, fault\n\
              consistency) held on every input; the corpus digests above make the\n\
              run reproducible bit-for-bit."
-        )
-        .unwrap();
+        );
     } else {
-        writeln!(text, "\n{total_findings} oracle violation(s):").unwrap();
+        let _ = writeln!(text, "\n{total_findings} oracle violation(s):");
         for (shard, oracle, detail) in &details {
-            writeln!(text, "  shard {shard} [{oracle}] {detail}").unwrap();
+            let _ = writeln!(text, "  shard {shard} [{oracle}] {detail}");
         }
-        writeln!(
+        let _ = writeln!(
             text,
             "Shrunken reproducers belong in tests/fuzz_regressions/ (see DESIGN.md §9)."
-        )
-        .unwrap();
+        );
     }
     Emitted {
         txt_name: "fuzz.txt",

@@ -137,40 +137,39 @@ pub struct Fig8Unit {
 /// Renders Figure 8 exactly as the `fig8_injection` binary prints it.
 pub fn render_fig8(units: &[Fig8Unit], faults: u32, window: u64) -> Emitted {
     let mut text = String::new();
-    writeln!(
+    let _ = writeln!(
         text,
         "=== Figure 8: outcome of {faults} injected faults per benchmark (window {window} cycles) ==="
-    )
-    .unwrap();
-    write!(text, "{:<10}", "bench").unwrap();
+    );
+    let _ = write!(text, "{:<10}", "bench");
     for o in Outcome::ALL {
-        write!(text, "{:>12}", o.label()).unwrap();
+        let _ = write!(text, "{:>12}", o.label());
     }
-    writeln!(text).unwrap();
+    let _ = writeln!(text);
 
     let mut rows = Vec::new();
     let mut totals = vec![0.0f64; Outcome::ALL.len()];
     for u in units {
         let n: u64 = u.counts.iter().sum();
-        write!(text, "{:<10}", u.name).unwrap();
+        let _ = write!(text, "{:<10}", u.name);
         let mut row = u.name.clone();
         for (i, _) in Outcome::ALL.into_iter().enumerate() {
             let f = u.counts[i] as f64 * 100.0 / n.max(1) as f64;
             totals[i] += f;
-            write!(text, "{f:>11.1}%").unwrap();
+            let _ = write!(text, "{f:>11.1}%");
             row.push_str(&format!(",{f:.2}"));
         }
-        writeln!(text).unwrap();
+        let _ = writeln!(text);
         rows.push(row);
     }
-    write!(text, "{:<10}", "Avg").unwrap();
+    let _ = write!(text, "{:<10}", "Avg");
     let mut avg_row = "Avg".to_string();
     for t in &totals {
         let f = t / units.len() as f64;
-        write!(text, "{f:>11.1}%").unwrap();
+        let _ = write!(text, "{f:>11.1}%");
         avg_row.push_str(&format!(",{f:.2}"));
     }
-    writeln!(text).unwrap();
+    let _ = writeln!(text);
     rows.push(avg_row);
 
     let itr_avg: f64 = totals
@@ -180,8 +179,8 @@ pub fn render_fig8(units: &[Fig8Unit], faults: u32, window: u64) -> Emitted {
         .map(|(t, _)| t)
         .sum::<f64>()
         / units.len() as f64;
-    writeln!(text, "\nAverage detected through the ITR cache: {itr_avg:.1}% (paper: 95.4%)")
-        .unwrap();
+    let _ =
+        writeln!(text, "\nAverage detected through the ITR cache: {itr_avg:.1}% (paper: 95.4%)");
 
     let header = {
         let mut h = "bench".to_string();
@@ -215,29 +214,29 @@ pub fn tally_by_field(records: &[FaultRecord]) -> FieldCounts {
 /// prints it.
 pub fn render_byfield(fields: &FieldCounts, faults: u32, bench: &str) -> Emitted {
     let mut text = String::new();
-    writeln!(text, "=== Figure 8 supplement: {faults} faults on `{bench}` by signal field ===")
-        .unwrap();
-    write!(text, "{:<10} {:>6}", "field", "n").unwrap();
+    let _ =
+        writeln!(text, "=== Figure 8 supplement: {faults} faults on `{bench}` by signal field ===");
+    let _ = write!(text, "{:<10} {:>6}", "field", "n");
     for o in Outcome::ALL {
-        write!(text, "{:>12}", o.label()).unwrap();
+        let _ = write!(text, "{:>12}", o.label());
     }
-    writeln!(text).unwrap();
+    let _ = writeln!(text);
     let mut rows = Vec::new();
     for (field, counts) in fields {
         let n: u64 = counts.iter().sum();
-        write!(text, "{field:<10} {n:>6}").unwrap();
+        let _ = write!(text, "{field:<10} {n:>6}");
         let mut row = format!("{field},{n}");
         for (i, _) in Outcome::ALL.into_iter().enumerate() {
             let f = counts[i] as f64 * 100.0 / n as f64;
-            write!(text, "{f:>11.1}%").unwrap();
+            let _ = write!(text, "{f:>11.1}%");
             row.push_str(&format!(",{f:.2}"));
         }
-        writeln!(text).unwrap();
+        let _ = writeln!(text);
         rows.push(row);
     }
-    writeln!(text, "\nExpected: lat flips nearly all ITR+Mask; rsrc/rdst/opcode/imm carry the")
-        .unwrap();
-    writeln!(text, "SDC mass; num_rsrc contributes the deadlock rescues (ITR+wdog+R).").unwrap();
+    let _ =
+        writeln!(text, "\nExpected: lat flips nearly all ITR+Mask; rsrc/rdst/opcode/imm carry the");
+    let _ = writeln!(text, "SDC mass; num_rsrc contributes the deadlock rescues (ITR+wdog+R).");
 
     let mut header = "field,n".to_string();
     for o in Outcome::ALL {

@@ -22,10 +22,12 @@
 //! perf-ipc (one shard per workload)           ──► perf-overhead
 //! ablations-units                             ──► ablations
 //! fuzz-campaign (seed-derived shards)         ──► fuzz
+//! analyze-suite (workload shards)             ──► analyze
 //! table2, area (leaf emit jobs)
 //! ```
 
 pub mod ablations;
+pub mod analyze;
 pub mod characterize;
 pub mod coverage;
 pub mod energy;
@@ -219,4 +221,5 @@ pub fn register_all(reg: &mut Registry, scale: &Scale, out: &Path) {
     perf::register(reg, scale, out);
     ablations::register(reg, scale, out);
     fuzz::register(reg, scale, out);
+    analyze::register(reg, scale, out);
 }

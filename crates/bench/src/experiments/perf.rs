@@ -85,31 +85,33 @@ pub fn measure(name: &str, program: &Program, budget: u64) -> PerfUnit {
 /// Renders the study exactly as the `perf_overhead` binary prints it.
 pub fn render_perf(units: &[PerfUnit]) -> Emitted {
     let mut text = String::new();
-    writeln!(text, "=== ITR performance overhead (IPC) ===").unwrap();
-    writeln!(
+    let _ = writeln!(text, "=== ITR performance overhead (IPC) ===");
+    let _ = writeln!(
         text,
         "{:<12} {:>9} {:>9} {:>9} {:>10} {:>10}",
         "workload", "baseline", "ITR", "ITR+rfod", "ITR ovh", "rfod ovh"
-    )
-    .unwrap();
+    );
     let mut rows = Vec::new();
     for u in units {
         let ovh = (1.0 - u.itr / u.base) * 100.0;
         let rovh = (1.0 - u.rfod / u.base) * 100.0;
-        writeln!(
+        let _ = writeln!(
             text,
             "{:<12} {:>9.3} {:>9.3} {:>9.3} {ovh:>9.2}% {rovh:>9.2}%",
             u.name, u.base, u.itr, u.rfod
-        )
-        .unwrap();
+        );
         rows.push(format!("{},{:.4},{:.4},{:.4}", u.name, u.base, u.itr, u.rfod));
     }
-    writeln!(text, "\nExpected: plain ITR costs at most a few percent (interlock rarely on the")
-        .unwrap();
-    writeln!(text, "critical path); the redundant-fetch fallback costs more where miss rates are")
-        .unwrap();
-    writeln!(text, "high (vortex/perl/gcc), the bandwidth-for-coverage trade §3 describes.")
-        .unwrap();
+    let _ = writeln!(
+        text,
+        "\nExpected: plain ITR costs at most a few percent (interlock rarely on the"
+    );
+    let _ = writeln!(
+        text,
+        "critical path); the redundant-fetch fallback costs more where miss rates are"
+    );
+    let _ =
+        writeln!(text, "high (vortex/perl/gcc), the bandwidth-for-coverage trade §3 describes.");
     Emitted {
         txt_name: "perf_overhead.txt",
         text,

@@ -12,14 +12,14 @@ use std::path::Path;
 /// Renders Table 2 exactly as the `table2_signals` binary prints it.
 pub fn render_table2() -> Emitted {
     let mut text = String::new();
-    writeln!(text, "=== Table 2: list of decode signals ===").unwrap();
-    writeln!(text, "{:<10} {:<42} {:>5}", "field", "description", "width").unwrap();
+    let _ = writeln!(text, "=== Table 2: list of decode signals ===");
+    let _ = writeln!(text, "{:<10} {:<42} {:>5}", "field", "description", "width");
     let mut total = 0;
     for f in SIGNAL_FIELDS {
-        writeln!(text, "{:<10} {:<42} {:>5}", f.name, f.description, f.width).unwrap();
+        let _ = writeln!(text, "{:<10} {:<42} {:>5}", f.name, f.description, f.width);
         total += f.width;
     }
-    writeln!(text, "{:<10} {:<42} {:>5}", "total", "", total).unwrap();
+    let _ = writeln!(text, "{:<10} {:<42} {:>5}", "total", "", total);
     assert_eq!(total, TOTAL_SIGNAL_BITS);
     Emitted { txt_name: "table2_signals.txt", text, csv: None }
 }
@@ -29,29 +29,26 @@ pub fn render_table2() -> Emitted {
 pub fn render_area() -> Emitted {
     let cmp = AreaComparison::paper_itr_cache();
     let mut text = String::new();
-    writeln!(text, "=== §5 area comparison (S/390 G5 die photo) ===").unwrap();
-    writeln!(
+    let _ = writeln!(text, "=== §5 area comparison (S/390 G5 die photo) ===");
+    let _ = writeln!(
         text,
         "I-unit (fetch + decode):          {:>6.2} cm²  (paper: 2.1 cm²)",
         cmp.iunit_cm2
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         text,
         "ITR cache (1024 × 64-bit, 2-way): {:>6.3} cm²  (paper: ~0.3 cm² BTB-like structure)",
         cmp.itr_cache_cm2
-    )
-    .unwrap();
-    writeln!(text, "Ratio: {:.1}× smaller (paper: \"about one seventh\")", cmp.ratio()).unwrap();
-    writeln!(text, "\nSensitivity:").unwrap();
+    );
+    let _ = writeln!(text, "Ratio: {:.1}× smaller (paper: \"about one seventh\")", cmp.ratio());
+    let _ = writeln!(text, "\nSensitivity:");
     for (entries, bits) in [(256u32, 64u32), (512, 64), (1024, 64), (2048, 64)] {
-        writeln!(
+        let _ = writeln!(
             text,
             "  {entries:>5} signatures × {bits} bits: {:>6.3} cm² ({:.1}× smaller than the I-unit)",
             itr_cache_area_cm2(entries, bits),
             cmp.iunit_cm2 / itr_cache_area_cm2(entries, bits)
-        )
-        .unwrap();
+        );
     }
     Emitted { txt_name: "table_area.txt", text, csv: None }
 }

@@ -60,35 +60,35 @@ impl WindowUnit {
 /// it.
 pub fn render_window(units: &[WindowUnit], faults: u32, bench: &str) -> Emitted {
     let mut text = String::new();
-    writeln!(
+    let _ = writeln!(
         text,
         "=== Window sensitivity: {faults} faults on `{bench}`, growing observation window ==="
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         text,
         "{:>10} {:>10} {:>10} {:>10} {:>10}",
         "window", "ITR%", "MayITR%", "Undet%", "spc%"
-    )
-    .unwrap();
+    );
     let mut rows = Vec::new();
     for u in units {
         let (itr, may, undet, spc) = u.pcts();
-        writeln!(text, "{:>10} {itr:>9.1}% {may:>9.1}% {undet:>9.1}% {spc:>9.1}%", u.window)
-            .unwrap();
+        let _ =
+            writeln!(text, "{:>10} {itr:>9.1}% {may:>9.1}% {undet:>9.1}% {spc:>9.1}%", u.window);
         rows.push(format!("{},{itr:.2},{may:.2},{undet:.2},{spc:.2}", u.window));
     }
-    writeln!(text, "\nFinding (matches the paper's footnote 1): detection saturates almost")
-        .unwrap();
-    writeln!(text, "immediately — faults strike hot traces in proportion to their decode share,")
-        .unwrap();
-    writeln!(text, "and hot traces re-check within hundreds of cycles. The small MayITR mass")
-        .unwrap();
-    writeln!(text, "either converts to detection or is evicted (becoming Undet) as the window")
-        .unwrap();
-    writeln!(text, "grows; nothing changes past the knee, so the paper's 1M-cycle window is")
-        .unwrap();
-    writeln!(text, "comfortably sufficient.").unwrap();
+    let _ =
+        writeln!(text, "\nFinding (matches the paper's footnote 1): detection saturates almost");
+    let _ = writeln!(
+        text,
+        "immediately — faults strike hot traces in proportion to their decode share,"
+    );
+    let _ =
+        writeln!(text, "and hot traces re-check within hundreds of cycles. The small MayITR mass");
+    let _ =
+        writeln!(text, "either converts to detection or is evicted (becoming Undet) as the window");
+    let _ =
+        writeln!(text, "grows; nothing changes past the knee, so the paper's 1M-cycle window is");
+    let _ = writeln!(text, "comfortably sufficient.");
     Emitted {
         txt_name: "window_sensitivity.txt",
         text,

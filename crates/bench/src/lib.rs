@@ -6,6 +6,10 @@
 //! simulator instead of sampling the statistical stream model — slower,
 //! but exercises the full stack).
 
+// Tests opt back out of the workspace `unwrap_used` deny: panicking on
+// a broken expectation is exactly what a test should do.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod experiments;
 pub mod timing;
 
@@ -110,9 +114,9 @@ pub fn write_csv(args: &Args, name: &str, header: &str, rows: &[String]) {
     std::fs::create_dir_all(&args.out).expect("create output dir");
     let path = args.out.join(name);
     let mut body = String::with_capacity(rows.len() * 32);
-    writeln!(body, "{header}").unwrap();
+    let _ = writeln!(body, "{header}");
     for r in rows {
-        writeln!(body, "{r}").unwrap();
+        let _ = writeln!(body, "{r}");
     }
     std::fs::write(&path, body).expect("write CSV");
     println!("\n[wrote {}]", path.display());

@@ -96,6 +96,15 @@ impl ItrCacheConfig {
         self.assoc.ways(self.entries)
     }
 
+    /// The set a trace starting at `start_pc` indexes — the cache's
+    /// PC-index mapping (§2.2: the word-aligned start PC, modulo the set
+    /// count). [`crate::ItrCache`] and the static set-conflict analysis
+    /// in `itr-analyze` share this function, so the analyzer's conflict
+    /// map is the hardware mapping by construction.
+    pub fn set_index(&self, start_pc: u64) -> u32 {
+        ((start_pc >> 2) % u64::from(self.sets())) as u32
+    }
+
     /// Enables or disables checked-bit-aware replacement (builder style).
     pub fn with_checked_bit_replacement(mut self, on: bool) -> ItrCacheConfig {
         self.checked_bit_replacement = on;

@@ -185,8 +185,7 @@ impl ItrCache {
     }
 
     fn set_of(&self, start_pc: u64) -> usize {
-        let sets = self.config.sets() as u64;
-        ((start_pc >> 2) % sets) as usize
+        self.config.set_index(start_pc) as usize
     }
 
     fn set_range(&self, start_pc: u64) -> std::ops::Range<usize> {

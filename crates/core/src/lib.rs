@@ -51,6 +51,10 @@
 //! assert!(report.detection_loss_pct() < 1.0);
 //! ```
 
+// Tests opt back out of the workspace `unwrap_used` deny: panicking on
+// a broken expectation is exactly what a test should do.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 mod checkpoint;
 mod config;
 mod coverage;

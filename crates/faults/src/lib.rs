@@ -21,6 +21,10 @@
 //! is validated separately by `itr-sim`'s pipeline tests and the
 //! `fault_injection` example.
 
+// Tests opt back out of the workspace `unwrap_used` deny: panicking on
+// a broken expectation is exactly what a test should do.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 mod campaign;
 mod classify;
 

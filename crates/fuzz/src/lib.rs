@@ -23,6 +23,10 @@
 //! Everything is deterministic per seed — `itr-fuzz run --seed 1
 //! --iters 5000` twice yields byte-identical statistics and findings.
 
+// Tests opt back out of the workspace `unwrap_used` deny: panicking on
+// a broken expectation is exactly what a test should do.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod case;
 pub mod corpus;
 pub mod coverage;

@@ -1,4 +1,4 @@
-//! The three differential oracles run on every fuzz input.
+//! The four differential oracles run on every fuzz input.
 //!
 //! 1. **Commit-stream equivalence** — the functional reference and the
 //!    cycle-level pipeline (plain and ITR-protected) must commit the
@@ -14,6 +14,10 @@
 //!    architectural ground truth: a mask verdict cannot coexist with an
 //!    observed SDC or deadlock, and active-mode recovery must uphold
 //!    the verdict's recovery claim.
+//! 4. **Static subset** — every dynamically formed trace must belong to
+//!    the static trace universe `itr-analyze` enumerates, with a
+//!    matching signature and length. A violation means either the
+//!    static enumerator or the decode-time trace formation is wrong.
 //!
 //! Alongside verdicts the oracles emit the coverage features the engine
 //! feeds its novelty map.
@@ -66,6 +70,8 @@ pub enum OracleKind {
     SignatureDeterminism,
     /// Fault classifier verdict contradicts architectural ground truth.
     FaultConsistency,
+    /// A dynamic trace is not a member of the static trace universe.
+    StaticSubset,
 }
 
 impl OracleKind {
@@ -75,6 +81,7 @@ impl OracleKind {
             OracleKind::CommitEquivalence => "commit_equivalence",
             OracleKind::SignatureDeterminism => "signature_determinism",
             OracleKind::FaultConsistency => "fault_consistency",
+            OracleKind::StaticSubset => "static_subset",
         }
     }
 
@@ -84,6 +91,7 @@ impl OracleKind {
             "commit_equivalence" => Some(OracleKind::CommitEquivalence),
             "signature_determinism" => Some(OracleKind::SignatureDeterminism),
             "fault_consistency" => Some(OracleKind::FaultConsistency),
+            "static_subset" => Some(OracleKind::StaticSubset),
             _ => None,
         }
     }
@@ -311,6 +319,52 @@ fn check_signatures(program: &Program, cfg: &OracleConfig, out: &mut Evaluation)
     }
 }
 
+/// Oracle 4: every dynamic trace must be a member of the static trace
+/// universe, with matching signature and length, for every trace-length
+/// configuration.
+///
+/// The two tolerated escape classes mirror `itr-analyze`'s
+/// cross-validation semantics: starts outside the bounded analysis
+/// region (runaway control flow deep into nop-space) and closure misses
+/// in programs with register-indirect jumps (mutation can synthesize
+/// `jr`/`jalr` with arbitrary register targets the conservative target
+/// set cannot predict). Content mismatches are never excused — the
+/// fuzz generator pins stores away from the text region, so the static
+/// image is exactly what fetch sees.
+fn check_static_subset(program: &Program, cfg: &OracleConfig, out: &mut Evaluation) {
+    let budget = cfg.max_instrs.min(1200);
+    let image = itr_analyze::ProgramImage::new(program);
+    for max_len in [4u32, 8, 16] {
+        let universe =
+            itr_analyze::enumerate(&image, max_len, &itr_analyze::EnumOptions::default());
+        let dynamic: Vec<_> = TraceStream::with_trace_len(program, budget, max_len).collect();
+        let cv = itr_analyze::cross_validate(&image, &universe, &dynamic);
+        if let Some(v) = cv.violations.first() {
+            out.findings.push(Finding {
+                kind: OracleKind::StaticSubset,
+                detail: format!(
+                    "trace_len={max_len}: dynamic trace start {:#010x} (sig {:#018x}, len {}) \
+                     vs static {} — {:?} check failed ({} static traces, {} region escapes, \
+                     {} indirect escapes)",
+                    v.dynamic.start_pc,
+                    v.dynamic.signature,
+                    v.dynamic.len,
+                    v.static_record.map_or("<incomplete walk>".to_string(), |s| format!(
+                        "(sig {:#018x}, len {})",
+                        s.signature, s.len
+                    )),
+                    v.kind,
+                    universe.traces.len(),
+                    cv.region_escapes,
+                    cv.indirect_escapes,
+                ),
+                fault: None,
+            });
+            return;
+        }
+    }
+}
+
 /// The per-trace clean-signature map used as classifier ground truth.
 fn clean_signatures(program: &Program, max_instrs: u64) -> HashMap<u64, u64> {
     let mut sigs = HashMap::new();
@@ -448,6 +502,7 @@ pub fn evaluate(
     check_equivalence(&program, "plain", PipelineConfig::default(), &golden, stop, cfg, &mut out);
     check_equivalence(&program, "itr", PipelineConfig::with_itr(), &golden, stop, cfg, &mut out);
     check_signatures(&program, cfg, &mut out);
+    check_static_subset(&program, cfg, &mut out);
     if with_faults && stop == StopReason::Halted && golden.len() >= 20 {
         check_faults(&program, &golden, cfg, rng, &mut out);
     }
@@ -512,6 +567,7 @@ mod tests {
             OracleKind::CommitEquivalence,
             OracleKind::SignatureDeterminism,
             OracleKind::FaultConsistency,
+            OracleKind::StaticSubset,
         ] {
             assert_eq!(OracleKind::from_label(k.label()), Some(k));
         }

@@ -26,6 +26,10 @@
 //! The experiment definitions live in `itr-bench::experiments`, and the
 //! `itr-repro` binary drives the whole reproduction through [`runner::run`].
 
+// Tests opt back out of the workspace `unwrap_used` deny: panicking on
+// a broken expectation is exactly what a test should do.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod job;
 pub mod journal;
 pub mod manifest;

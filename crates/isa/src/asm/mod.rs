@@ -42,20 +42,100 @@ use crate::opcode::{Opcode, Syntax};
 use crate::program::{BuildError, Program, ProgramBuilder};
 use crate::reg::Reg;
 use crate::trap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Error produced by [`assemble`], tagged with a 1-based source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsmError {
-    /// 1-based line number in the source text.
+    /// 1-based line number in the source text (0 when the error has no
+    /// usable source location).
     pub line: usize,
-    /// Human-readable description.
-    pub message: String,
+    /// What was rejected.
+    pub kind: AsmErrorKind,
+}
+
+/// The rejected form behind an [`AsmError`].
+///
+/// Value-truncation hazards get their own variants: every place the
+/// assembler used to silently mask a too-wide value (`as u8`, `as u16`,
+/// 16-bit immediate fields, 28-bit jump targets) now rejects it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// `.ascii`/`.asciiz` literal contains a character outside ASCII;
+    /// it would not survive the byte-per-char encoding.
+    NonAsciiString {
+        /// The offending character.
+        ch: char,
+    },
+    /// `.byte` operand outside `-128..=255`.
+    ByteOutOfRange {
+        /// The rejected value.
+        value: i64,
+    },
+    /// Immediate does not fit the 16-bit I-format field
+    /// (`-32768..=65535`, covering both signed and unsigned users).
+    ImmOutOfRange {
+        /// Mnemonic the operand belonged to.
+        mnemonic: String,
+        /// The rejected value.
+        value: i64,
+    },
+    /// Trap code outside the 16-bit `0..=65535` range.
+    TrapCodeOutOfRange {
+        /// The rejected value.
+        value: i64,
+    },
+    /// Numeric jump target not 4-byte aligned.
+    JumpTargetUnaligned {
+        /// The rejected target address.
+        target: i64,
+    },
+    /// Numeric jump target outside the 28-bit J-format range.
+    JumpTargetOutOfRange {
+        /// The rejected target address.
+        target: i64,
+    },
+    /// Label-resolution failure from the program builder.
+    Build(BuildError),
+    /// Any other syntax error, described in prose.
+    Syntax(String),
+}
+
+impl fmt::Display for AsmErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmErrorKind::NonAsciiString { ch } => {
+                write!(f, "non-ASCII character {ch:?} in string literal")
+            }
+            AsmErrorKind::ByteOutOfRange { value } => {
+                write!(f, ".byte value {value} out of range (-128..=255)")
+            }
+            AsmErrorKind::ImmOutOfRange { mnemonic, value } => {
+                write!(f, "immediate {value} out of 16-bit range for `{mnemonic}`")
+            }
+            AsmErrorKind::TrapCodeOutOfRange { value } => {
+                write!(f, "trap code {value} out of range (0..=65535)")
+            }
+            AsmErrorKind::JumpTargetUnaligned { target } => {
+                write!(f, "jump target {target:#x} is not 4-byte aligned")
+            }
+            AsmErrorKind::JumpTargetOutOfRange { target } => {
+                write!(f, "jump target {target:#x} out of 28-bit range")
+            }
+            AsmErrorKind::Build(e) => e.fmt(f),
+            AsmErrorKind::Syntax(msg) => f.write_str(msg),
+        }
+    }
 }
 
 impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.line == 0 {
+            self.kind.fmt(f)
+        } else {
+            write!(f, "line {}: {}", self.line, self.kind)
+        }
     }
 }
 
@@ -63,13 +143,17 @@ impl std::error::Error for AsmError {}
 
 impl AsmError {
     fn new(line: usize, message: impl Into<String>) -> AsmError {
-        AsmError { line, message: message.into() }
+        AsmError { line, kind: AsmErrorKind::Syntax(message.into()) }
+    }
+
+    fn typed(line: usize, kind: AsmErrorKind) -> AsmError {
+        AsmError { line, kind }
     }
 }
 
 impl From<BuildError> for AsmError {
     fn from(e: BuildError) -> AsmError {
-        AsmError { line: 0, message: e.to_string() }
+        AsmError { line: 0, kind: AsmErrorKind::Build(e) }
     }
 }
 
@@ -88,6 +172,9 @@ enum Section {
 pub fn assemble(source: &str) -> Result<Program, AsmError> {
     let mut b = ProgramBuilder::new();
     let mut section = Section::Text;
+    // First source line referencing each label, so label-resolution
+    // errors surfaced at build time still point into the source.
+    let mut refs: BTreeMap<String, usize> = BTreeMap::new();
     for (line_no, raw) in source.lines().enumerate() {
         let line_no = line_no + 1;
         let mut line = raw;
@@ -113,15 +200,23 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             continue;
         }
         if let Some(directive) = rest.strip_prefix('.') {
-            parse_directive(&mut b, &mut section, directive, line_no)?;
+            parse_directive(&mut b, &mut section, &mut refs, directive, line_no)?;
             continue;
         }
         if section != Section::Text {
             return Err(AsmError::new(line_no, "instruction outside .text section"));
         }
-        parse_instruction(&mut b, rest, line_no)?;
+        parse_instruction(&mut b, &mut refs, rest, line_no)?;
     }
-    b.build().map_err(AsmError::from)
+    b.build().map_err(|e| {
+        let line = match &e {
+            BuildError::UndefinedLabel(l)
+            | BuildError::DuplicateLabel(l)
+            | BuildError::BranchOutOfRange { label: l, .. }
+            | BuildError::JumpOutOfRange { label: l, .. } => refs.get(l).copied().unwrap_or(0),
+        };
+        AsmError { line, kind: AsmErrorKind::Build(e) }
+    })
 }
 
 fn is_ident(s: &str) -> bool {
@@ -133,6 +228,7 @@ fn is_ident(s: &str) -> bool {
 fn parse_directive(
     b: &mut ProgramBuilder,
     section: &mut Section,
+    refs: &mut BTreeMap<String, usize>,
     directive: &str,
     line: usize,
 ) -> Result<(), AsmError> {
@@ -146,6 +242,7 @@ fn parse_directive(
                     b.data_word(v as u32);
                 } else if is_ident(&arg) {
                     // A label: the word holds its address (jump tables).
+                    refs.entry(arg.clone()).or_insert(line);
                     b.data_word_addr(&arg);
                 } else {
                     return Err(AsmError::new(line, format!("invalid .word operand `{arg}`")));
@@ -155,6 +252,9 @@ fn parse_directive(
         "byte" => {
             for arg in split_args(args) {
                 let v = parse_int(&arg, line)?;
+                if !(-128..=255).contains(&v) {
+                    return Err(AsmError::typed(line, AsmErrorKind::ByteOutOfRange { value: v }));
+                }
                 b.data_bytes(&[(v & 0xFF) as u8]);
             }
         }
@@ -176,8 +276,10 @@ fn parse_directive(
                         Some('"') => b'"',
                         _ => return Err(AsmError::new(line, "unknown escape sequence")),
                     }
-                } else {
+                } else if c.is_ascii() {
                     c as u8
+                } else {
+                    return Err(AsmError::typed(line, AsmErrorKind::NonAsciiString { ch: c }));
                 };
                 bytes.push(b);
             }
@@ -265,7 +367,26 @@ fn expect_args(args: &[String], n: usize, mnem: &str, line: usize) -> Result<(),
     Ok(())
 }
 
-fn parse_instruction(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<(), AsmError> {
+/// Checks a value against the 16-bit I-format immediate field. The
+/// accepted range spans both the signed (`addi`, `slti`, branches) and
+/// zero-extended (`andi`, `ori`, `lui`) interpretations; anything wider
+/// used to be masked silently at encode time.
+fn check_imm16(mnem: &str, value: i64, line: usize) -> Result<i32, AsmError> {
+    if !(-32768..=65535).contains(&value) {
+        return Err(AsmError::typed(
+            line,
+            AsmErrorKind::ImmOutOfRange { mnemonic: mnem.to_string(), value },
+        ));
+    }
+    Ok(value as i32)
+}
+
+fn parse_instruction(
+    b: &mut ProgramBuilder,
+    refs: &mut BTreeMap<String, usize>,
+    text: &str,
+    line: usize,
+) -> Result<(), AsmError> {
     let (mnem, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
     let args = split_args(rest);
 
@@ -289,6 +410,7 @@ fn parse_instruction(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<
         "la" => {
             expect_args(&args, 2, mnem, line)?;
             let rt = parse_int_reg(&args[0], line)?;
+            refs.entry(args[1].clone()).or_insert(line);
             b.load_addr(rt, &args[1]);
             return Ok(());
         }
@@ -315,7 +437,7 @@ fn parse_instruction(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<
         }
         "b" => {
             expect_args(&args, 1, mnem, line)?;
-            emit_branch(b, Opcode::Beq, 0, 0, &args[0], line)?;
+            emit_branch(b, refs, Opcode::Beq, 0, 0, &args[0], line)?;
             return Ok(());
         }
         _ => {}
@@ -352,14 +474,14 @@ fn parse_instruction(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<
             expect_args(&args, 3, mnem, line)?;
             let rt = parse_int_reg(&args[0], line)?;
             let rs = parse_int_reg(&args[1], line)?;
-            let imm = parse_int(&args[2], line)?;
-            b.push(Instruction::rri(op, rt, rs, imm as i32));
+            let imm = check_imm16(mnem, parse_int(&args[2], line)?, line)?;
+            b.push(Instruction::rri(op, rt, rs, imm));
         }
         Syntax::RegImm16 => {
             expect_args(&args, 2, mnem, line)?;
             let rt = parse_int_reg(&args[0], line)?;
-            let imm = parse_int(&args[1], line)?;
-            b.push(Instruction::rri(op, rt, 0, imm as i32));
+            let imm = check_imm16(mnem, parse_int(&args[1], line)?, line)?;
+            b.push(Instruction::rri(op, rt, 0, imm));
         }
         Syntax::Mem => {
             expect_args(&args, 2, mnem, line)?;
@@ -377,22 +499,35 @@ fn parse_instruction(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<
             expect_args(&args, 3, mnem, line)?;
             let rs = parse_int_reg(&args[0], line)?;
             let rt = parse_int_reg(&args[1], line)?;
-            emit_branch(b, op, rs, rt, &args[2], line)?;
+            emit_branch(b, refs, op, rs, rt, &args[2], line)?;
         }
         Syntax::Branch1 => {
             expect_args(&args, 2, mnem, line)?;
             let rs = parse_int_reg(&args[0], line)?;
-            emit_branch(b, op, rs, 0, &args[1], line)?;
+            emit_branch(b, refs, op, rs, 0, &args[1], line)?;
         }
         Syntax::FpBranch => {
             expect_args(&args, 1, mnem, line)?;
-            emit_branch(b, op, 0, 0, &args[0], line)?;
+            emit_branch(b, refs, op, 0, 0, &args[0], line)?;
         }
         Syntax::Jump => {
             expect_args(&args, 1, mnem, line)?;
             if let Ok(addr) = parse_int(&args[0], line) {
+                if addr % 4 != 0 {
+                    return Err(AsmError::typed(
+                        line,
+                        AsmErrorKind::JumpTargetUnaligned { target: addr },
+                    ));
+                }
+                if !(0..1i64 << 28).contains(&addr) {
+                    return Err(AsmError::typed(
+                        line,
+                        AsmErrorKind::JumpTargetOutOfRange { target: addr },
+                    ));
+                }
                 b.push(Instruction::jump(op, (addr as u64 >> 2) as u32));
             } else {
+                refs.entry(args[0].clone()).or_insert(line);
                 b.jump_to(op, &args[0]);
             }
         }
@@ -435,6 +570,12 @@ fn parse_instruction(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<
         Syntax::TrapCode => {
             expect_args(&args, 1, mnem, line)?;
             let code = parse_int(&args[0], line)?;
+            if !(0..=0xFFFF).contains(&code) {
+                return Err(AsmError::typed(
+                    line,
+                    AsmErrorKind::TrapCodeOutOfRange { value: code },
+                ));
+            }
             b.push(Instruction::trap(code as u16));
         }
     }
@@ -443,6 +584,7 @@ fn parse_instruction(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<
 
 fn emit_branch(
     b: &mut ProgramBuilder,
+    refs: &mut BTreeMap<String, usize>,
     op: Opcode,
     rs: u8,
     rt: u8,
@@ -450,8 +592,10 @@ fn emit_branch(
     line: usize,
 ) -> Result<(), AsmError> {
     if let Ok(offset) = parse_int(target, line) {
-        b.push(Instruction::branch(op, rs, rt, offset as i32));
+        let offset = check_imm16(op.mnemonic(), offset, line)?;
+        b.push(Instruction::branch(op, rs, rt, offset));
     } else if is_ident(target) {
+        refs.entry(target.to_string()).or_insert(line);
         b.branch_to(op, rs, rt, target);
     } else {
         return Err(AsmError::new(line, format!("invalid branch target `{target}`")));
@@ -524,25 +668,25 @@ mod tests {
     fn unknown_mnemonic_reports_line() {
         let err = assemble("main:\n  frobnicate r1, r2\n").unwrap_err();
         assert_eq!(err.line, 2);
-        assert!(err.message.contains("frobnicate"));
+        assert!(err.to_string().contains("frobnicate"));
     }
 
     #[test]
     fn wrong_operand_count_is_rejected() {
         let err = assemble("main:\n add r1, r2\n").unwrap_err();
-        assert!(err.message.contains("expects 3"));
+        assert!(err.to_string().contains("expects 3"));
     }
 
     #[test]
     fn wrong_register_file_is_rejected() {
         let err = assemble("main:\n add.s f1, r2, f3\n").unwrap_err();
-        assert!(err.message.contains("expected FP register"));
+        assert!(err.to_string().contains("expected FP register"));
     }
 
     #[test]
     fn instruction_in_data_section_is_rejected() {
         let err = assemble(".data\n add r1, r2, r3\n").unwrap_err();
-        assert!(err.message.contains("outside .text"));
+        assert!(err.to_string().contains("outside .text"));
     }
 
     #[test]
@@ -596,6 +740,68 @@ mod tests {
             let err = assemble(src).expect_err(src);
             assert!(err.to_string().contains(needle), "{src:?}: got `{err}`, wanted `{needle}`");
         }
+    }
+
+    #[test]
+    fn non_ascii_string_literal_is_rejected() {
+        let err = assemble(".data\nmsg: .ascii \"héllo\"\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.kind, AsmErrorKind::NonAsciiString { ch: 'é' });
+    }
+
+    #[test]
+    fn out_of_range_byte_is_rejected() {
+        let err = assemble(".data\nb: .byte 1, 2, 256\n").unwrap_err();
+        assert_eq!(err.kind, AsmErrorKind::ByteOutOfRange { value: 256 });
+        let err = assemble(".data\nb: .byte -129\n").unwrap_err();
+        assert_eq!(err.kind, AsmErrorKind::ByteOutOfRange { value: -129 });
+        // Both signed and unsigned byte spellings stay accepted.
+        let p = assemble(".data\nb: .byte -128, 255\n.text\nmain:\n halt\n").unwrap();
+        assert_eq!(p.data(), &[0x80, 0xFF]);
+    }
+
+    #[test]
+    fn oversized_immediates_are_rejected_not_truncated() {
+        let err = assemble("main:\n addi r8, r0, 70000\n").unwrap_err();
+        assert_eq!(err.kind, AsmErrorKind::ImmOutOfRange { mnemonic: "addi".into(), value: 70000 });
+        let err = assemble("main:\n ori r8, r8, -40000\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::ImmOutOfRange { value: -40000, .. }));
+        // The unsigned upper half stays available for `ori`/`lui`.
+        assert!(assemble("main:\n ori r8, r0, 0xFFFF\n halt\n").is_ok());
+    }
+
+    #[test]
+    fn out_of_range_trap_code_is_rejected() {
+        let err = assemble("main:\n trap 65536\n").unwrap_err();
+        assert_eq!(err.kind, AsmErrorKind::TrapCodeOutOfRange { value: 65536 });
+        let err = assemble("main:\n trap -1\n").unwrap_err();
+        assert_eq!(err.kind, AsmErrorKind::TrapCodeOutOfRange { value: -1 });
+    }
+
+    #[test]
+    fn bad_numeric_jump_targets_are_rejected() {
+        let err = assemble("main:\n j 0x400002\n").unwrap_err();
+        assert_eq!(err.kind, AsmErrorKind::JumpTargetUnaligned { target: 0x400002 });
+        let err = assemble("main:\n j 0x10000000\n").unwrap_err();
+        assert_eq!(err.kind, AsmErrorKind::JumpTargetOutOfRange { target: 0x1000_0000 });
+    }
+
+    #[test]
+    fn jump_to_data_label_is_rejected_with_the_referencing_line() {
+        // DATA_BASE sits exactly at 1 << 28, outside the J-format range.
+        let err = assemble(".data\nbuf: .space 4\n.text\nmain:\n nop\n j buf\n").unwrap_err();
+        assert_eq!(err.line, 6, "error points at the `j buf` line");
+        assert!(matches!(
+            err.kind,
+            AsmErrorKind::Build(BuildError::JumpOutOfRange { ref label, .. }) if label == "buf"
+        ));
+    }
+
+    #[test]
+    fn undefined_label_error_points_at_the_reference() {
+        let err = assemble("main:\n nop\n beq r1, r2, nowhere\n halt\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(matches!(err.kind, AsmErrorKind::Build(BuildError::UndefinedLabel(_))));
     }
 
     #[test]

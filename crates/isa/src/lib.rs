@@ -38,6 +38,10 @@
 //! # }
 //! ```
 
+// Tests opt back out of the workspace `unwrap_used` deny: panicking on
+// a broken expectation is exactly what a test should do.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod asm;
 pub mod disasm;
 mod encode;

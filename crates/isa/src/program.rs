@@ -4,7 +4,7 @@ use crate::encode::encode;
 use crate::instruction::Instruction;
 use crate::opcode::Opcode;
 use crate::INSTRUCTION_BYTES;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Default base address of the text (code) segment.
@@ -31,7 +31,7 @@ pub struct Program {
     entry: u64,
     text: Vec<u32>,
     data: Vec<u8>,
-    symbols: HashMap<String, u64>,
+    symbols: BTreeMap<String, u64>,
 }
 
 impl Program {
@@ -126,6 +126,8 @@ pub enum BuildError {
     DuplicateLabel(String),
     /// A conditional-branch displacement overflowed 16 bits.
     BranchOutOfRange { label: String, offset: i64 },
+    /// A `j`/`jal` target fell outside the 28-bit J-format range.
+    JumpOutOfRange { label: String, target: u64 },
 }
 
 impl fmt::Display for BuildError {
@@ -135,6 +137,9 @@ impl fmt::Display for BuildError {
             BuildError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
             BuildError::BranchOutOfRange { label, offset } => {
                 write!(f, "branch to `{label}` out of range (offset {offset} words)")
+            }
+            BuildError::JumpOutOfRange { label, target } => {
+                write!(f, "jump to `{label}` at {target:#x} outside the 28-bit J-format range")
             }
         }
     }
@@ -167,7 +172,7 @@ impl std::error::Error for BuildError {}
 pub struct ProgramBuilder {
     text: Vec<u32>,
     data: Vec<u8>,
-    labels: HashMap<String, (SegmentKind, u64)>,
+    labels: BTreeMap<String, (SegmentKind, u64)>,
     fixups: Vec<Fixup>,
     text_base: u64,
     data_base: u64,
@@ -299,13 +304,14 @@ impl ProgramBuilder {
     /// Returns a [`BuildError`] for undefined labels or out-of-range
     /// branches.
     pub fn build(mut self) -> Result<Program, BuildError> {
-        let lookup =
-            |labels: &HashMap<String, (SegmentKind, u64)>, name: &str| -> Result<u64, BuildError> {
-                labels
-                    .get(name)
-                    .map(|&(_, a)| a)
-                    .ok_or_else(|| BuildError::UndefinedLabel(name.to_string()))
-            };
+        let lookup = |labels: &BTreeMap<String, (SegmentKind, u64)>,
+                      name: &str|
+         -> Result<u64, BuildError> {
+            labels
+                .get(name)
+                .map(|&(_, a)| a)
+                .ok_or_else(|| BuildError::UndefinedLabel(name.to_string()))
+        };
         for fixup in std::mem::take(&mut self.fixups) {
             match fixup {
                 Fixup::Branch { text_index, label } => {
@@ -321,6 +327,12 @@ impl ProgramBuilder {
                 }
                 Fixup::Jump { text_index, label } => {
                     let target = lookup(&self.labels, &label)?;
+                    // The J-format word index is 26 bits: targets at or
+                    // above 1 << 28 (the data segment, for instance)
+                    // would silently wrap.
+                    if target >= 1 << 28 {
+                        return Err(BuildError::JumpOutOfRange { label, target });
+                    }
                     let mut inst = crate::decode(self.text[text_index]).expect("own encoding");
                     inst.imm = ((target >> 2) & 0x03FF_FFFF) as i32;
                     self.text[text_index] = encode(&inst);

@@ -15,6 +15,10 @@
 //!   the ITR cache at about one seventh of the I-unit — the paper's §5
 //!   headline.
 
+// Tests opt back out of the workspace `unwrap_used` deny: panicking on
+// a broken expectation is exactly what a test should do.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod area;
 pub mod energy;
 

@@ -141,10 +141,7 @@ impl FuncSim {
                 return self.stopped.expect("stopped set when step yields None");
             }
         }
-        if self.stopped.is_none() {
-            self.stopped = Some(StopReason::InstrLimit);
-        }
-        self.stopped.unwrap()
+        *self.stopped.get_or_insert(StopReason::InstrLimit)
     }
 
     /// Runs like [`run`](Self::run) while collecting every commit record
@@ -154,13 +151,14 @@ impl FuncSim {
         for _ in 0..max_instrs {
             match self.step() {
                 Some(step) => records.push(step.record),
-                None => return (records, self.stopped.unwrap()),
+                None => {
+                    let reason = self.stopped.unwrap_or(StopReason::InstrLimit);
+                    return (records, reason);
+                }
             }
         }
-        if self.stopped.is_none() {
-            self.stopped = Some(StopReason::InstrLimit);
-        }
-        (records, self.stopped.unwrap())
+        let reason = *self.stopped.get_or_insert(StopReason::InstrLimit);
+        (records, reason)
     }
 }
 

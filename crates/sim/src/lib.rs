@@ -33,6 +33,10 @@
 //! # }
 //! ```
 
+// Tests opt back out of the workspace `unwrap_used` deny: panicking on
+// a broken expectation is exactly what a test should do.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 mod arch;
 mod branch;
 mod cache;

@@ -35,6 +35,10 @@
 //! assert_eq!(back.counter("cache", "hits"), Some(3));
 //! ```
 
+// Tests opt back out of the workspace `unwrap_used` deny: panicking on
+// a broken expectation is exactly what a test should do.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 mod counter;
 mod histogram;
 pub mod json;

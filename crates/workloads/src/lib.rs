@@ -26,6 +26,10 @@
 //! assert!(program.len() > profile.static_traces as usize);
 //! ```
 
+// Tests opt back out of the workspace `unwrap_used` deny: panicking on
+// a broken expectation is exactly what a test should do.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod kernels;
 mod model;
 pub mod profiles;

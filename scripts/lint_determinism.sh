@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Determinism lint: reports in this repo must be byte-identical across
+# runs and across `--jobs` settings, so std's randomly-seeded HashMap /
+# HashSet must never feed a report or serialization path. Iteration
+# order over those types varies per process; anything rendered, summed
+# in float order, or sampled from such an iteration drifts between runs.
+#
+# Policy: every `HashMap` / `HashSet` mention in library and binary
+# sources must be on the allowlist below, with a justification. Legal
+# justifications are, in order of preference:
+#   1. keyed lookup only (never iterated),
+#   2. iterated only into an order-insensitive reduction (`len`, integer
+#      sums, or values sorted before use),
+#   3. internal scheduler state whose outputs are re-ordered
+#      deterministically before rendering (harness shard merge),
+#   4. `#[cfg(test)]`-only code.
+# New report-adjacent code should use BTreeMap / BTreeSet (or sort
+# explicitly) instead of growing this list.
+#
+# Usage: scripts/lint_determinism.sh   (exits non-zero on violations)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# path:justification — keep alphabetized.
+ALLOWLIST=(
+  "crates/bench/src/experiments/ablations.rs:HashSet used for cardinality (.len) only"
+  "crates/bench/src/experiments/injection.rs:per-process plan memo, keyed lookup only"
+  "crates/bench/src/lib.rs:CLI extras are keyed lookups; histogram values sorted before use"
+  "crates/faults/src/campaign.rs:clean-run signature map, keyed lookup only"
+  "crates/faults/src/classify.rs:public classify() API takes a lookup-only map"
+  "crates/fuzz/src/corpus.rs:dedup membership set, never iterated"
+  "crates/fuzz/src/oracle.rs:clean-run signature lookup maps, keyed lookup only"
+  "crates/harness/src/job.rs:DAG validation state; order-insensitive checks"
+  "crates/harness/src/pool.rs:test-only worker-id set behind a Mutex"
+  "crates/harness/src/runner.rs:scheduler state; shard payloads re-sorted by index before rendering"
+  "crates/isa/src/opcode.rs:OnceLock mnemonic lookup table, keyed lookup only"
+  "crates/sim/src/func.rs:cfg(test)-only signature map"
+  "crates/sim/src/mem.rs:sparse page store, keyed lookup only"
+  "crates/workloads/src/model.rs:cfg(test)-only maps"
+  "crates/workloads/src/synth.rs:cfg(test)-only maps"
+)
+
+allowed() {
+  local file="$1"
+  for entry in "${ALLOWLIST[@]}"; do
+    [[ "$file" == "${entry%%:*}" ]] && return 0
+  done
+  return 1
+}
+
+# Report-critical crates where hash collections are banned outright:
+# these produce (analyze, stats JSON) or define (core) serialized
+# artifacts, and must stay hash-free rather than grow allowlist entries.
+BANNED_DIRS=(crates/analyze/src crates/stats/src crates/core/src)
+
+status=0
+
+hits=$(grep -rnE '\b(HashMap|HashSet)\b' src crates/*/src --include='*.rs' | grep -vE '^\S+:[0-9]+:\s*//' || true)
+
+while IFS= read -r line; do
+  [[ -z "$line" ]] && continue
+  file="${line%%:*}"
+  for dir in "${BANNED_DIRS[@]}"; do
+    if [[ "$file" == "$dir"/* ]]; then
+      echo "FORBIDDEN (hash-free crate): $line"
+      status=1
+      continue 2
+    fi
+  done
+  if ! allowed "$file"; then
+    echo "UNLISTED: $line"
+    status=1
+  fi
+done <<<"$hits"
+
+if [[ "$status" -ne 0 ]]; then
+  cat >&2 <<'MSG'
+
+lint_determinism: hash-ordered collections found outside the allowlist.
+Use BTreeMap/BTreeSet (or sort before rendering) in report-feeding code;
+if the use is provably order-insensitive, add an allowlisted
+`path:justification` entry in scripts/lint_determinism.sh.
+MSG
+  exit 1
+fi
+
+echo "lint_determinism: ok (allowlist: ${#ALLOWLIST[@]} entries)"

@@ -14,7 +14,7 @@ use itr::isa::asm::assemble;
 use itr::isa::{disasm, Program};
 use itr::sim::{DecodeFault, FuncSim, Pipeline, PipelineConfig, TraceStream};
 use itr::workloads::{generate_mimic_sized, kernels, profiles};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -106,7 +106,7 @@ fn cmd_run(args: &[String]) -> CliResult {
 fn cmd_disasm(args: &[String]) -> CliResult {
     let path = args.first().ok_or("missing program file")?;
     let program = load(path)?;
-    let mut labels: HashMap<u64, Vec<&str>> = HashMap::new();
+    let mut labels: BTreeMap<u64, Vec<&str>> = BTreeMap::new();
     for (name, addr) in program.symbols() {
         labels.entry(addr).or_default().push(name);
     }
@@ -129,7 +129,9 @@ fn cmd_trace(args: &[String]) -> CliResult {
     let path = args.first().ok_or("missing program file")?;
     let program = load(path)?;
     let instrs = opt(args, "--instrs").unwrap_or(1_000_000);
-    let mut by_trace: HashMap<u64, u64> = HashMap::new();
+    // BTreeMap: ties in the hotness sort below break by PC, not by
+    // the per-process hash seed.
+    let mut by_trace: BTreeMap<u64, u64> = BTreeMap::new();
     let mut total = 0u64;
     let mut coverage = CoverageModel::new(ItrCacheConfig::paper_default());
     for t in TraceStream::new(&program, instrs) {

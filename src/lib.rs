@@ -18,7 +18,10 @@
 //! * [`faults`] — single-event-upset campaigns and the Figure-8 outcome
 //!   taxonomy,
 //! * [`fuzz`] — coverage-guided differential fuzzing of the simulator
-//!   and the ITR detection stack, with three replayable oracles,
+//!   and the ITR detection stack, with four replayable oracles,
+//! * [`analyze`] — static CFG recovery, trace-universe enumeration,
+//!   signature-alias and cache-conflict analysis, with a dynamic
+//!   cross-validation oracle,
 //! * [`power`] — CACTI-lite energy and the S/390 G5 area comparison,
 //! * [`stats`] — the unified telemetry layer: typed counters, per-stage
 //!   histograms, the post-mortem event ring, the `itr-stats/v1` JSON
@@ -54,6 +57,11 @@
 //! # }
 //! ```
 
+// Tests opt back out of the workspace `unwrap_used` deny: panicking on
+// a broken expectation is exactly what a test should do.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub use itr_analyze as analyze;
 pub use itr_core as core;
 pub use itr_faults as faults;
 pub use itr_fuzz as fuzz;

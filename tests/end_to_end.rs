@@ -1,6 +1,8 @@
 //! Cross-crate integration tests: the full kernel suite and mimic
 //! workloads through both simulators, with and without ITR protection.
 
+#![allow(clippy::unwrap_used)] // test code: panicking on broken expectations is the point
+
 use itr::isa::asm::assemble;
 use itr::sim::{FuncSim, Pipeline, PipelineConfig, RunExit, StopReason};
 use itr::workloads::{generate_mimic_sized, kernels, profiles};

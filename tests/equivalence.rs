@@ -15,6 +15,8 @@
 //! UPDATE_GOLDEN=1 cargo test --test equivalence
 //! ```
 
+#![allow(clippy::unwrap_used)] // test code: panicking on broken expectations is the point
+
 use itr::fuzz::first_divergence;
 use itr::sim::{FuncSim, Pipeline, PipelineConfig, RunExit};
 use itr::stats::json::Value;

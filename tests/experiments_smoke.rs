@@ -2,6 +2,8 @@
 //! qualitative claims hold end to end. (The full-scale runs live in the
 //! `itr-bench` binaries; these keep the claims under test.)
 
+#![allow(clippy::unwrap_used)] // test code: panicking on broken expectations is the point
+
 use itr::core::{Associativity, CoverageModel, ItrCacheConfig, TraceRecord};
 use itr::faults::{run_campaign, CampaignConfig};
 use itr::isa::asm::assemble;

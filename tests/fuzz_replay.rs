@@ -6,6 +6,8 @@
 //! fails with the oracle's account. `itr-fuzz replay` runs the same
 //! check from the command line (and in CI on every push).
 
+#![allow(clippy::unwrap_used)] // test code: panicking on broken expectations is the point
+
 use itr::fuzz::RegressionCase;
 use std::path::Path;
 

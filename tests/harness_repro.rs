@@ -3,6 +3,8 @@
 //! produces artifacts byte-identical to the standalone binaries' shared
 //! render path.
 
+#![allow(clippy::unwrap_used)] // test code: panicking on broken expectations is the point
+
 use itr_bench::experiments::{register_all, Scale};
 use itr_harness::{fingerprint, run, Registry, RunOptions};
 use std::path::{Path, PathBuf};

@@ -5,6 +5,8 @@
 //! run exercises the same cases — failures reproduce exactly, offline,
 //! with no external property-testing framework.
 
+#![allow(clippy::unwrap_used)] // test code: panicking on broken expectations is the point
+
 use itr::core::{
     Associativity, CoverageModel, ItrCache, ItrCacheConfig, ProbeResult, SignatureGen,
     TraceBuilder, TraceRecord,
