@@ -37,6 +37,7 @@ struct Cli {
     resume: bool,
     progress: bool,
     grace: Duration,
+    only: Option<Vec<String>>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -48,6 +49,7 @@ fn parse_cli() -> Result<Cli, String> {
     let mut grace = Duration::from_secs(15);
     let mut overrides: Vec<(String, String)> = Vec::new();
     let mut from_programs = false;
+    let mut only: Option<Vec<String>> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -59,6 +61,9 @@ fn parse_cli() -> Result<Cli, String> {
                 jobs = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
             }
             "--resume" => resume = true,
+            "--only" => {
+                only = Some(value("--only")?.split(',').map(str::to_string).collect());
+            }
             "--from-programs" => from_programs = true,
             "--no-progress" => progress = false,
             "--progress" => progress = true,
@@ -98,7 +103,7 @@ fn parse_cli() -> Result<Cli, String> {
             _ => unreachable!(),
         }
     }
-    Ok(Cli { scale, mode, out, jobs, resume, progress, grace })
+    Ok(Cli { scale, mode, out, jobs, resume, progress, grace, only })
 }
 
 const HELP: &str = "\
@@ -111,6 +116,7 @@ OPTIONS:
     --mode quick|full     scale preset (default quick; full = paper-scale)
     --jobs N              worker threads (default: all cores)
     --resume              replay completed shards from the journal
+    --only JOB[,JOB...]   run only the named jobs (plus their dependencies)
     --out DIR             output directory (default results/)
     --faults N            override faults per campaign
     --window N            override observation window (cycles)
@@ -136,6 +142,13 @@ fn main() -> ExitCode {
     let fp = fingerprint(&cli.scale.canonical());
     let mut registry = Registry::new(fp);
     register_all(&mut registry, &cli.scale, &cli.out);
+    if let Some(only) = &cli.only {
+        let names: Vec<&str> = only.iter().map(String::as_str).collect();
+        if let Err(e) = registry.restrict(&names) {
+            eprintln!("itr-repro: --only: {e}");
+            return ExitCode::from(1);
+        }
+    }
 
     let opts = RunOptions {
         threads: cli.jobs,

@@ -15,7 +15,7 @@
 use itr_bench::experiments::injection::tally;
 use itr_bench::experiments::window::{render_window, window_cfg, WindowUnit, WINDOWS};
 use itr_bench::Args;
-use itr_faults::run_campaign;
+use itr_faults::CampaignPlan;
 use itr_workloads::{generate_mimic_sized, profiles};
 
 fn main() {
@@ -28,13 +28,18 @@ fn main() {
     let profile = profiles::by_name("vortex").expect("known");
     let program = generate_mimic_sized(profile, args.seed, program_instrs);
 
+    // One plan at the largest window; every fault simulated once and
+    // classified at each boundary from the same execution.
+    let top = *WINDOWS.last().expect("non-empty window sweep");
+    let cfg = window_cfg(args.seed, faults, top, program_instrs);
+    let plan = CampaignPlan::new(&program, &cfg);
+    let n = plan.faults().len() as u32;
+    let shards = plan.run_range_windows(&program, &cfg, &WINDOWS, 0, n, &|| false);
+
     let units: Vec<WindowUnit> = WINDOWS
         .into_iter()
-        .map(|window| {
-            let cfg = window_cfg(args.seed, faults, window, program_instrs);
-            let result = run_campaign(&program, &cfg);
-            WindowUnit { window, counts: tally(&result.records) }
-        })
+        .zip(&shards)
+        .map(|(window, shard)| WindowUnit { window, counts: tally(&shard.records) })
         .collect();
     render_window(&units, faults, profile.name).print_and_write_csv(&args);
 }

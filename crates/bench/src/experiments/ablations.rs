@@ -5,13 +5,15 @@
 use super::{
     data_payload, emit_payload, get_arr, get_f64, get_str, get_u64, obj, Csv, Emitted, Scale,
 };
-use itr_core::{Associativity, CoverageModel, ItrCacheConfig, TraceRecord};
+use itr_core::{
+    fan_out_records, Associativity, CoverageModel, ItrCacheConfig, TraceRecord, TraceReplay,
+};
 use itr_harness::{JobSpec, Registry, ShardSpec};
 use itr_power::{energy_per_access_nj, ITR_CACHE_1024X2, POWER4_ICACHE};
-use itr_sim::TraceStream;
+use itr_sim::record_tap;
 use itr_stats::json::Value;
 use itr_workloads::{generate_mimic_sized, profiles, SpecProfile};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -141,15 +143,14 @@ pub fn checked_bit_unit(
 ) -> AblationUnit {
     let stream: Vec<TraceRecord> =
         crate::stream_with(profile, seed, instrs, from_programs).collect();
-    let mut plain = CoverageModel::new(ItrCacheConfig::new(256, Associativity::Ways(2)));
-    let mut checked = CoverageModel::new(
-        ItrCacheConfig::new(256, Associativity::Ways(2)).with_checked_bit_replacement(true),
-    );
-    for t in &stream {
-        plain.observe(t);
-        checked.observe(t);
-    }
-    let (p, c) = (plain.report(), checked.report());
+    let mut models = [
+        CoverageModel::new(ItrCacheConfig::new(256, Associativity::Ways(2))),
+        CoverageModel::new(
+            ItrCacheConfig::new(256, Associativity::Ways(2)).with_checked_bit_replacement(true),
+        ),
+    ];
+    fan_out_records(&stream, &mut models);
+    let (p, c) = (models[0].report(), models[1].report());
     AblationUnit::CheckedBit {
         bench: profile.name.to_string(),
         det_lru: p.detection_loss_pct(),
@@ -160,15 +161,25 @@ pub fn checked_bit_unit(
 }
 
 /// Ablation 2 for one benchmark.
+///
+/// The program is simulated **once**: the recorded `itr-tap/v1`
+/// dispatch stream re-segments under each trace-length limit through
+/// [`TraceReplay`], replacing the per-limit functional re-simulation
+/// (the trace stream under any limit is a pure function of the dispatch
+/// sequence, which the limit does not affect).
 pub fn trace_len_unit(profile: SpecProfile, seed: u64, program_instrs: u64) -> AblationUnit {
     let program = generate_mimic_sized(profile, seed, program_instrs);
+    let tap = record_tap(&program, profile.name, program_instrs);
     let mut points = Vec::new();
     for limit in [8u32, 16, 32] {
-        let mut statics: HashSet<u64> = HashSet::new();
+        let mut statics: BTreeSet<u64> = BTreeSet::new();
         let mut model = CoverageModel::new(ItrCacheConfig::new(1024, Associativity::Ways(2)));
-        for t in TraceStream::with_trace_len(&program, program_instrs, limit) {
-            statics.insert(t.start_pc);
-            model.observe(&t);
+        let mut replay = TraceReplay::new(limit);
+        for (pc, sig, extra) in tap.dispatches() {
+            if let Some(t) = replay.push(pc, sig, extra) {
+                statics.insert(t.start_pc);
+                model.observe(&t);
+            }
         }
         let r = model.report();
         points.push((

@@ -1,0 +1,171 @@
+//! The performance ledger: `BENCH_repro.json`.
+//!
+//! One shard times the simulators themselves (FuncSim and staged
+//! pipeline MIPS on the same generated program) and races the sweep's
+//! record/replay fan-out against the direct per-configuration
+//! simulation it replaced; the emit side folds in the wall-clock every
+//! compute job family spent this run (journaled shards contribute 0 —
+//! the ledger describes fresh work, not resumed runs). The file is the
+//! committed evidence for the sweep-speedup acceptance bar and is
+//! uploaded as a CI artifact; being wall-clock, it is exempt from the
+//! byte-identity checks the other artifacts must pass.
+
+use super::{sweep, Scale};
+use itr_core::{CoverageModel, ItrCacheConfig};
+use itr_harness::{JobSpec, Registry, ShardPayload};
+use itr_sim::{FuncSim, Pipeline, PipelineConfig, TraceStream};
+use itr_stats::json::Value;
+use itr_workloads::{generate_mimic_sized, profiles};
+use std::path::Path;
+use std::time::Instant;
+
+/// Compute job families whose wall-clock the ledger records.
+pub const TIMED_FAMILIES: [&str; 11] = [
+    "characterize",
+    "coverage",
+    "energy",
+    "fig8-campaigns",
+    "byfield-campaign",
+    "window-sweep",
+    "perf-ipc",
+    "ablations-units",
+    "fuzz-campaign",
+    "analyze-suite",
+    "sweep",
+];
+
+/// Direct-path sample: how many of the 1056 sweep geometries to
+/// actually re-simulate when measuring the per-configuration cost the
+/// replay fan-out avoids. Kept small — extrapolating the ≥5× headline
+/// from 8 direct simulations is already conservative, since the replay
+/// path amortises *one* simulation over all 1056.
+const DIRECT_SAMPLE: usize = 8;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Times the simulators and the sweep's replay-vs-direct race; returns
+/// the ledger body (everything except per-family wall-clock).
+pub fn measure(scale: &Scale) -> Value {
+    let profile = profiles::by_name("vortex").expect("vortex profile");
+    let program = generate_mimic_sized(profile, scale.seed, scale.program_instrs);
+
+    // Functional simulator throughput.
+    let t = Instant::now();
+    let mut func = FuncSim::new(&program);
+    func.run(scale.program_instrs);
+    let func_secs = t.elapsed().as_secs_f64();
+    let func_instrs = func.instr_count();
+
+    // Staged pipeline throughput (ITR on, the evaluated configuration).
+    let t = Instant::now();
+    let mut pipe = Pipeline::new(&program, PipelineConfig::with_itr());
+    pipe.run(u64::MAX);
+    let pipe_secs = t.elapsed().as_secs_f64();
+    let (pipe_instrs, pipe_cycles) = (pipe.stats().committed, pipe.stats().cycles);
+
+    // Sweep fan-out: one simulation drives all 1056 geometries...
+    let configs = sweep::geometries();
+    let t = Instant::now();
+    let unit = sweep::sweep_unit(profile, scale.seed, scale.program_instrs);
+    let replay_secs = t.elapsed().as_secs_f64();
+    assert_eq!(unit.counts.len(), configs.len());
+    let replay_cps = configs.len() as f64 / replay_secs;
+
+    // ...versus one full functional re-simulation per geometry. Spread
+    // the sample across the canonical order endpoints-inclusive so it
+    // covers the trace-length, size and associativity axes.
+    let sample: Vec<_> = (0..DIRECT_SAMPLE)
+        .map(|k| configs[k * (configs.len() - 1) / (DIRECT_SAMPLE - 1)])
+        .collect();
+    let t = Instant::now();
+    for g in &sample {
+        let mut model = CoverageModel::new(
+            ItrCacheConfig::new(g.entries, g.assoc).with_checked_bit_replacement(g.checked),
+        );
+        for rec in TraceStream::with_trace_len(&program, scale.program_instrs, g.trace_len) {
+            model.observe(&rec);
+        }
+        std::hint::black_box(model.report());
+    }
+    let direct_secs = t.elapsed().as_secs_f64();
+    let direct_cps = DIRECT_SAMPLE as f64 / direct_secs;
+
+    obj(vec![
+        ("schema", Value::Str("itr-bench/v1".into())),
+        ("workload", Value::Str(profile.name.to_string())),
+        (
+            "funcsim",
+            obj(vec![
+                ("instrs", Value::UInt(func_instrs)),
+                ("secs", Value::Float(func_secs)),
+                ("mips", Value::Float(func_instrs as f64 / func_secs / 1e6)),
+            ]),
+        ),
+        (
+            "pipeline",
+            obj(vec![
+                ("instrs", Value::UInt(pipe_instrs)),
+                ("cycles", Value::UInt(pipe_cycles)),
+                ("secs", Value::Float(pipe_secs)),
+                ("mips", Value::Float(pipe_instrs as f64 / pipe_secs / 1e6)),
+            ]),
+        ),
+        (
+            "sweep",
+            obj(vec![
+                ("configs", Value::UInt(configs.len() as u64)),
+                ("replay_secs", Value::Float(replay_secs)),
+                ("replay_configs_per_sec", Value::Float(replay_cps)),
+                ("direct_configs_sampled", Value::UInt(DIRECT_SAMPLE as u64)),
+                ("direct_secs", Value::Float(direct_secs)),
+                ("direct_configs_per_sec", Value::Float(direct_cps)),
+                ("replay_speedup", Value::Float(replay_cps / direct_cps)),
+            ]),
+        ),
+    ])
+}
+
+/// Registers the ledger: a timed measurement shard, then an emit job
+/// that appends the per-family wall-clock and writes
+/// `BENCH_repro.json`.
+pub fn register(reg: &mut Registry, scale: &Scale, out: &Path) {
+    let s = scale.clone();
+    reg.add(JobSpec::single("bench-measure", &[], move |_, _| ShardPayload {
+        data: Some(measure(&s)),
+        ..ShardPayload::default()
+    }));
+    let dir = out.to_path_buf();
+    let deps: Vec<&str> = {
+        let mut d = TIMED_FAMILIES.to_vec();
+        d.push("bench-measure");
+        d
+    };
+    reg.add(JobSpec::single("bench", &deps, move |_, board| {
+        let measured =
+            board.expect("bench-measure").data().next().expect("bench-measure payload").clone();
+        let families: Vec<(String, Value)> = TIMED_FAMILIES
+            .iter()
+            .map(|name| {
+                let ms: u64 = board.expect(name).shards.iter().map(|sh| sh.elapsed_ms).sum();
+                (name.to_string(), Value::UInt(ms))
+            })
+            .collect();
+        let mut fields = match measured {
+            Value::Object(fields) => fields,
+            other => panic!("bench-measure payload is not an object: {other:?}"),
+        };
+        fields.push(("job_family_wall_ms".to_string(), Value::Object(families)));
+        let text = Value::Object(fields).to_json();
+        std::fs::create_dir_all(&dir).expect("create output dir");
+        std::fs::write(dir.join("BENCH_repro.json"), &text).expect("write bench ledger");
+        ShardPayload {
+            data: Some(Value::Object(vec![(
+                "artifacts".into(),
+                Value::Array(vec![Value::Str("BENCH_repro.json".into())]),
+            )])),
+            ..ShardPayload::default()
+        }
+    }));
+}

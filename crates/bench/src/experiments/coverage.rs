@@ -6,7 +6,7 @@
 use super::{
     data_payload, emit_payload, get_arr, get_bool, get_f64, get_str, obj, Csv, Emitted, Scale,
 };
-use itr_core::{Associativity, CoverageModel, ItrCacheConfig, TraceRecord};
+use itr_core::{fan_out_records, Associativity, CoverageModel, ItrCacheConfig, TraceRecord};
 use itr_harness::{JobSpec, Registry, ShardSpec};
 use itr_stats::json::Value;
 use itr_workloads::{profiles, SpecProfile};
@@ -87,7 +87,10 @@ impl CoverageUnit {
 }
 
 /// Measures one benchmark — the compute shard body, also used serially
-/// by the `fig6_7_coverage` binary.
+/// by the `fig6_7_coverage` binary. The stream is collected once and
+/// fanned out to every configuration's [`CoverageModel`] in a single
+/// pass ([`fan_out_records`]); each model observes the identical
+/// record sequence it would see in a dedicated run.
 pub fn coverage_unit(
     profile: SpecProfile,
     seed: u64,
@@ -97,26 +100,32 @@ pub fn coverage_unit(
     let in_figure_set = profiles::coverage_figure_set().iter().any(|p| p.name == profile.name);
     let stream: Vec<TraceRecord> =
         crate::stream_with(profile, seed, instrs, from_programs).collect();
-    let mut sweep = Vec::new();
+    let mut models: Vec<CoverageModel> = Vec::new();
     if in_figure_set {
         for assoc in Associativity::SWEEP {
-            let mut per_size = Vec::new();
             for &size in &SIZES {
-                let mut model = CoverageModel::new(ItrCacheConfig::new(size, assoc));
-                for t in &stream {
-                    model.observe(t);
-                }
-                let r = model.report();
-                per_size.push((r.detection_loss_pct(), r.recovery_loss_pct()));
+                models.push(CoverageModel::new(ItrCacheConfig::new(size, assoc)));
             }
+        }
+    }
+    models.push(CoverageModel::new(ItrCacheConfig::new(1024, Associativity::Ways(2))));
+    fan_out_records(&stream, &mut models);
+
+    let mut reports = models.iter().map(CoverageModel::report);
+    let mut sweep = Vec::new();
+    if in_figure_set {
+        for _ in Associativity::SWEEP {
+            let per_size = SIZES
+                .iter()
+                .map(|_| {
+                    let r = reports.next().expect("sweep model");
+                    (r.detection_loss_pct(), r.recovery_loss_pct())
+                })
+                .collect();
             sweep.push(per_size);
         }
     }
-    let mut summary = CoverageModel::new(ItrCacheConfig::new(1024, Associativity::Ways(2)));
-    for t in &stream {
-        summary.observe(t);
-    }
-    let r = summary.report();
+    let r = reports.next().expect("summary model");
     CoverageUnit {
         name: profile.name.to_string(),
         in_figure_set,

@@ -23,11 +23,14 @@
 //! ablations-units                             ──► ablations
 //! fuzz-campaign (seed-derived shards)         ──► fuzz
 //! analyze-suite (workload shards)             ──► analyze
+//! sweep (one tap shard per workload)          ──► sweep-pareto
+//! bench-measure + every compute family        ──► bench (BENCH_repro.json)
 //! table2, area (leaf emit jobs)
 //! ```
 
 pub mod ablations;
 pub mod analyze;
+pub mod bench;
 pub mod characterize;
 pub mod coverage;
 pub mod energy;
@@ -35,6 +38,7 @@ pub mod fuzz;
 pub mod injection;
 pub mod perf;
 pub mod statics;
+pub mod sweep;
 pub mod window;
 
 use itr_harness::{Registry, ShardPayload};
@@ -222,4 +226,6 @@ pub fn register_all(reg: &mut Registry, scale: &Scale, out: &Path) {
     ablations::register(reg, scale, out);
     fuzz::register(reg, scale, out);
     analyze::register(reg, scale, out);
+    sweep::register(reg, scale, out);
+    bench::register(reg, scale, out);
 }

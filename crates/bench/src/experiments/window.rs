@@ -1,13 +1,21 @@
 //! Observation-window sensitivity (the paper's footnote 1): the same
-//! fault population classified under growing windows, one shard per
-//! window point.
+//! fault population classified under growing windows.
+//!
+//! Sharded by **fault range**, not window point: each shard simulates
+//! its faults once (at the largest window) and classifies every
+//! [`WINDOWS`] boundary from the same execution via
+//! [`CampaignPlan::run_range_windows`] — one fifth of the pre-fan-out
+//! simulation work, byte-identical artifacts.
+//!
+//! [`CampaignPlan::run_range_windows`]: itr_faults::CampaignPlan::run_range_windows
 
-use super::{data_payload, emit_payload, get_u64, obj, Csv, Emitted, Scale};
-use crate::experiments::injection::{planned_campaign, tally, OutcomeCounts};
-use itr_faults::{CampaignConfig, Outcome};
+use super::{data_payload, emit_payload, get_arr, get_u64, obj, Csv, Emitted, Scale};
+use crate::experiments::injection::{planned_campaign, tally, OutcomeCounts, FAULTS_PER_SHARD};
+use itr_faults::{shard_bounds, CampaignConfig, Outcome};
 use itr_harness::{JobSpec, Registry, ShardSpec};
 use itr_stats::json::Value;
 use itr_workloads::profiles;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -103,27 +111,53 @@ pub fn render_window(units: &[WindowUnit], faults: u32, bench: &str) -> Emitted 
 /// Registers the sweep job and its emit job.
 pub fn register(reg: &mut Registry, scale: &Scale, out: &Path) {
     let s = scale.clone();
+    let ranges = shard_bounds(scale.faults, scale.faults.div_ceil(FAULTS_PER_SHARD));
     reg.add(JobSpec::new("window-sweep", &[], move |_| {
         let profile = profiles::by_name("vortex").expect("known");
-        WINDOWS
-            .into_iter()
+        ranges
+            .iter()
             .enumerate()
-            .map(|(i, window)| {
+            .map(|(ri, &(lo, hi))| {
                 let s = s.clone();
-                ShardSpec::new(i as u32, (window, window + 1), move |ctx| {
-                    let cfg = window_cfg(s.seed, s.faults, window, WINDOW_PROGRAM_INSTRS);
+                ShardSpec::new(ri as u32, (lo as u64, hi as u64), move |ctx| {
+                    // One plan at the largest window: its golden stream
+                    // covers every smaller boundary, and the fault list
+                    // is window-independent by construction.
+                    let top = *WINDOWS.last().expect("non-empty window sweep");
+                    let cfg = window_cfg(s.seed, s.faults, top, WINDOW_PROGRAM_INSTRS);
                     let planned = planned_campaign(profile, s.seed, WINDOW_PROGRAM_INSTRS, &cfg);
-                    let n = planned.plan.faults().len() as u32;
-                    let shard =
-                        planned
-                            .plan
-                            .run_range(&planned.program, &planned.cfg, 0, n, &|| ctx.cancelled());
+                    let shards = planned.plan.run_range_windows(
+                        &planned.program,
+                        &planned.cfg,
+                        &WINDOWS,
+                        lo,
+                        hi,
+                        &|| ctx.cancelled(),
+                    );
                     data_payload(obj(vec![
-                        ("window", Value::UInt(window)),
+                        ("lo", Value::UInt(lo as u64)),
+                        ("hi", Value::UInt(hi as u64)),
                         (
-                            "counts",
+                            "windows",
                             Value::Array(
-                                tally(&shard.records).iter().map(|&c| Value::UInt(c)).collect(),
+                                WINDOWS
+                                    .iter()
+                                    .zip(&shards)
+                                    .map(|(&window, shard)| {
+                                        obj(vec![
+                                            ("window", Value::UInt(window)),
+                                            (
+                                                "counts",
+                                                Value::Array(
+                                                    tally(&shard.records)
+                                                        .iter()
+                                                        .map(|&c| Value::UInt(c))
+                                                        .collect(),
+                                                ),
+                                            ),
+                                        ])
+                                    })
+                                    .collect(),
                             ),
                         ),
                     ]))
@@ -134,18 +168,19 @@ pub fn register(reg: &mut Registry, scale: &Scale, out: &Path) {
     let dir = out.to_path_buf();
     let s = scale.clone();
     reg.add(JobSpec::single("window-sensitivity", &["window-sweep"], move |_, board| {
-        let units: Vec<WindowUnit> = board
-            .expect("window-sweep")
-            .data()
-            .map(|v| {
-                let arr = v.get("counts").and_then(Value::as_array).expect("counts");
-                let mut counts = [0u64; 10];
-                for (i, c) in arr.iter().enumerate().take(10) {
-                    counts[i] = c.as_u64().expect("count");
+        let mut per_window: BTreeMap<u64, OutcomeCounts> =
+            WINDOWS.iter().map(|&w| (w, [0u64; 10])).collect();
+        for data in board.expect("window-sweep").data() {
+            for wv in get_arr(data, "windows") {
+                let entry = per_window.get_mut(&get_u64(wv, "window")).expect("known window");
+                let arr = wv.get("counts").and_then(Value::as_array).expect("counts");
+                for (e, c) in entry.iter_mut().zip(arr) {
+                    *e += c.as_u64().expect("count");
                 }
-                WindowUnit { window: get_u64(v, "window"), counts }
-            })
-            .collect();
+            }
+        }
+        let units: Vec<WindowUnit> =
+            WINDOWS.iter().map(|&w| WindowUnit { window: w, counts: per_window[&w] }).collect();
         emit_payload(&dir, &render_window(&units, s.faults, "vortex"))
     }));
 }

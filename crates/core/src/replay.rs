@@ -1,0 +1,375 @@
+//! Replay: drive ITR state machines from a recorded [`TapStream`]
+//! instead of a live pipeline.
+//!
+//! The decode-signal stream the ITR unit consumes depends only on the
+//! workload (and injected faults), never on the ITR geometry under
+//! evaluation — so one recorded stream can be fanned out to arbitrarily
+//! many design points in a single pass. Three levels of replay are
+//! provided, cheapest first:
+//!
+//! * [`fan_out_records`] — one committed-trace stream observed by N
+//!   [`CoverageModel`]s (geometry sweeps at fixed trace length),
+//! * [`TraceReplay`] — re-forms traces from raw dispatch signals with a
+//!   different trace-length limit or fold function, without re-running
+//!   the simulator (the trace-length ablation),
+//! * [`TapReplayer`] / [`replay_units`] — a full [`ItrUnit`] driven
+//!   through every dispatch, commit and squash of a pipeline run; its
+//!   exported report is byte-identical to the in-pipeline unit's.
+//!
+//! The byte-identity invariant holds because the unit's behaviour is a
+//! pure function of its call sequence, and the tap records exactly that
+//! call sequence: dispatches in dispatch order, retirements in commit
+//! order, and every squash with enough context to restore the same
+//! snapshot the pipeline restored.
+
+use crate::config::ItrConfig;
+use crate::coverage::CoverageModel;
+use crate::signature::{FoldKind, TraceBuilder, TraceRecord};
+use crate::tap::{TapEvent, TapStream};
+use crate::unit::{ItrSnapshot, ItrUnit};
+use itr_isa::DecodeSignals;
+use std::collections::VecDeque;
+
+/// Observes one committed-trace stream with many coverage models in a
+/// single pass. Each model sees exactly the sequence it would have seen
+/// driven alone, so its report is byte-identical.
+pub fn fan_out_records<'a, I>(stream: I, models: &mut [CoverageModel])
+where
+    I: IntoIterator<Item = &'a TraceRecord>,
+{
+    for trace in stream {
+        for model in models.iter_mut() {
+            model.observe(trace);
+        }
+    }
+}
+
+/// Re-forms committed traces from recorded dispatch signals.
+///
+/// Equivalent to running `TraceStream::with_trace_len` over the same
+/// execution: the recorded stream contains every architecturally
+/// executed instruction in order, and trace formation (§2.1) is a pure
+/// function of that sequence. One recording therefore serves every
+/// trace-length limit and fold function.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceReplay {
+    builder: TraceBuilder,
+}
+
+impl TraceReplay {
+    /// Replays trace formation with the given length limit and XOR fold.
+    pub fn new(max_len: u32) -> TraceReplay {
+        TraceReplay::with_kind(max_len, FoldKind::Xor)
+    }
+
+    /// Replays trace formation with the given length limit and fold.
+    pub fn with_kind(max_len: u32, kind: FoldKind) -> TraceReplay {
+        TraceReplay { builder: TraceBuilder::with_kind(max_len, kind) }
+    }
+
+    /// Feeds one recorded dispatch `(pc, packed signals, extra)`;
+    /// returns the completed trace when this instruction terminated one.
+    pub fn push(&mut self, pc: u64, signals: u64, extra: u64) -> Option<TraceRecord> {
+        self.builder.push_with_extra(pc, &DecodeSignals::unpack(signals), extra)
+    }
+}
+
+/// One in-flight instruction mirrored from the recording host.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    trace_seq: crate::ItrRobIndex,
+    trace_end: bool,
+    snapshot: ItrSnapshot,
+}
+
+/// Drives one [`ItrUnit`] through a recorded tap stream.
+///
+/// The replayer keeps a mirror of the host's in-flight window so that
+/// [`TapEvent::Commit`] retires the same instructions and
+/// [`TapEvent::Rewind`] restores the same snapshot the host restored.
+#[derive(Debug, Clone)]
+pub struct TapReplayer {
+    unit: ItrUnit,
+    in_flight: VecDeque<InFlight>,
+}
+
+impl TapReplayer {
+    /// Creates a replayer for one design point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.cache_read_latency` is non-zero: the tap
+    /// stream carries no cycle timestamps, so latency-delayed cache
+    /// reads cannot be replayed.
+    pub fn new(config: ItrConfig) -> TapReplayer {
+        assert_eq!(
+            config.cache_read_latency, 0,
+            "tap replay requires cache_read_latency = 0 (no cycle timestamps in the stream)"
+        );
+        TapReplayer { unit: ItrUnit::new(config), in_flight: VecDeque::new() }
+    }
+
+    /// Applies one recorded event.
+    pub fn apply(&mut self, event: &TapEvent) {
+        match *event {
+            TapEvent::Dispatch { pc, signals, extra } => {
+                let result =
+                    self.unit.on_dispatch_extended(pc, &DecodeSignals::unpack(signals), extra);
+                self.in_flight.push_back(InFlight {
+                    trace_seq: result.trace_seq,
+                    trace_end: result.trace_end,
+                    snapshot: self.unit.snapshot(),
+                });
+            }
+            TapEvent::Commit { n } => {
+                for _ in 0..n {
+                    let retired =
+                        self.in_flight.pop_front().expect("commit event with empty window");
+                    if retired.trace_end {
+                        self.unit.on_trace_end_commit(retired.trace_seq);
+                    }
+                }
+            }
+            TapEvent::Rewind { keep } => {
+                let keep = usize::try_from(keep).expect("rewind keep fits usize");
+                assert!(
+                    keep >= 1 && keep <= self.in_flight.len(),
+                    "rewind to {keep} with {} in flight",
+                    self.in_flight.len()
+                );
+                self.in_flight.truncate(keep);
+                let tail = self.in_flight[keep - 1];
+                self.unit.restore(&tail.snapshot);
+            }
+            TapEvent::RetryFlush { start_pc } => {
+                self.unit.on_retry_flush(start_pc);
+                self.in_flight.clear();
+            }
+            TapEvent::FullFlush => {
+                self.unit.on_full_flush();
+                self.in_flight.clear();
+            }
+            TapEvent::MachineCheck { start_pc } => {
+                self.unit.on_machine_check(start_pc);
+            }
+        }
+    }
+
+    /// Applies every event of a stream.
+    pub fn replay(&mut self, stream: &TapStream) {
+        for event in &stream.events {
+            self.apply(event);
+        }
+    }
+
+    /// The replayed unit.
+    pub fn unit(&self) -> &ItrUnit {
+        &self.unit
+    }
+
+    /// Mutable access (e.g. to drain events mid-replay).
+    pub fn unit_mut(&mut self) -> &mut ItrUnit {
+        &mut self.unit
+    }
+
+    /// Consumes the replayer, returning the unit.
+    pub fn into_unit(self) -> ItrUnit {
+        self.unit
+    }
+}
+
+/// Fans one recorded stream out to N design points in a single pass and
+/// returns the replayed units, in `configs` order.
+pub fn replay_units(stream: &TapStream, configs: &[ItrConfig]) -> Vec<ItrUnit> {
+    let mut replayers: Vec<TapReplayer> =
+        configs.iter().map(|&config| TapReplayer::new(config)).collect();
+    for event in &stream.events {
+        for replayer in replayers.iter_mut() {
+            replayer.apply(event);
+        }
+    }
+    replayers.into_iter().map(TapReplayer::into_unit).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Associativity, ItrCacheConfig, ItrMode};
+    use itr_isa::{Instruction, Opcode};
+    use itr_stats::Report;
+
+    fn sig(inst: &Instruction) -> DecodeSignals {
+        DecodeSignals::from_instruction(inst)
+    }
+
+    fn add_sig() -> DecodeSignals {
+        sig(&Instruction::rrr(Opcode::Add, 1, 2, 3))
+    }
+
+    fn branch_sig() -> DecodeSignals {
+        sig(&Instruction::branch(Opcode::Bne, 1, 2, -2))
+    }
+
+    fn small_config() -> ItrConfig {
+        ItrConfig {
+            cache: ItrCacheConfig::new(64, Associativity::Ways(2)),
+            max_trace_len: 16,
+            rob_entries: 8,
+            mode: ItrMode::Active,
+            ..ItrConfig::paper_default()
+        }
+    }
+
+    fn export_json(unit: &ItrUnit) -> String {
+        let mut report = Report::new();
+        unit.export(&mut report);
+        report.to_json()
+    }
+
+    /// Drives a unit directly while recording the same calls into a tap,
+    /// then asserts the replayed unit exports identical bytes.
+    #[test]
+    fn replay_matches_direct_unit_with_squashes() {
+        let mut unit = ItrUnit::new(small_config());
+        let mut tap = TapStream::new("direct");
+        let mut window: Vec<(crate::ItrRobIndex, bool)> = Vec::new();
+
+        let dispatch = |unit: &mut ItrUnit,
+                        tap: &mut TapStream,
+                        window: &mut Vec<(crate::ItrRobIndex, bool)>,
+                        pc: u64,
+                        s: &DecodeSignals| {
+            let r = unit.on_dispatch_extended(pc, s, 0);
+            tap.record_dispatch(pc, s, 0);
+            window.push((r.trace_seq, r.trace_end));
+        };
+
+        // Two committed traces at 0x100.
+        for _ in 0..2 {
+            dispatch(&mut unit, &mut tap, &mut window, 0x100, &add_sig());
+            dispatch(&mut unit, &mut tap, &mut window, 0x104, &add_sig());
+            dispatch(&mut unit, &mut tap, &mut window, 0x108, &branch_sig());
+            for (seq, end) in window.drain(..) {
+                if end {
+                    unit.on_trace_end_commit(seq);
+                }
+                tap.record_commit();
+            }
+        }
+        // Wrong path dispatched after the branch, then squashed back to it.
+        dispatch(&mut unit, &mut tap, &mut window, 0x100, &add_sig());
+        dispatch(&mut unit, &mut tap, &mut window, 0x104, &add_sig());
+        dispatch(&mut unit, &mut tap, &mut window, 0x108, &branch_sig());
+        let snap = unit.snapshot();
+        dispatch(&mut unit, &mut tap, &mut window, 0x200, &add_sig());
+        dispatch(&mut unit, &mut tap, &mut window, 0x204, &add_sig());
+        unit.restore(&snap);
+        window.truncate(3);
+        tap.record_rewind(3);
+        // Right path: commit the surviving trace.
+        for (seq, end) in window.drain(..) {
+            if end {
+                unit.on_trace_end_commit(seq);
+            }
+            tap.record_commit();
+        }
+        // A retry flush and a fresh re-execution.
+        unit.on_retry_flush(0x100);
+        tap.record_retry_flush(0x100);
+        dispatch(&mut unit, &mut tap, &mut window, 0x100, &add_sig());
+        dispatch(&mut unit, &mut tap, &mut window, 0x104, &add_sig());
+        dispatch(&mut unit, &mut tap, &mut window, 0x108, &branch_sig());
+        for (seq, end) in window.drain(..) {
+            if end {
+                unit.on_trace_end_commit(seq);
+            }
+            tap.record_commit();
+        }
+        // And a non-retry full flush at the end.
+        unit.on_full_flush();
+        tap.record_full_flush();
+
+        let mut replayer = TapReplayer::new(small_config());
+        replayer.replay(&tap);
+        assert_eq!(export_json(replayer.unit()), export_json(&unit));
+        assert_eq!(replayer.unit().stats(), unit.stats());
+    }
+
+    #[test]
+    fn replay_units_fans_one_stream_to_many_configs() {
+        let mut tap = TapStream::new("fan");
+        for round in 0..3u64 {
+            for pc in [0x100u64, 0x200, 0x300] {
+                tap.record_dispatch(pc, &add_sig(), 0);
+                tap.record_commit();
+                tap.record_dispatch(pc + 4, &branch_sig(), 0);
+                tap.record_commit();
+            }
+            let _ = round;
+        }
+        let configs = [
+            ItrConfig { cache: ItrCacheConfig::new(64, Associativity::Full), ..small_config() },
+            ItrConfig { cache: ItrCacheConfig::new(2, Associativity::Full), ..small_config() },
+        ];
+        let units = replay_units(&tap, &configs);
+        assert_eq!(units.len(), 2);
+        // Both saw 9 trace-terminating commits; the 2-entry cache lost
+        // coverage to evictions, the 64-entry one did not.
+        assert_eq!(units[0].stats().traces_committed, 9);
+        assert_eq!(units[1].stats().traces_committed, 9);
+        assert_eq!(units[0].stats().detection_loss_instrs, 0);
+        assert!(units[1].stats().detection_loss_instrs > 0);
+    }
+
+    #[test]
+    fn trace_replay_matches_trace_builder() {
+        let stream = [
+            (0x100u64, add_sig()),
+            (0x104, add_sig()),
+            (0x108, branch_sig()),
+            (0x10c, add_sig()),
+            (0x110, branch_sig()),
+        ];
+        for max_len in [1u32, 2, 16] {
+            let mut builder = TraceBuilder::new(max_len);
+            let mut replay = TraceReplay::new(max_len);
+            for (pc, s) in &stream {
+                let direct = builder.push(*pc, s);
+                let replayed = replay.push(*pc, s.pack(), 0);
+                assert_eq!(direct, replayed, "max_len {max_len} pc {pc:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn fan_out_records_matches_sequential_observation() {
+        let records: Vec<TraceRecord> = (0..200u64)
+            .map(|i| TraceRecord { start_pc: 0x400 + (i % 7) * 64, signature: i * 13, len: 4 })
+            .collect();
+        let configs = [
+            ItrCacheConfig::new(4, Associativity::Direct),
+            ItrCacheConfig::new(16, Associativity::Ways(2)),
+        ];
+        let mut fanned: Vec<CoverageModel> =
+            configs.iter().map(|&c| CoverageModel::new(c)).collect();
+        fan_out_records(&records, &mut fanned);
+        for (i, &config) in configs.iter().enumerate() {
+            let mut direct = CoverageModel::new(config);
+            for t in &records {
+                direct.observe(t);
+            }
+            let mut a = Report::new();
+            let mut b = Report::new();
+            direct.export(&mut a);
+            fanned[i].export(&mut b);
+            assert_eq!(a.to_json(), b.to_json(), "config {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cache_read_latency")]
+    fn latency_configs_are_rejected() {
+        let config = ItrConfig { cache_read_latency: 2, ..small_config() };
+        let _ = TapReplayer::new(config);
+    }
+}

@@ -1,0 +1,292 @@
+//! The `itr-tap/v1` decode-signal stream: a versioned record of every
+//! interaction a host makes with its [`ItrUnit`](crate::ItrUnit).
+//!
+//! The ITR unit is deliberately oblivious to *how* instructions execute:
+//! it consumes an in-order stream of per-dispatch decode signals plus
+//! commit and squash notifications (§2.2 of the paper). That stream is a
+//! property of the workload, not of the ITR geometry — every point of a
+//! cache-size × associativity × trace-length × mode sweep consumes the
+//! *same* stream. Recording it once ([`TapStream`]) and replaying it
+//! against N independent units ([`crate::replay`]) therefore evaluates N
+//! design points for the price of one simulation, with bit-exact results.
+//!
+//! ## Schema
+//!
+//! A stream is a version header, a workload label, and an ordered list of
+//! events:
+//!
+//! | event          | payload                 | host action it records        |
+//! |----------------|-------------------------|-------------------------------|
+//! | `dispatch`     | `pc`, `sig`, `extra`    | `on_dispatch_extended`        |
+//! | `commit`       | `n`                     | `n` oldest instructions retire|
+//! | `rewind`       | `keep`                  | squash to `keep` in-flight    |
+//! | `retry`        | `pc`                    | `on_retry_flush`              |
+//! | `flush`        | —                       | `on_full_flush`               |
+//! | `machine_check`| `pc`                    | `on_machine_check`            |
+//!
+//! `sig` is the [`DecodeSignals::pack`] encoding of the (possibly
+//! faulty) decode signals; `extra` is the input-independent fold-in of
+//! [`ItrUnit::on_dispatch_extended`](crate::ItrUnit::on_dispatch_extended)
+//! (0 unless rename protection is on). `rewind` records a branch
+//! misprediction: the host squashed its reorder buffer down to the
+//! oldest `keep` in-flight instructions and restored the ITR snapshot of
+//! the instruction now at the tail. Consecutive retirements coalesce
+//! into one `commit` event.
+//!
+//! The JSON form (see [`TapStream::to_json`]) is what
+//! `tests/golden_tap.json` pins.
+
+use itr_isa::DecodeSignals;
+use itr_stats::json::Value;
+
+/// Version tag carried by every serialized stream.
+pub const TAP_VERSION: &str = "itr-tap/v1";
+
+/// One recorded host→unit interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapEvent {
+    /// One instruction dispatched in order with its packed decode
+    /// signals and the extra fold-in value.
+    Dispatch {
+        /// Program counter of the instruction.
+        pc: u64,
+        /// [`DecodeSignals::pack`] of its (possibly faulty) signals.
+        signals: u64,
+        /// Extra input-independent fold-in (rename protection), else 0.
+        extra: u64,
+    },
+    /// The `n` oldest in-flight instructions retired, in order.
+    Commit {
+        /// Number of instructions retired.
+        n: u64,
+    },
+    /// Branch misprediction: the in-flight window was squashed down to
+    /// its oldest `keep` instructions and the ITR snapshot of the
+    /// instruction now at the tail was restored.
+    Rewind {
+        /// In-flight instructions surviving the squash (≥ 1: the
+        /// mispredicted branch itself survives).
+        keep: u64,
+    },
+    /// An ITR retry flush ([`CommitAction::Retry`](crate::CommitAction)):
+    /// all in-flight instructions are squashed and fetch restarts at the
+    /// trace's start PC.
+    RetryFlush {
+        /// Start PC of the retried trace.
+        start_pc: u64,
+    },
+    /// A full pipeline flush that is *not* an ITR retry (external
+    /// exception, timing-check violation): in-flight state is discarded
+    /// without arming a retry.
+    FullFlush,
+    /// A machine check was raised; the host aborts the program.
+    MachineCheck {
+        /// Start PC of the offending trace.
+        start_pc: u64,
+    },
+}
+
+/// A recorded `itr-tap/v1` stream for one workload.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TapStream {
+    /// Workload label (informational; not consumed by replay).
+    pub workload: String,
+    /// The ordered event stream.
+    pub events: Vec<TapEvent>,
+}
+
+impl TapStream {
+    /// An empty stream for `workload`.
+    pub fn new(workload: &str) -> TapStream {
+        TapStream { workload: workload.to_string(), events: Vec::new() }
+    }
+
+    /// Records one dispatched instruction.
+    pub fn record_dispatch(&mut self, pc: u64, signals: &DecodeSignals, extra: u64) {
+        self.events.push(TapEvent::Dispatch { pc, signals: signals.pack(), extra });
+    }
+
+    /// Records one retirement, coalescing with an immediately preceding
+    /// `commit` event.
+    pub fn record_commit(&mut self) {
+        if let Some(TapEvent::Commit { n }) = self.events.last_mut() {
+            *n += 1;
+            return;
+        }
+        self.events.push(TapEvent::Commit { n: 1 });
+    }
+
+    /// Records a misprediction squash down to `keep` in-flight
+    /// instructions.
+    pub fn record_rewind(&mut self, keep: u64) {
+        self.events.push(TapEvent::Rewind { keep });
+    }
+
+    /// Records an ITR retry flush.
+    pub fn record_retry_flush(&mut self, start_pc: u64) {
+        self.events.push(TapEvent::RetryFlush { start_pc });
+    }
+
+    /// Records a non-retry full flush.
+    pub fn record_full_flush(&mut self) {
+        self.events.push(TapEvent::FullFlush);
+    }
+
+    /// Records a machine check.
+    pub fn record_machine_check(&mut self, start_pc: u64) {
+        self.events.push(TapEvent::MachineCheck { start_pc });
+    }
+
+    /// Iterates the dispatch events as `(pc, packed_signals, extra)` —
+    /// the raw material of trace-level replay, where squash markers are
+    /// irrelevant (functional streams contain none).
+    pub fn dispatches(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.events.iter().filter_map(|e| match *e {
+            TapEvent::Dispatch { pc, signals, extra } => Some((pc, signals, extra)),
+            _ => None,
+        })
+    }
+
+    /// Serializes to the pinned `itr-tap/v1` JSON form.
+    pub fn to_json(&self) -> Value {
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                let fields = match *e {
+                    TapEvent::Dispatch { pc, signals, extra } => vec![
+                        ("e".to_string(), Value::Str("dispatch".to_string())),
+                        ("pc".to_string(), Value::UInt(pc)),
+                        ("sig".to_string(), Value::UInt(signals)),
+                        ("extra".to_string(), Value::UInt(extra)),
+                    ],
+                    TapEvent::Commit { n } => vec![
+                        ("e".to_string(), Value::Str("commit".to_string())),
+                        ("n".to_string(), Value::UInt(n)),
+                    ],
+                    TapEvent::Rewind { keep } => vec![
+                        ("e".to_string(), Value::Str("rewind".to_string())),
+                        ("keep".to_string(), Value::UInt(keep)),
+                    ],
+                    TapEvent::RetryFlush { start_pc } => vec![
+                        ("e".to_string(), Value::Str("retry".to_string())),
+                        ("pc".to_string(), Value::UInt(start_pc)),
+                    ],
+                    TapEvent::FullFlush => {
+                        vec![("e".to_string(), Value::Str("flush".to_string()))]
+                    }
+                    TapEvent::MachineCheck { start_pc } => vec![
+                        ("e".to_string(), Value::Str("machine_check".to_string())),
+                        ("pc".to_string(), Value::UInt(start_pc)),
+                    ],
+                };
+                Value::Object(fields)
+            })
+            .collect();
+        Value::Object(vec![
+            ("version".to_string(), Value::Str(TAP_VERSION.to_string())),
+            ("workload".to_string(), Value::Str(self.workload.clone())),
+            ("events".to_string(), Value::Array(events)),
+        ])
+    }
+
+    /// Deserializes a stream previously produced by
+    /// [`to_json`](Self::to_json), rejecting unknown versions.
+    pub fn from_json(value: &Value) -> Result<TapStream, String> {
+        let version = value
+            .get("version")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "missing version".to_string())?;
+        if version != TAP_VERSION {
+            return Err(format!("unsupported tap version {version:?} (want {TAP_VERSION:?})"));
+        }
+        let workload = value.get("workload").and_then(Value::as_str).unwrap_or("").to_string();
+        let raw = value
+            .get("events")
+            .and_then(Value::as_array)
+            .ok_or_else(|| "missing events".to_string())?;
+        let mut events = Vec::with_capacity(raw.len());
+        for (i, ev) in raw.iter().enumerate() {
+            let kind = ev
+                .get("e")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("event {i}: missing kind"))?;
+            let field = |name: &str| {
+                ev.get(name)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("event {i} ({kind}): missing field {name:?}"))
+            };
+            events.push(match kind {
+                "dispatch" => TapEvent::Dispatch {
+                    pc: field("pc")?,
+                    signals: field("sig")?,
+                    extra: field("extra")?,
+                },
+                "commit" => TapEvent::Commit { n: field("n")? },
+                "rewind" => TapEvent::Rewind { keep: field("keep")? },
+                "retry" => TapEvent::RetryFlush { start_pc: field("pc")? },
+                "flush" => TapEvent::FullFlush,
+                "machine_check" => TapEvent::MachineCheck { start_pc: field("pc")? },
+                other => return Err(format!("event {i}: unknown kind {other:?}")),
+            });
+        }
+        Ok(TapStream { workload, events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itr_isa::{Instruction, Opcode};
+
+    fn sig(inst: &Instruction) -> DecodeSignals {
+        DecodeSignals::from_instruction(inst)
+    }
+
+    fn sample() -> TapStream {
+        let mut tap = TapStream::new("sample");
+        tap.record_dispatch(0x100, &sig(&Instruction::rrr(Opcode::Add, 1, 2, 3)), 0);
+        tap.record_dispatch(0x104, &sig(&Instruction::branch(Opcode::Bne, 1, 2, -1)), 7);
+        tap.record_commit();
+        tap.record_commit();
+        tap.record_rewind(1);
+        tap.record_retry_flush(0x100);
+        tap.record_full_flush();
+        tap.record_machine_check(0x100);
+        tap
+    }
+
+    #[test]
+    fn commits_coalesce() {
+        let tap = sample();
+        assert_eq!(tap.events[2], TapEvent::Commit { n: 2 });
+        assert_eq!(tap.events.len(), 7);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let tap = sample();
+        let json = tap.to_json().to_json();
+        let back = TapStream::from_json(&Value::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, tap);
+        assert!(json.starts_with(r#"{"version":"itr-tap/v1""#));
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut json = sample().to_json();
+        let Value::Object(fields) = &mut json else { unreachable!() };
+        fields[0].1 = Value::Str("itr-tap/v2".to_string());
+        let err = TapStream::from_json(&json).unwrap_err();
+        assert!(err.contains("unsupported tap version"), "{err}");
+    }
+
+    #[test]
+    fn dispatches_iterator_skips_markers() {
+        let tap = sample();
+        let d: Vec<_> = tap.dispatches().collect();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].0, 0x100);
+        assert_eq!(d[1].2, 7);
+    }
+}

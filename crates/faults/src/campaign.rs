@@ -123,6 +123,31 @@ pub fn observe_fault(
     itr: ItrConfig,
     window_cycles: u64,
 ) -> (Observation, Report) {
+    observe_fault_multi(program, fault, golden, itr, &[window_cycles])
+        .pop()
+        .expect("one window observed")
+}
+
+/// [`observe_fault`] fanned out over several observation windows in one
+/// faulty execution — the engine of the window-sensitivity study, which
+/// previously re-simulated the same fault once per window.
+///
+/// `windows` must be strictly ascending. The injection phase is
+/// window-independent, and [`Pipeline::run_with`] does not latch
+/// [`RunExit::CycleLimit`], so resuming the same pipeline with each
+/// successively larger budget executes exactly the cycles a dedicated
+/// single-window run would. The observation captured at each boundary
+/// (point-in-time report, first mismatch event, resident cache lines)
+/// is therefore identical to what [`observe_fault`] returns for that
+/// window alone.
+pub fn observe_fault_multi(
+    program: &Program,
+    fault: DecodeFault,
+    golden: &[CommitRecord],
+    itr: ItrConfig,
+    windows: &[u64],
+) -> Vec<(Observation, Report)> {
+    assert!(windows.windows(2).all(|w| w[0] < w[1]), "windows must be strictly ascending");
     let cfg = PipelineConfig {
         itr: Some(ItrConfig { mode: ItrMode::Passive, ..itr }),
         faults: vec![fault],
@@ -160,48 +185,56 @@ pub fn observe_fault(
         }
     };
 
-    // Phase 2: observe for `window_cycles` after injection.
-    let limit = inject_cycle + window_cycles;
-    let exit = {
-        let golden = &golden;
-        pipe.run_with(limit, |r| {
-            if commit_idx >= golden.len() || golden[commit_idx] != *r {
-                sdc = true;
-            }
-            commit_idx += 1;
-            true
-        })
-    };
-    // A faulty run that halts/aborts earlier or later than the golden run
-    // is an architectural divergence too.
-    if matches!(exit, RunExit::Halted | RunExit::Aborted(_)) && commit_idx != golden.len() {
-        sdc = true;
-    }
+    // Phase 2: observe at each window boundary, resuming the same run.
+    let mut observed = Vec::with_capacity(windows.len());
+    for &window in windows {
+        let limit = inject_cycle + window;
+        let exit = {
+            let golden = &golden;
+            pipe.run_with(limit, |r| {
+                if commit_idx >= golden.len() || golden[commit_idx] != *r {
+                    sdc = true;
+                }
+                commit_idx += 1;
+                true
+            })
+        };
+        // A faulty run that halts/aborts earlier or later than the golden
+        // run is an architectural divergence too. Computed per boundary
+        // (not folded into `sdc`): the same condition re-evaluates
+        // identically at every later boundary once the run has ended.
+        let sdc_here = sdc
+            || (matches!(exit, RunExit::Halted | RunExit::Aborted(_))
+                && commit_idx != golden.len());
 
-    // Classification consumes the run's `itr-stats/v1` export: mismatch
-    // and SPC counts come from the report, and only a non-zero mismatch
-    // count is resolved to its first event for the signature detail.
-    let report =
-        Report::from_json(&pipe.stats_json()).expect("pipeline emits a valid itr-stats/v1 report");
-    let first_mismatch = if report.counter("itr", "mismatches").unwrap_or(0) == 0 {
-        None
-    } else {
-        pipe.itr_events().iter().find_map(|(_, e)| match e {
-            ItrEvent::Mismatch { start_pc, cached_signature, new_signature, .. } => {
-                Some((*start_pc, *cached_signature, *new_signature))
-            }
-            _ => None,
-        })
-    };
-    let resident_lines = pipe.itr().map(|u| u.cache().iter_lines().collect()).unwrap_or_default();
-    let obs = Observation {
-        sdc,
-        deadlock: exit == RunExit::Deadlock,
-        first_mismatch,
-        spc_fired: report.counter("pipeline", "spc_violations").unwrap_or(0) > 0,
-        resident_lines,
-    };
-    (obs, report)
+        // Classification consumes the run's `itr-stats/v1` export:
+        // mismatch and SPC counts come from the report, and only a
+        // non-zero mismatch count is resolved to its first event for the
+        // signature detail.
+        let report = Report::from_json(&pipe.stats_json())
+            .expect("pipeline emits a valid itr-stats/v1 report");
+        let first_mismatch = if report.counter("itr", "mismatches").unwrap_or(0) == 0 {
+            None
+        } else {
+            pipe.itr_events().iter().find_map(|(_, e)| match e {
+                ItrEvent::Mismatch { start_pc, cached_signature, new_signature, .. } => {
+                    Some((*start_pc, *cached_signature, *new_signature))
+                }
+                _ => None,
+            })
+        };
+        let resident_lines =
+            pipe.itr().map(|u| u.cache().iter_lines().collect()).unwrap_or_default();
+        let obs = Observation {
+            sdc: sdc_here,
+            deadlock: exit == RunExit::Deadlock,
+            first_mismatch,
+            spc_fired: report.counter("pipeline", "spc_violations").unwrap_or(0) > 0,
+            resident_lines,
+        };
+        observed.push((obs, report));
+    }
+    observed
 }
 
 /// Cross-validates a passive classification in *active* recovery mode:
@@ -378,20 +411,63 @@ impl CampaignPlan {
             shard.records.push(record);
             shard.report.merge(&report);
         }
-        // Outcome tallies as a `campaign` section, registered for every
-        // outcome (zeros included) so all shards export the same counter
-        // set and the merged report is shard-decomposition-independent.
-        let mut campaign = Counters::new();
-        let injected =
-            campaign.register("injected", Unit::Events, "faults injected and classified");
-        campaign.set(injected, shard.records.len() as u64);
-        for outcome in Outcome::ALL {
-            let c = campaign.register(outcome.label(), Unit::Events, "faults with this outcome");
-            campaign.set(c, u64::from(*counts.get(&outcome).unwrap_or(&0)));
-        }
-        shard.report.push_section("campaign", &campaign, &[]);
+        seal_shard(&mut shard, &counts);
         shard
     }
+
+    /// [`CampaignPlan::run_range`] fanned out over several observation
+    /// windows: every fault in `[lo, hi)` is simulated **once** (via
+    /// [`observe_fault_multi`]) and classified at each boundary of the
+    /// strictly ascending `windows`. Returns one [`CampaignShard`] per
+    /// window, each identical to what `run_range` would produce for a
+    /// campaign dedicated to that window.
+    pub fn run_range_windows(
+        &self,
+        program: &Program,
+        cfg: &CampaignConfig,
+        windows: &[u64],
+        lo: u32,
+        hi: u32,
+        cancelled: &dyn Fn() -> bool,
+    ) -> Vec<CampaignShard> {
+        let mut shards: Vec<CampaignShard> =
+            windows.iter().map(|_| CampaignShard::default()).collect();
+        let mut counts: Vec<BTreeMap<Outcome, u32>> = vec![BTreeMap::new(); windows.len()];
+        for &fault in &self.faults[lo as usize..hi as usize] {
+            if cancelled() {
+                break;
+            }
+            let observed = observe_fault_multi(program, fault, &self.golden, cfg.itr, windows);
+            for (wi, (obs, report)) in observed.into_iter().enumerate() {
+                let record = FaultRecord {
+                    fault,
+                    field: itr_isa::DecodeSignals::field_of_bit(fault.bit),
+                    outcome: classify(&obs, &self.clean_sigs),
+                };
+                *counts[wi].entry(record.outcome).or_insert(0) += 1;
+                shards[wi].records.push(record);
+                shards[wi].report.merge(&report);
+            }
+        }
+        for (shard, counts) in shards.iter_mut().zip(&counts) {
+            seal_shard(shard, counts);
+        }
+        shards
+    }
+}
+
+/// Appends the outcome tallies as a `campaign` section, registered for
+/// every outcome (zeros included) so all shards export the same counter
+/// set and the merged report is shard-decomposition-independent.
+fn seal_shard(shard: &mut CampaignShard, counts: &BTreeMap<Outcome, u32>) {
+    let mut campaign = Counters::new();
+    let injected = campaign.register("injected", Unit::Events, "faults injected and classified");
+    campaign.set(injected, shard.records.len() as u64);
+    for outcome in Outcome::ALL {
+        let c = campaign.register(outcome.label(), Unit::Events, "faults with this outcome");
+        campaign.set(c, u64::from(*counts.get(&outcome).unwrap_or(&0)));
+    }
+    shard.report.push_section("campaign", &campaign, &[]);
 }
 
 impl CampaignResult {
@@ -525,6 +601,26 @@ mod tests {
             assert_eq!(bounds.iter().map(|&(lo, hi)| hi - lo).sum::<u32>(), n);
             assert_eq!(bounds.first().map(|b| b.0), Some(0));
             assert!(bounds.windows(2).all(|w| w[0].1 == w[1].0), "gap in {bounds:?}");
+        }
+    }
+
+    #[test]
+    fn multi_window_fanout_matches_per_window_campaigns() {
+        // One simulated execution per fault, observed at three window
+        // boundaries, must classify and report exactly like three
+        // dedicated single-window campaigns.
+        let p = assemble(kernels::SUM_LOOP.source).unwrap();
+        let windows = [5_000u64, 20_000, 80_000];
+        let cfg = CampaignConfig { window_cycles: *windows.last().unwrap(), ..small_campaign(12) };
+        let plan = CampaignPlan::new(&p, &cfg);
+        let fanned = plan.run_range_windows(&p, &cfg, &windows, 0, 12, &|| false);
+        assert_eq!(fanned.len(), windows.len());
+        for (&w, shard) in windows.iter().zip(&fanned) {
+            let cfg_w = CampaignConfig { window_cycles: w, ..cfg.clone() };
+            let plan_w = CampaignPlan::new(&p, &cfg_w);
+            let direct = plan_w.run_range(&p, &cfg_w, 0, 12, &|| false);
+            assert_eq!(direct.records, shard.records, "window {w}");
+            assert_eq!(direct.report.to_json(), shard.report.to_json(), "window {w}");
         }
     }
 

@@ -29,7 +29,7 @@ mod campaign;
 mod classify;
 
 pub use campaign::{
-    observe_fault, run_campaign, shard_bounds, validate_active_recovery, CampaignConfig,
-    CampaignPlan, CampaignResult, CampaignShard, FaultRecord,
+    observe_fault, observe_fault_multi, run_campaign, shard_bounds, validate_active_recovery,
+    CampaignConfig, CampaignPlan, CampaignResult, CampaignShard, FaultRecord,
 };
 pub use classify::{classify, Observation, Outcome};

@@ -313,6 +313,36 @@ impl Registry {
         Ok(())
     }
 
+    /// Restricts the registry to the named jobs plus their transitive
+    /// dependencies (the `--only` flag of `itr-repro`). Registration
+    /// order is preserved, so shard interleaving and journal layout stay
+    /// deterministic. Returns an error naming any unknown job.
+    pub fn restrict(&mut self, names: &[&str]) -> Result<(), String> {
+        let known: HashSet<&str> = self.jobs.iter().map(|j| j.name.as_str()).collect();
+        for n in names {
+            if !known.contains(n) {
+                return Err(format!("unknown job `{n}` (known: {})", {
+                    let mut v: Vec<&str> = known.iter().copied().collect();
+                    v.sort_unstable();
+                    v.join(", ")
+                }));
+            }
+        }
+        let deps_of: HashMap<&str, Vec<String>> =
+            self.jobs.iter().map(|j| (j.name.as_str(), j.deps.clone())).collect();
+        let mut keep: HashSet<String> = HashSet::new();
+        let mut stack: Vec<String> = names.iter().map(|n| n.to_string()).collect();
+        while let Some(n) = stack.pop() {
+            if keep.insert(n.clone()) {
+                if let Some(deps) = deps_of.get(n.as_str()) {
+                    stack.extend(deps.iter().cloned());
+                }
+            }
+        }
+        self.jobs.retain(|j| keep.contains(&j.name));
+        Ok(())
+    }
+
     pub(crate) fn into_jobs(self) -> Vec<JobSpec> {
         self.jobs
     }
@@ -350,6 +380,27 @@ mod tests {
         r.add(noop("a", &["b"]));
         r.add(noop("b", &["a"]));
         assert!(r.validate().unwrap_err().contains("cycle"));
+    }
+
+    #[test]
+    fn restrict_keeps_transitive_deps_in_registration_order() {
+        let mut r = Registry::new(1);
+        r.add(noop("a", &[]));
+        r.add(noop("b", &["a"]));
+        r.add(noop("c", &["b"]));
+        r.add(noop("d", &[]));
+        r.restrict(&["c"]).expect("known job");
+        assert_eq!(r.names().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn restrict_rejects_unknown_jobs() {
+        let mut r = Registry::new(1);
+        r.add(noop("a", &[]));
+        let err = r.restrict(&["ghost"]).unwrap_err();
+        assert!(err.contains("ghost"), "{err}");
+        assert_eq!(r.names().collect::<Vec<_>>(), vec!["a"], "registry unchanged on error");
     }
 
     #[test]

@@ -49,6 +49,13 @@ pub const POWER4_ICACHE: CacheSpec =
 pub const ITR_CACHE_1024X2: CacheSpec =
     CacheSpec { bytes: 8 * 1024, line_bytes: 8, ways: 2, ports: 1 };
 
+/// The [`CacheSpec`] of an ITR cache with `entries` 64-bit signature
+/// lines and the given way count — the geometry axis of the design-space
+/// sweep. `itr_cache_spec(1024, 2)` is [`ITR_CACHE_1024X2`].
+pub fn itr_cache_spec(entries: u32, ways: u32) -> CacheSpec {
+    CacheSpec { bytes: entries * 8, line_bytes: 8, ways, ports: 1 }
+}
+
 /// Per-row constant (nJ per set row), calibrated.
 const K_ROW: f64 = 0.000_855_468_75;
 /// Per-column constant (nJ per accessed bit), calibrated.

@@ -23,4 +23,6 @@ pub mod area;
 pub mod energy;
 
 pub use area::{itr_cache_area_cm2, AreaComparison, G5_BTB_AREA_CM2, G5_IUNIT_AREA_CM2};
-pub use energy::{energy_per_access_nj, CacheSpec, EnergyRow, ITR_CACHE_1024X2, POWER4_ICACHE};
+pub use energy::{
+    energy_per_access_nj, itr_cache_spec, CacheSpec, EnergyRow, ITR_CACHE_1024X2, POWER4_ICACHE,
+};

@@ -12,8 +12,8 @@
 use crate::arch::{ArchState, CommitRecord};
 use crate::mem::Memory;
 use crate::semantics::{execute, operand_plan, ExecInput, TrapAction};
-use itr_core::{TraceBuilder, TraceRecord, MAX_TRACE_LEN};
-use itr_isa::{decode, DecodeSignals, Program};
+use itr_core::{TapStream, TraceBuilder, TraceRecord, MAX_TRACE_LEN};
+use itr_isa::{decode, DecodeSignals, Instruction, Program};
 
 /// Why a functional run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +37,24 @@ pub struct Step {
     pub signals: DecodeSignals,
 }
 
+/// One predecoded text word (see [`FuncSim::new`]).
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// The word was overwritten by a store; re-decode on next fetch.
+    Stale,
+    /// The word does not decode; fetching it stops the run.
+    Undecodable,
+    /// Cached decode result.
+    Decoded(Instruction, DecodeSignals),
+}
+
+fn decode_slot(word: u32) -> Slot {
+    match decode(word) {
+        Ok(inst) => Slot::Decoded(inst, DecodeSignals::from_instruction(&inst)),
+        Err(_) => Slot::Undecodable,
+    }
+}
+
 /// The functional simulator.
 #[derive(Debug, Clone)]
 pub struct FuncSim {
@@ -45,11 +63,18 @@ pub struct FuncSim {
     output: String,
     stopped: Option<StopReason>,
     instrs: u64,
+    /// Predecoded image of the text segment: decoding is a pure function
+    /// of the word, so it is done once at load (mirroring `itr-analyze`'s
+    /// `ProgramImage`) instead of on every fetch. Stores into the text
+    /// segment mark the overwritten words [`Slot::Stale`].
+    text_base: u64,
+    decoded: Vec<Slot>,
 }
 
 impl FuncSim {
     /// Loads a program and prepares to execute from its entry point with
-    /// the stack pointer at the conventional top of stack.
+    /// the stack pointer at the conventional top of stack. The text
+    /// segment is predecoded here, once.
     pub fn new(program: &Program) -> FuncSim {
         let mut arch = ArchState::new(program.entry());
         arch.set_int_reg(29, itr_isa::STACK_TOP as u32);
@@ -59,6 +84,8 @@ impl FuncSim {
             output: String::new(),
             stopped: None,
             instrs: 0,
+            text_base: program.text_base(),
+            decoded: program.text().iter().map(|&word| decode_slot(word)).collect(),
         }
     }
 
@@ -87,18 +114,54 @@ impl FuncSim {
         self.stopped
     }
 
+    /// Fetches the decoded instruction at `pc`: from the predecoded image
+    /// for aligned text-segment fetches (the overwhelmingly common case),
+    /// decoding from memory otherwise (runaway control flow in the
+    /// nop ribbon, unaligned `jr` targets, data-segment fetches).
+    fn fetch(&mut self, pc: u64) -> Option<(Instruction, DecodeSignals)> {
+        if pc >= self.text_base && (pc - self.text_base).is_multiple_of(4) {
+            let index = ((pc - self.text_base) / 4) as usize;
+            if index < self.decoded.len() {
+                if matches!(self.decoded[index], Slot::Stale) {
+                    self.decoded[index] = decode_slot(self.mem.read_u32(pc));
+                }
+                return match self.decoded[index] {
+                    Slot::Decoded(inst, signals) => Some((inst, signals)),
+                    _ => None,
+                };
+            }
+        }
+        let inst = decode(self.mem.read_u32(pc)).ok()?;
+        let signals = DecodeSignals::from_instruction(&inst);
+        Some((inst, signals))
+    }
+
+    /// Marks predecoded words overwritten by a store as stale
+    /// (self-modifying code writes through the same [`Memory`] the
+    /// predecoded image was built from).
+    fn invalidate(&mut self, addr: u64, size: u8) {
+        let text_end = self.text_base + self.decoded.len() as u64 * 4;
+        let end = addr + size.min(4) as u64;
+        if end <= self.text_base || addr >= text_end {
+            return;
+        }
+        let first = (addr.max(self.text_base) - self.text_base) / 4;
+        let last = ((end - 1).min(text_end - 1) - self.text_base) / 4;
+        for index in first..=last {
+            self.decoded[index as usize] = Slot::Stale;
+        }
+    }
+
     /// Executes one instruction; `None` once the simulator has stopped.
     pub fn step(&mut self) -> Option<Step> {
         if self.stopped.is_some() {
             return None;
         }
         let pc = self.arch.pc;
-        let word = self.mem.read_u32(pc);
-        let Ok(inst) = decode(word) else {
+        let Some((inst, signals)) = self.fetch(pc) else {
             self.stopped = Some(StopReason::DecodeError(pc));
             return None;
         };
-        let signals = DecodeSignals::from_instruction(&inst);
         let plan = operand_plan(&signals);
         let src = |o: Option<u16>| o.map_or(0, |r| self.arch.reg(r));
         let out = execute(
@@ -118,6 +181,7 @@ impl FuncSim {
         }
         if let Some(store) = out.store {
             self.mem.write(store.addr, store.size, store.value);
+            self.invalidate(store.addr, store.size);
             record.store = Some((store.addr, store.size, store.value));
         }
         if let Some(trap) = out.trap {
@@ -160,6 +224,24 @@ impl FuncSim {
         let reason = *self.stopped.get_or_insert(StopReason::InstrLimit);
         (records, reason)
     }
+}
+
+/// Records the `itr-tap/v1` stream of a functional execution of
+/// `program`: every architecturally executed instruction dispatches and
+/// immediately retires, so the stream is `dispatch`/`commit` pairs with
+/// no squash markers. One such recording replays against *every* ITR
+/// geometry, trace-length limit and fold function (see
+/// [`itr_core::replay`]), which is what the design-space sweeps fan out
+/// over.
+pub fn record_tap(program: &Program, workload: &str, max_instrs: u64) -> TapStream {
+    let mut sim = FuncSim::new(program);
+    let mut tap = TapStream::new(workload);
+    for _ in 0..max_instrs {
+        let Some(step) = sim.step() else { break };
+        tap.record_dispatch(step.record.pc, &step.signals, 0);
+        tap.record_commit();
+    }
+    tap
 }
 
 /// Streams committed [`TraceRecord`]s from a program execution — the raw
@@ -354,6 +436,59 @@ mod tests {
         assert_eq!(traces[1].start_pc, traces[2].start_pc);
         assert_eq!(traces[1].signature, traces[2].signature);
         assert_eq!(traces[3].len, 1, "halt trap is its own trace");
+    }
+
+    #[test]
+    fn self_modifying_store_invalidates_predecoded_word() {
+        // Overwrite the `addi r9, r9, 1` at `patch:` with the (never
+        // executed) `addi r9, r9, 7` at `donor:`, then run through it:
+        // the predecoded image must serve the *new* instruction.
+        let sim = run_program(
+            r#"
+            main:
+                li r9, 0
+                la r8, donor
+                lw r10, 0(r8)
+                la r11, patch
+                sw r10, 0(r11)
+            patch:
+                addi r9, r9, 1
+                halt
+            donor:
+                addi r9, r9, 7
+            "#,
+        );
+        assert_eq!(sim.arch().int_reg(9), 7, "patched instruction must execute");
+    }
+
+    #[test]
+    fn tap_recording_matches_trace_stream() {
+        // The recorded dispatch stream re-forms exactly the traces the
+        // live TraceStream produces, at any trace-length limit.
+        let p = assemble(
+            r#"
+            main:
+                li r8, 40
+            top:
+                andi r9, r8, 3
+                add r10, r10, r9
+                addi r8, r8, -1
+                bgtz r8, top
+                halt
+            "#,
+        )
+        .unwrap();
+        let tap = record_tap(&p, "kernel", 10_000);
+        for max_len in [2u32, 16] {
+            let direct: Vec<TraceRecord> =
+                TraceStream::with_trace_len(&p, 10_000, max_len).collect();
+            let mut replay = itr_core::TraceReplay::new(max_len);
+            let replayed: Vec<TraceRecord> = tap
+                .dispatches()
+                .filter_map(|(pc, sig, extra)| replay.push(pc, sig, extra))
+                .collect();
+            assert_eq!(replayed, direct, "max_len {max_len}");
+        }
     }
 
     #[test]

@@ -50,6 +50,6 @@ pub use arch::{ArchState, CommitRecord, FCC_REG, NUM_ARCH_REGS};
 pub use branch::{Btb, Gshare, ReturnStack};
 pub use cache::{CacheGeometry, TimingCache};
 pub use config::{DecodeFault, PipelineConfig, RenameFault, SchedulerFault};
-pub use func::{FuncSim, StopReason, TraceStream};
+pub use func::{record_tap, FuncSim, StopReason, TraceStream};
 pub use mem::Memory;
 pub use pipeline::{Pipeline, PipelineStats, RunExit, SpcViolation, Stage, StageEvent};

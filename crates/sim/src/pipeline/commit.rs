@@ -100,6 +100,9 @@ impl Pipeline {
                         start_pc,
                         "redundant-fetch detect",
                     );
+                    if let Some(tap) = &mut self.tap {
+                        tap.record_retry_flush(start_pc);
+                    }
                     self.itr.as_mut().expect("checked").on_retry_flush(start_pc);
                     self.full_flush_to(start_pc);
                     true
@@ -133,12 +136,18 @@ impl Pipeline {
                     CommitAction::Retry { start_pc } => {
                         self.metrics.inc(self.metrics.retry_flushes);
                         self.metrics.event(self.cycle, Stage::Commit, start_pc, "ITR retry flush");
+                        if let Some(tap) = &mut self.tap {
+                            tap.record_retry_flush(start_pc);
+                        }
                         self.itr.as_mut().expect("checked").on_retry_flush(start_pc);
                         self.full_flush_to(start_pc);
                         return;
                     }
                     CommitAction::MachineCheck { start_pc } => {
                         self.metrics.event(self.cycle, Stage::Commit, start_pc, "machine check");
+                        if let Some(tap) = &mut self.tap {
+                            tap.record_machine_check(start_pc);
+                        }
                         self.itr.as_mut().expect("checked").on_machine_check(start_pc);
                         self.exit = Some(RunExit::MachineCheck { start_pc });
                         return;
@@ -158,6 +167,9 @@ impl Pipeline {
             }
             let u = self.win.rob.pop_front().expect("checked");
             self.win.head_seq = u.seq + 1;
+            if let Some(tap) = &mut self.tap {
+                tap.record_commit();
+            }
 
             // Sequential-PC check (§2.5).
             if self.cfg.spc_check {

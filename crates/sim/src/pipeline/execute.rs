@@ -56,6 +56,9 @@ impl Pipeline {
             }
         }
         self.win.iq.retain(|&s| s <= branch_seq);
+        if let Some(tap) = &mut self.tap {
+            tap.record_rewind(self.win.rob.len() as u64);
+        }
 
         let i = self.win.idx(branch_seq);
         let (snap, used_gshare, taken, target, itr_snap) = {

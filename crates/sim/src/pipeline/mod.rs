@@ -51,7 +51,7 @@ use crate::cache::TimingCache;
 use crate::config::{DecodeFault, PipelineConfig};
 use crate::mem::Memory;
 use frontend::Frontend;
-use itr_core::{CoarseCheckpointer, ItrEvent, ItrUnit, SequentialPcChecker, Watchdog};
+use itr_core::{CoarseCheckpointer, ItrEvent, ItrUnit, SequentialPcChecker, TapStream, Watchdog};
 use itr_isa::Program;
 use itr_stats::Report;
 use rename::RenameState;
@@ -124,6 +124,10 @@ pub struct Pipeline {
     pub(in crate::pipeline) faults: Vec<DecodeFault>,
     pub(in crate::pipeline) swap_done: bool,
 
+    /// `itr-tap/v1` recorder: when enabled, every ITR-relevant dispatch,
+    /// retirement and squash is appended here (see [`Pipeline::enable_tap`]).
+    pub(in crate::pipeline) tap: Option<TapStream>,
+
     // Program interface.
     pub(in crate::pipeline) output: String,
     pub(in crate::pipeline) exit: Option<RunExit>,
@@ -176,6 +180,7 @@ impl Pipeline {
             verified_miss: None,
             faults: cfg.faults.clone(),
             swap_done: false,
+            tap: None,
             output: String::new(),
             exit: None,
             metrics: SimMetrics::new(cfg.stage_trace_depth),
@@ -248,6 +253,25 @@ impl Pipeline {
     /// Memory contents (e.g. to inspect results after a run).
     pub fn mem(&self) -> &Memory {
         &self.mem
+    }
+
+    /// Starts recording the `itr-tap/v1` stream of this run: every
+    /// dispatched instruction's (possibly faulty) decode signals, every
+    /// retirement, and every squash, in the exact order the embedded ITR
+    /// unit observes them. Replaying the stream through
+    /// [`itr_core::replay`] reproduces the unit's report byte for byte.
+    pub fn enable_tap(&mut self, workload: &str) {
+        self.tap = Some(TapStream::new(workload));
+    }
+
+    /// The recorded tap stream so far, when recording is enabled.
+    pub fn tap(&self) -> Option<&TapStream> {
+        self.tap.as_ref()
+    }
+
+    /// Stops recording and takes the stream.
+    pub fn take_tap(&mut self) -> Option<TapStream> {
+        self.tap.take()
     }
 
     /// Current cycle count.

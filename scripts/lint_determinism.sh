@@ -24,7 +24,6 @@ cd "$(dirname "$0")/.."
 
 # path:justification — keep alphabetized.
 ALLOWLIST=(
-  "crates/bench/src/experiments/ablations.rs:HashSet used for cardinality (.len) only"
   "crates/bench/src/experiments/injection.rs:per-process plan memo, keyed lookup only"
   "crates/bench/src/lib.rs:CLI extras are keyed lookups; histogram values sorted before use"
   "crates/faults/src/campaign.rs:clean-run signature map, keyed lookup only"
@@ -51,7 +50,10 @@ allowed() {
 
 # Report-critical crates where hash collections are banned outright:
 # these produce (analyze, stats JSON) or define (core) serialized
-# artifacts, and must stay hash-free rather than grow allowlist entries.
+# artifacts — including the `itr-tap/v1` stream codec and its replay
+# fan-out (core/src/{tap,replay}.rs), whose byte-identity guarantee the
+# sweep experiments depend on — and must stay hash-free rather than
+# grow allowlist entries.
 BANNED_DIRS=(crates/analyze/src crates/stats/src crates/core/src)
 
 status=0

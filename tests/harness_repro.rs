@@ -46,7 +46,15 @@ fn quick_run_journals_and_resumes_without_recomputation() {
     assert_eq!(first.quarantined, 0, "{:?}", first.quarantines);
     assert_eq!(first.executed, first.total_shards);
     assert!(out.join("journal.jsonl").exists());
-    for artifact in ["table1.txt", "fig8.txt", "fig8_injection.csv", "ablations.csv"] {
+    for artifact in [
+        "table1.txt",
+        "fig8.txt",
+        "fig8_injection.csv",
+        "ablations.csv",
+        "sweep.txt",
+        "sweep_pareto.csv",
+        "BENCH_repro.json",
+    ] {
         assert!(out.join(artifact).exists(), "missing {artifact}");
     }
     let fig8_first = std::fs::read_to_string(out.join("fig8.txt")).expect("fig8.txt");

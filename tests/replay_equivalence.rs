@@ -1,0 +1,155 @@
+//! Tentpole guard for the `itr-tap/v1` record/replay boundary: an
+//! [`ItrUnit`] driven by a recorded tap stream must be **byte-identical**
+//! (in its `itr-stats/v1` export) to the unit embedded in the pipeline
+//! that produced the stream — across a sampled grid of ITR
+//! configurations and workloads. This is the invariant that lets the
+//! design-space sweeps simulate each workload once and fan the stream
+//! out to every configuration.
+//!
+//! Also pins the tap stream itself for one kernel in
+//! `tests/golden_tap.json`, so accidental schema or emission-order
+//! changes are caught even when they happen symmetrically on both the
+//! record and replay sides. Regenerate (after an *intentional* change
+//! to the stream format) with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test replay_equivalence
+//! ```
+
+#![allow(clippy::unwrap_used)] // test code: panicking on broken expectations is the point
+
+use itr::core::{Associativity, FoldKind, ItrCacheConfig, ItrConfig, ItrMode, TapReplayer};
+use itr::sim::{record_tap, Pipeline, PipelineConfig};
+use itr::stats::json::Value;
+use itr::stats::Report;
+use itr::workloads::suite::{by_name, Workload};
+
+const MIMIC_SEED: u64 = 7;
+const MIMIC_INSTRS: u64 = 8_000;
+const CYCLE_BUDGET: u64 = 50_000_000;
+
+fn workloads() -> Vec<Workload> {
+    ["sum_loop", "crc32", "vortex"]
+        .iter()
+        .map(|n| by_name(n, MIMIC_SEED, MIMIC_INSTRS).expect("known workload"))
+        .collect()
+}
+
+/// The sampled configuration grid: modes, geometries, trace lengths,
+/// fold kinds and replacement policies. Every config keeps
+/// `cache_read_latency` at 0 — the only regime the replayer (which has
+/// no cycle clock) supports, and the paper's evaluation point.
+fn config_grid() -> Vec<(&'static str, ItrConfig)> {
+    let base = ItrConfig::paper_default();
+    vec![
+        ("paper-default", base),
+        (
+            "small-direct-len8",
+            ItrConfig {
+                cache: ItrCacheConfig::new(256, Associativity::Direct),
+                max_trace_len: 8,
+                ..base
+            },
+        ),
+        ("passive", ItrConfig { mode: ItrMode::Passive, ..base }),
+        ("no-forwarding-len32", ItrConfig { rob_forwarding: false, max_trace_len: 32, ..base }),
+        (
+            "rotate-xor-checked-bit",
+            ItrConfig {
+                cache: ItrCacheConfig::new(512, Associativity::Ways(4))
+                    .with_checked_bit_replacement(true),
+                fold: FoldKind::RotateXor,
+                ..base
+            },
+        ),
+        (
+            "tiny-full-no-parity",
+            ItrConfig {
+                cache: ItrCacheConfig::new(64, Associativity::Full).with_parity(false),
+                ..base
+            },
+        ),
+    ]
+}
+
+fn export_json(unit: &itr::core::ItrUnit) -> String {
+    let mut report = Report::new();
+    unit.export(&mut report);
+    report.to_json()
+}
+
+/// For every (config, workload) grid point: run the full pipeline with
+/// the tap enabled, then replay the recorded stream into a fresh unit
+/// and demand a byte-identical stats export.
+#[test]
+fn replayed_unit_export_is_byte_identical_to_in_pipeline_unit() {
+    for w in workloads() {
+        for (label, itr_cfg) in config_grid() {
+            let cfg = PipelineConfig { itr: Some(itr_cfg), ..PipelineConfig::default() };
+            let mut pipe = Pipeline::new(&w.program, cfg);
+            pipe.enable_tap(&w.name);
+            pipe.run(CYCLE_BUDGET);
+            let direct = export_json(pipe.itr().expect("ITR enabled"));
+            let tap = pipe.take_tap().expect("tap enabled");
+
+            let mut replayer = TapReplayer::new(itr_cfg);
+            replayer.replay(&tap);
+            let replayed = export_json(replayer.unit());
+
+            assert_eq!(
+                direct, replayed,
+                "{} ({label}): replayed export diverged from in-pipeline export",
+                w.name
+            );
+        }
+    }
+}
+
+/// Rename protection folds map-table indexes into the `extra` word of
+/// every dispatch; the tap carries it, so replay must still match.
+#[test]
+fn replay_matches_with_rename_protection() {
+    let w = by_name("crc32", MIMIC_SEED, MIMIC_INSTRS).unwrap();
+    let itr_cfg = ItrConfig::paper_default();
+    let cfg =
+        PipelineConfig { itr: Some(itr_cfg), rename_protection: true, ..PipelineConfig::default() };
+    let mut pipe = Pipeline::new(&w.program, cfg);
+    pipe.enable_tap(&w.name);
+    pipe.run(CYCLE_BUDGET);
+    let direct = export_json(pipe.itr().unwrap());
+    let tap = pipe.take_tap().unwrap();
+
+    let mut replayer = TapReplayer::new(itr_cfg);
+    replayer.replay(&tap);
+    assert_eq!(direct, export_json(replayer.unit()));
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden_tap.json")
+}
+
+/// The `itr-tap/v1` stream for one kernel, pinned byte-for-byte.
+#[test]
+fn tap_stream_matches_golden_snapshot() {
+    let w = by_name("sum_loop", MIMIC_SEED, MIMIC_INSTRS).unwrap();
+    let tap = record_tap(&w.program, &w.name, 100_000);
+    let text = tap.to_json().to_json();
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path(), &text).expect("write golden tap");
+        return;
+    }
+
+    let golden = std::fs::read_to_string(golden_path())
+        .expect("tests/golden_tap.json missing; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        text, golden,
+        "itr-tap/v1 stream for sum_loop diverged from tests/golden_tap.json \
+         (regenerate with UPDATE_GOLDEN=1 only for an intentional format change)"
+    );
+
+    // The pinned stream must round-trip through the JSON codec.
+    let parsed = Value::parse(&golden).expect("golden tap parses");
+    let stream = itr::core::TapStream::from_json(&parsed).expect("golden tap decodes");
+    assert_eq!(stream.to_json().to_json(), golden);
+}
