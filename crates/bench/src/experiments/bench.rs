@@ -20,7 +20,7 @@ use std::path::Path;
 use std::time::Instant;
 
 /// Compute job families whose wall-clock the ledger records.
-pub const TIMED_FAMILIES: [&str; 11] = [
+pub const TIMED_FAMILIES: [&str; 14] = [
     "characterize",
     "coverage",
     "energy",
@@ -32,6 +32,9 @@ pub const TIMED_FAMILIES: [&str; 11] = [
     "fuzz-campaign",
     "analyze-suite",
     "sweep",
+    "env-interleave",
+    "env-faultmodels",
+    "env-workloads",
 ];
 
 /// Direct-path sample: how many of the 1056 sweep geometries to

@@ -24,6 +24,8 @@
 //! fuzz-campaign (seed-derived shards)         ──► fuzz
 //! analyze-suite (workload shards)             ──► analyze
 //! sweep (one tap shard per workload)          ──► sweep-pareto
+//! env-interleave, env-faultmodels,
+//! env-workloads (hostile environments)        ──► env-report
 //! bench-measure + every compute family        ──► bench (BENCH_repro.json)
 //! table2, area (leaf emit jobs)
 //! ```
@@ -34,6 +36,7 @@ pub mod bench;
 pub mod characterize;
 pub mod coverage;
 pub mod energy;
+pub mod env;
 pub mod fuzz;
 pub mod injection;
 pub mod perf;
@@ -227,5 +230,6 @@ pub fn register_all(reg: &mut Registry, scale: &Scale, out: &Path) {
     fuzz::register(reg, scale, out);
     analyze::register(reg, scale, out);
     sweep::register(reg, scale, out);
+    env::register(reg, scale, out);
     bench::register(reg, scale, out);
 }

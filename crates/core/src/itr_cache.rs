@@ -53,6 +53,19 @@ pub struct Eviction {
     pub len_at_insert: u32,
 }
 
+/// What one whole-cache flush ([`ItrCache::invalidate_all`]) discarded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushSummary {
+    /// Valid lines invalidated.
+    pub lines: u64,
+    /// Invalidated lines that were never referenced — each one a loss of
+    /// detection coverage.
+    pub unreferenced_lines: u64,
+    /// Dynamic instructions of the inserting instances behind those
+    /// unreferenced lines (the §3 detection-loss measure).
+    pub unreferenced_instrs: u64,
+}
+
 /// Running access statistics (a point-in-time snapshot; the live values
 /// are kept in an `itr-stats` counter registry — see [`ItrCache::export`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -334,6 +347,29 @@ impl ItrCache {
         }
     }
 
+    /// Invalidates every line — a context-switch flush (the hostile-
+    /// environment "flush-on-switch" policy, where the OS clears the ITR
+    /// cache rather than let the next program's traces alias into stale
+    /// signatures). Returns what the flush cost: evicting a line that was
+    /// never referenced forfeits detection coverage for the instructions
+    /// of the instance that inserted it, exactly like a capacity
+    /// eviction (§2.3).
+    pub fn invalidate_all(&mut self) -> FlushSummary {
+        let mut summary = FlushSummary::default();
+        for line in &mut self.lines {
+            if line.valid {
+                summary.lines += 1;
+                if !line.referenced {
+                    summary.unreferenced_lines += 1;
+                    summary.unreferenced_instrs += u64::from(line.len_at_insert);
+                }
+                line.valid = false;
+            }
+        }
+        self.unreferenced = 0;
+        summary
+    }
+
     /// Flips one bit of a stored signature *without* updating parity —
     /// models a transient fault striking the ITR cache itself (§2.4).
     /// Returns `true` if the line was present.
@@ -474,6 +510,25 @@ mod tests {
         // breaks down in this case).
         let ev = c.insert(0x200, 3, 1).unwrap();
         assert_eq!(ev.start_pc, 0x100);
+    }
+
+    #[test]
+    fn invalidate_all_accounts_detection_loss() {
+        let mut c = cache(16, Associativity::Ways(2));
+        c.insert(0x100, 1, 5);
+        c.insert(0x104, 2, 7);
+        c.insert(0x108, 3, 11);
+        c.probe(0x104); // referenced: its instructions were checked
+        let summary = c.invalidate_all();
+        assert_eq!(
+            summary,
+            FlushSummary { lines: 3, unreferenced_lines: 2, unreferenced_instrs: 16 }
+        );
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.unreferenced_count(), 0);
+        assert_eq!(c.probe(0x104), ProbeResult::Miss);
+        // An empty cache flushes for free.
+        assert_eq!(c.invalidate_all(), FlushSummary::default());
     }
 
     #[test]

@@ -73,7 +73,7 @@ mod watchdog;
 pub use checkpoint::CoarseCheckpointer;
 pub use config::{Associativity, ItrCacheConfig, ItrConfig, ItrMode};
 pub use coverage::{CoverageModel, CoverageReport};
-pub use itr_cache::{CacheStats, Eviction, ItrCache, ProbeResult};
+pub use itr_cache::{CacheStats, Eviction, FlushSummary, ItrCache, ProbeResult};
 pub use itr_rob::{ControlState, ItrRob, ItrRobEntry, ItrRobFull, ItrRobIndex};
 pub use replay::{fan_out_records, replay_units, TapReplayer, TraceReplay};
 pub use signature::{FoldKind, SignatureGen, TraceBuilder, TraceRecord, MAX_TRACE_LEN};

@@ -1,0 +1,229 @@
+//! Replay edge cases around context-switch flush points.
+//!
+//! The hostile-environment scheduler (`itr-env`) injects
+//! [`TapEvent::FullFlush`] markers at context switches, so recorded
+//! streams now legitimately contain orderings the single-program
+//! pipeline never produced: flushes back-to-back, a retry flush cut
+//! short by a switch flush, rewinds relative to a post-flush window, and
+//! machine checks adjacent to flush points. Each test drives an
+//! [`ItrUnit`] directly while recording the identical call sequence into
+//! a tap, then asserts the replayed unit's exported report is
+//! byte-identical — the `itr-tap/v1` contract.
+
+#![allow(clippy::unwrap_used)]
+
+use itr_core::{
+    Associativity, ItrCacheConfig, ItrConfig, ItrMode, ItrRobIndex, ItrUnit, TapReplayer, TapStream,
+};
+use itr_isa::{DecodeSignals, Instruction, Opcode};
+use itr_stats::Report;
+
+fn sig(inst: &Instruction) -> DecodeSignals {
+    DecodeSignals::from_instruction(inst)
+}
+
+fn add_sig() -> DecodeSignals {
+    sig(&Instruction::rrr(Opcode::Add, 1, 2, 3))
+}
+
+fn branch_sig() -> DecodeSignals {
+    sig(&Instruction::branch(Opcode::Bne, 1, 2, -2))
+}
+
+fn small_config() -> ItrConfig {
+    ItrConfig {
+        cache: ItrCacheConfig::new(64, Associativity::Ways(2)),
+        max_trace_len: 16,
+        rob_entries: 8,
+        mode: ItrMode::Active,
+        ..ItrConfig::paper_default()
+    }
+}
+
+fn export_json(unit: &ItrUnit) -> String {
+    let mut report = Report::new();
+    unit.export(&mut report);
+    report.to_json()
+}
+
+/// Direct-drive harness mirroring what the pipeline host does, recording
+/// every call into a tap for the replay comparison.
+struct Host {
+    unit: ItrUnit,
+    tap: TapStream,
+    window: Vec<(ItrRobIndex, bool)>,
+}
+
+impl Host {
+    fn new(name: &str) -> Host {
+        Host { unit: ItrUnit::new(small_config()), tap: TapStream::new(name), window: Vec::new() }
+    }
+
+    fn dispatch(&mut self, pc: u64, s: &DecodeSignals) {
+        let r = self.unit.on_dispatch_extended(pc, s, 0);
+        self.tap.record_dispatch(pc, s, 0);
+        self.window.push((r.trace_seq, r.trace_end));
+    }
+
+    /// Dispatches one three-instruction trace at `base` and commits it.
+    fn run_trace(&mut self, base: u64) {
+        self.dispatch(base, &add_sig());
+        self.dispatch(base + 4, &add_sig());
+        self.dispatch(base + 8, &branch_sig());
+        self.commit_all();
+    }
+
+    fn commit_all(&mut self) {
+        for (seq, end) in self.window.drain(..) {
+            if end {
+                self.unit.on_trace_end_commit(seq);
+            }
+            self.tap.record_commit();
+        }
+    }
+
+    fn full_flush(&mut self) {
+        self.unit.on_full_flush();
+        self.tap.record_full_flush();
+        self.window.clear();
+    }
+
+    fn retry_flush(&mut self, start_pc: u64) {
+        self.unit.on_retry_flush(start_pc);
+        self.tap.record_retry_flush(start_pc);
+        self.window.clear();
+    }
+
+    fn machine_check(&mut self, start_pc: u64) {
+        self.unit.on_machine_check(start_pc);
+        self.tap.record_machine_check(start_pc);
+    }
+
+    fn rewind_to(&mut self, keep: usize) {
+        // The host restores the snapshot taken at the instruction that
+        // survives at the tail; the replayer reconstructs the same
+        // snapshot from its mirrored window.
+        self.window.truncate(keep);
+        self.tap.record_rewind(keep as u64);
+    }
+
+    fn assert_replay_matches(&self) {
+        let mut replayer = TapReplayer::new(small_config());
+        replayer.replay(&self.tap);
+        assert_eq!(export_json(replayer.unit()), export_json(&self.unit));
+        assert_eq!(replayer.unit().stats(), self.unit.stats());
+    }
+}
+
+#[test]
+fn back_to_back_full_flushes_replay_identically() {
+    // A context switch right after another (quantum expires during the
+    // switch path): the second flush must be a no-op on an already-empty
+    // window, in both the direct unit and the replay.
+    let mut h = Host::new("double-flush");
+    h.run_trace(0x100);
+    h.dispatch(0x100, &add_sig()); // left in flight across the switch
+    h.full_flush();
+    h.full_flush();
+    h.run_trace(0x100);
+    h.assert_replay_matches();
+}
+
+#[test]
+fn retry_flush_then_switch_flush_replays_identically() {
+    // A mismatch arms a retry, and the context switch flushes before the
+    // retried trace completes: the retry stays armed across FullFlush
+    // (the armed PC is unit state, not window state), and the re-entered
+    // program re-runs the trace.
+    let mut h = Host::new("retry-then-switch");
+    h.run_trace(0x100);
+    h.retry_flush(0x100);
+    h.full_flush();
+    h.run_trace(0x100);
+    h.run_trace(0x100);
+    h.assert_replay_matches();
+}
+
+#[test]
+fn flush_then_rewind_replays_relative_to_the_new_window() {
+    // A misprediction squash *after* a context-switch flush: the rewind's
+    // `keep` is relative to the post-flush window only. The replayer's
+    // mirror must agree — if the flush failed to clear its window the
+    // restored snapshot would be the pre-flush one.
+    let mut h = Host::new("flush-then-rewind");
+    h.run_trace(0x100);
+    h.dispatch(0x200, &add_sig()); // in flight at the switch
+    h.full_flush();
+    // Post-switch: a trace plus wrong-path dispatches.
+    h.dispatch(0x100, &add_sig());
+    h.dispatch(0x104, &add_sig());
+    h.dispatch(0x108, &branch_sig());
+    let snap = h.unit.snapshot();
+    h.dispatch(0x300, &add_sig());
+    h.dispatch(0x304, &add_sig());
+    h.unit.restore(&snap);
+    h.rewind_to(3);
+    h.commit_all();
+    h.assert_replay_matches();
+}
+
+#[test]
+fn machine_check_ordering_around_flush_points() {
+    // An abort raised at the switch boundary: machine check before the
+    // flush (host aborts, OS flushes) and a later one with no flush
+    // after it. Counters must replay exactly.
+    let mut h = Host::new("mcheck-flush");
+    h.run_trace(0x100);
+    h.machine_check(0x100);
+    h.full_flush();
+    h.run_trace(0x100);
+    h.machine_check(0x100);
+    h.assert_replay_matches();
+    assert_eq!(h.unit.stats().machine_checks, 2);
+}
+
+#[test]
+fn back_to_back_retry_flushes_replay_identically() {
+    // Two retries without a committed trace in between (the second
+    // mismatch surfaces during the first retry's refetch). The replayer
+    // must clear and re-clear its mirror without under- or over-counting.
+    let mut h = Host::new("double-retry");
+    h.run_trace(0x100);
+    h.dispatch(0x100, &add_sig());
+    h.retry_flush(0x100);
+    h.retry_flush(0x100);
+    h.run_trace(0x100);
+    h.assert_replay_matches();
+    assert_eq!(h.unit.stats().retries, 2);
+}
+
+#[test]
+fn switch_flush_between_programs_preserves_cache_contents() {
+    // The defining property of pollute-on-switch interleaving: FullFlush
+    // clears in-flight state but NOT the ITR cache, so program A's lines
+    // survive program B's quantum and still hit afterwards.
+    let mut h = Host::new("cache-survives");
+    h.run_trace(0x100); // program A: miss, insert
+    h.full_flush(); // switch to B
+    h.run_trace(0x8100); // program B: its own miss
+    h.full_flush(); // switch back to A
+    h.run_trace(0x100); // A's line still resident: hit
+    h.assert_replay_matches();
+    assert!(h.unit.cache().peek(0x100).is_some());
+    assert!(h.unit.cache().peek(0x8100).is_some());
+    assert_eq!(h.unit.cache().stats().hits, 1);
+}
+
+#[test]
+#[should_panic(expected = "rewind to")]
+fn rewind_across_a_flush_point_is_rejected() {
+    // A rewind whose `keep` reaches across a flush is a malformed
+    // stream: the replayer's window mirror is empty, so it must refuse
+    // rather than silently restore a stale snapshot.
+    let mut tap = TapStream::new("malformed");
+    tap.record_dispatch(0x100, &add_sig(), 0);
+    tap.record_full_flush();
+    tap.record_rewind(1);
+    let mut replayer = TapReplayer::new(small_config());
+    replayer.replay(&tap);
+}

@@ -97,7 +97,10 @@ impl CampaignResult {
 
 /// Builds the golden references: the committed stream and the per-trace
 /// clean-signature map.
-fn golden_reference(program: &Program, max_instrs: u64) -> (Vec<CommitRecord>, HashMap<u64, u64>) {
+pub(crate) fn golden_reference(
+    program: &Program,
+    max_instrs: u64,
+) -> (Vec<CommitRecord>, HashMap<u64, u64>) {
     let mut sim = FuncSim::new(program);
     let (records, _) = sim.run_collect(max_instrs);
     let mut sigs = HashMap::new();
@@ -460,14 +463,21 @@ impl CampaignPlan {
 /// every outcome (zeros included) so all shards export the same counter
 /// set and the merged report is shard-decomposition-independent.
 fn seal_shard(shard: &mut CampaignShard, counts: &BTreeMap<Outcome, u32>) {
+    seal_report(&mut shard.report, shard.records.len(), counts);
+}
+
+/// The [`seal_shard`] core, shared with the fault-model campaigns
+/// (`crate::models`): one `injected` counter plus one counter per
+/// outcome, zeros included.
+pub(crate) fn seal_report(report: &mut Report, injected: usize, counts: &BTreeMap<Outcome, u32>) {
     let mut campaign = Counters::new();
-    let injected = campaign.register("injected", Unit::Events, "faults injected and classified");
-    campaign.set(injected, shard.records.len() as u64);
+    let c = campaign.register("injected", Unit::Events, "faults injected and classified");
+    campaign.set(c, injected as u64);
     for outcome in Outcome::ALL {
         let c = campaign.register(outcome.label(), Unit::Events, "faults with this outcome");
         campaign.set(c, u64::from(*counts.get(&outcome).unwrap_or(&0)));
     }
-    shard.report.push_section("campaign", &campaign, &[]);
+    report.push_section("campaign", &campaign, &[]);
 }
 
 impl CampaignResult {

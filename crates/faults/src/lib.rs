@@ -27,9 +27,14 @@
 
 mod campaign;
 mod classify;
+mod models;
 
 pub use campaign::{
     observe_fault, observe_fault_multi, run_campaign, shard_bounds, validate_active_recovery,
     CampaignConfig, CampaignPlan, CampaignResult, CampaignShard, FaultRecord,
 };
-pub use classify::{classify, Observation, Outcome};
+pub use classify::{classify, classify_logical, Observation, Outcome};
+pub use models::{
+    observe_model, validate_model_recovery, FaultModel, FaultPersistence, ModelKind, ModelPlan,
+    ModelRecord, ModelShard,
+};

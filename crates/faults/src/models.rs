@@ -1,0 +1,671 @@
+//! Fault-model library beyond single-bit SEU (hostile environments).
+//!
+//! The paper's §4 campaign injects exactly one single-event upset per
+//! run. Deployed hardware also faces *multi-bit* upsets (one particle
+//! strike flipping physically adjacent latches, or independent strikes
+//! within a window), *defect-induced* stuck-at and intermittent faults
+//! (ITHICA's fault class: a marginal circuit active for a window with a
+//! duty cycle), and *burst* noise clustered around an upset — including
+//! during the ITR retry itself, which stresses the recovery controller.
+//!
+//! Each [`FaultModel`] expands to the `itr-sim` fault-injection hooks
+//! ([`DecodeFault`], [`SignalFault`], [`BurstFault`]) and is observed
+//! and classified through the same passive-run machinery and outcome
+//! taxonomy as the SEU campaign, so Figure-8-style outcome profiles are
+//! directly comparable across models.
+//!
+//! ## Soundness notes
+//!
+//! One model instance is one *logical* fault, however many decodes it
+//! strikes; [`observe_model`] therefore produces exactly one
+//! [`Observation`] (and [`crate::classify_logical`] folds multi-epoch
+//! observations) so a stuck-at fault is never tallied as thousands of
+//! injections. Active-mode recovery prediction (`ITR+SDC+R` ⇒ retry
+//! succeeds) is only sound for [`FaultPersistence::Transient`] models:
+//! a persistent or intermittent fault can re-strike the refetched trace,
+//! so [`FaultModel::active_recovery_sound`] gates which instances the
+//! differential oracles (`itr-fuzz`) may validate that way.
+
+use crate::campaign::{golden_reference, seal_report, CampaignConfig};
+use crate::classify::{classify, Observation, Outcome};
+use itr_core::{ItrConfig, ItrEvent, ItrMode};
+use itr_isa::Program;
+use itr_sim::{
+    BurstFault, CommitRecord, DecodeFault, Pipeline, PipelineConfig, RunExit, SignalFault, SignalOp,
+};
+use itr_stats::{Report, SplitMix64};
+use std::collections::{BTreeMap, HashMap};
+
+/// How long a fault model keeps perturbing the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPersistence {
+    /// Strikes one dynamic instant and is gone (SEU-like). Retrying the
+    /// detected trace re-executes fault-free, so active-mode recovery
+    /// predictions are sound.
+    Transient,
+    /// Active over a bounded window (possibly with a duty cycle); a
+    /// retry inside the window may be struck again.
+    Intermittent,
+    /// Active for the rest of the run (hard defect); every retry of an
+    /// affected trace re-strikes.
+    Persistent,
+}
+
+/// The fault-model kinds of the hostile-environment study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ModelKind {
+    /// Baseline single-event upset (the paper's §4 model).
+    Seu,
+    /// One strike flipping 2–3 physically adjacent signal bits.
+    MultiBitAdjacent,
+    /// 2–4 independent bit flips on the same decoded instruction.
+    MultiBitRandom,
+    /// A signal bit stuck at 0 for a window of decodes.
+    StuckAt0,
+    /// A signal bit stuck at 1 for a window of decodes.
+    StuckAt1,
+    /// ITHICA-style intermittent: repeated flips of one bit, active
+    /// `duty`-in-`period` decodes inside a bounded window.
+    Intermittent,
+    /// An SEU whose detection arms a noise burst striking the decodes
+    /// that follow the first mismatch — in active mode, the retry.
+    BurstOnRetry,
+}
+
+impl ModelKind {
+    /// Every kind, in report order.
+    pub const ALL: [ModelKind; 7] = [
+        ModelKind::Seu,
+        ModelKind::MultiBitAdjacent,
+        ModelKind::MultiBitRandom,
+        ModelKind::StuckAt0,
+        ModelKind::StuckAt1,
+        ModelKind::Intermittent,
+        ModelKind::BurstOnRetry,
+    ];
+
+    /// Stable label used in reports, CSVs and counter names.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::Seu => "seu",
+            ModelKind::MultiBitAdjacent => "mbu-adjacent",
+            ModelKind::MultiBitRandom => "mbu-random",
+            ModelKind::StuckAt0 => "stuck-at-0",
+            ModelKind::StuckAt1 => "stuck-at-1",
+            ModelKind::Intermittent => "intermittent",
+            ModelKind::BurstOnRetry => "burst-on-retry",
+        }
+    }
+}
+
+/// One concrete fault-model instance (one *logical* fault).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultModel {
+    /// Single-bit upset on one decoded instruction.
+    Seu(DecodeFault),
+    /// `width` adjacent bits (`bit..bit+width`) flipped on one decode.
+    MultiBitAdjacent {
+        /// Zero-based decode index struck.
+        nth_decode: u64,
+        /// Lowest flipped bit.
+        bit: u32,
+        /// Number of adjacent bits flipped (`bit + width <= 64`).
+        width: u32,
+    },
+    /// Independent distinct bits flipped on one decode.
+    MultiBitRandom {
+        /// Zero-based decode index struck.
+        nth_decode: u64,
+        /// Distinct flipped bit positions.
+        bits: Vec<u32>,
+    },
+    /// One bit forced to `value` for `[from_decode, until_decode)`.
+    StuckAt {
+        /// First struck decode index.
+        from_decode: u64,
+        /// Exclusive end (`u64::MAX` = hard defect for the rest of the run).
+        until_decode: u64,
+        /// Stuck bit position.
+        bit: u32,
+        /// Forced value.
+        value: bool,
+    },
+    /// Repeated flips with a duty cycle inside a bounded window.
+    Intermittent {
+        /// First decode index of the active window.
+        from_decode: u64,
+        /// Exclusive end of the active window.
+        until_decode: u64,
+        /// Flipped bit position.
+        bit: u32,
+        /// Duty-cycle period in decodes.
+        period: u64,
+        /// Active decodes per period.
+        duty: u64,
+    },
+    /// A primary SEU plus a burst armed by the first ITR mismatch.
+    BurstOnRetry {
+        /// The upset that causes the arming mismatch.
+        primary: DecodeFault,
+        /// Bit flipped by each burst decode.
+        bit: u32,
+        /// Burst length in decodes.
+        len: u64,
+    },
+}
+
+impl FaultModel {
+    /// This instance's kind.
+    pub fn kind(&self) -> ModelKind {
+        match self {
+            FaultModel::Seu(_) => ModelKind::Seu,
+            FaultModel::MultiBitAdjacent { .. } => ModelKind::MultiBitAdjacent,
+            FaultModel::MultiBitRandom { .. } => ModelKind::MultiBitRandom,
+            FaultModel::StuckAt { value: false, .. } => ModelKind::StuckAt0,
+            FaultModel::StuckAt { value: true, .. } => ModelKind::StuckAt1,
+            FaultModel::Intermittent { .. } => ModelKind::Intermittent,
+            FaultModel::BurstOnRetry { .. } => ModelKind::BurstOnRetry,
+        }
+    }
+
+    /// How long the fault keeps perturbing the machine.
+    pub fn persistence(&self) -> FaultPersistence {
+        match self {
+            FaultModel::Seu(_)
+            | FaultModel::MultiBitAdjacent { .. }
+            | FaultModel::MultiBitRandom { .. } => FaultPersistence::Transient,
+            FaultModel::StuckAt { until_decode: u64::MAX, .. } => FaultPersistence::Persistent,
+            FaultModel::StuckAt { .. }
+            | FaultModel::Intermittent { .. }
+            | FaultModel::BurstOnRetry { .. } => FaultPersistence::Intermittent,
+        }
+    }
+
+    /// `true` when the passive `ITR+SDC+R` classification soundly
+    /// predicts that an active-mode retry recovers: only transient
+    /// models qualify — anything that can re-strike the refetched trace
+    /// (intermittent windows, stuck-at defects, retry bursts) makes the
+    /// prediction typical-case at best.
+    pub fn active_recovery_sound(&self) -> bool {
+        self.persistence() == FaultPersistence::Transient
+    }
+
+    /// First decode index the fault can strike — the phase-1 injection
+    /// point the observer runs past before opening the window. (A
+    /// [`FaultModel::BurstOnRetry`] burst arms later, but its primary
+    /// strikes here.)
+    pub fn first_strike(&self) -> u64 {
+        match *self {
+            FaultModel::Seu(f) => f.nth_decode,
+            FaultModel::MultiBitAdjacent { nth_decode, .. } => nth_decode,
+            FaultModel::MultiBitRandom { nth_decode, .. } => nth_decode,
+            FaultModel::StuckAt { from_decode, .. } => from_decode,
+            FaultModel::Intermittent { from_decode, .. } => from_decode,
+            FaultModel::BurstOnRetry { primary, .. } => primary.nth_decode,
+        }
+    }
+
+    /// Expands the model into the pipeline's fault-injection hooks.
+    pub fn inject_into(&self, cfg: &mut PipelineConfig) {
+        match self {
+            FaultModel::Seu(f) => cfg.faults.push(*f),
+            FaultModel::MultiBitAdjacent { nth_decode, bit, width } => {
+                for i in 0..*width {
+                    cfg.faults.push(DecodeFault { nth_decode: *nth_decode, bit: bit + i });
+                }
+            }
+            FaultModel::MultiBitRandom { nth_decode, bits } => {
+                for &bit in bits {
+                    cfg.faults.push(DecodeFault { nth_decode: *nth_decode, bit });
+                }
+            }
+            FaultModel::StuckAt { from_decode, until_decode, bit, value } => {
+                cfg.signal_faults.push(SignalFault {
+                    from_decode: *from_decode,
+                    until_decode: *until_decode,
+                    bit: *bit,
+                    op: if *value { SignalOp::Stuck1 } else { SignalOp::Stuck0 },
+                    period: 0,
+                    duty: 0,
+                });
+            }
+            FaultModel::Intermittent { from_decode, until_decode, bit, period, duty } => {
+                cfg.signal_faults.push(SignalFault {
+                    from_decode: *from_decode,
+                    until_decode: *until_decode,
+                    bit: *bit,
+                    op: SignalOp::Flip,
+                    period: *period,
+                    duty: *duty,
+                });
+            }
+            FaultModel::BurstOnRetry { primary, bit, len } => {
+                cfg.faults.push(*primary);
+                cfg.burst_fault = Some(BurstFault { bit: *bit, len: *len });
+            }
+        }
+    }
+
+    /// Samples one instance of `kind` with the strike point in
+    /// `[min_decode, max_decode)`. Deterministic in the RNG state.
+    pub fn sample(
+        kind: ModelKind,
+        rng: &mut SplitMix64,
+        min_decode: u64,
+        max_decode: u64,
+    ) -> FaultModel {
+        let nth = rng.gen_range(min_decode..max_decode);
+        match kind {
+            ModelKind::Seu => {
+                FaultModel::Seu(DecodeFault { nth_decode: nth, bit: rng.gen_range(0..64) })
+            }
+            ModelKind::MultiBitAdjacent => {
+                let width: u32 = rng.gen_range(2..=3);
+                FaultModel::MultiBitAdjacent {
+                    nth_decode: nth,
+                    bit: rng.gen_range(0..(64 - width)),
+                    width,
+                }
+            }
+            ModelKind::MultiBitRandom => {
+                let k: usize = rng.gen_range(2..=4);
+                let mut bits: Vec<u32> = Vec::with_capacity(k);
+                while bits.len() < k {
+                    let b = rng.gen_range(0..64);
+                    if !bits.contains(&b) {
+                        bits.push(b);
+                    }
+                }
+                FaultModel::MultiBitRandom { nth_decode: nth, bits }
+            }
+            ModelKind::StuckAt0 | ModelKind::StuckAt1 => FaultModel::StuckAt {
+                from_decode: nth,
+                until_decode: nth + rng.gen_range(100..2_000u64),
+                bit: rng.gen_range(0..64),
+                value: kind == ModelKind::StuckAt1,
+            },
+            ModelKind::Intermittent => {
+                let period: u64 = rng.gen_range(2..20);
+                FaultModel::Intermittent {
+                    from_decode: nth,
+                    until_decode: nth + rng.gen_range(200..2_000u64),
+                    bit: rng.gen_range(0..64),
+                    period,
+                    duty: rng.gen_range(1..=period / 2 + 1),
+                }
+            }
+            ModelKind::BurstOnRetry => FaultModel::BurstOnRetry {
+                primary: DecodeFault { nth_decode: nth, bit: rng.gen_range(0..64) },
+                bit: rng.gen_range(0..64),
+                len: rng.gen_range(2..16u64),
+            },
+        }
+    }
+}
+
+/// Runs one model instance in passive-ITR mode and collects the single
+/// logical-fault observation, exactly like
+/// [`crate::observe_fault`] does for an SEU.
+pub fn observe_model(
+    program: &Program,
+    model: &FaultModel,
+    golden: &[CommitRecord],
+    itr: ItrConfig,
+    window_cycles: u64,
+) -> (Observation, Report) {
+    let mut cfg = PipelineConfig {
+        itr: Some(ItrConfig { mode: ItrMode::Passive, ..itr }),
+        spc_check: true,
+        ..PipelineConfig::default()
+    };
+    model.inject_into(&mut cfg);
+    let mut pipe = Pipeline::new(program, cfg);
+
+    let mut sdc = false;
+    let mut commit_idx = 0usize;
+    let first_strike = model.first_strike();
+
+    // Phase 1: run until the model's first possible strike has decoded
+    // (or the program ends first).
+    let chunk = 10_000u64;
+    let inject_cycle = loop {
+        let budget = pipe.cycle() + chunk;
+        let exit = pipe.run_with(budget, |r| {
+            if commit_idx >= golden.len() || golden[commit_idx] != *r {
+                sdc = true;
+            }
+            commit_idx += 1;
+            true
+        });
+        if pipe.stats().decoded > first_strike {
+            break pipe.cycle();
+        }
+        if exit != RunExit::CycleLimit || pipe.cycle() > 50_000_000 {
+            break pipe.cycle();
+        }
+    };
+
+    // Phase 2: observe at the window boundary.
+    let exit = pipe.run_with(inject_cycle + window_cycles, |r| {
+        if commit_idx >= golden.len() || golden[commit_idx] != *r {
+            sdc = true;
+        }
+        commit_idx += 1;
+        true
+    });
+    let sdc = sdc
+        || (matches!(exit, RunExit::Halted | RunExit::Aborted(_)) && commit_idx != golden.len());
+    let report =
+        Report::from_json(&pipe.stats_json()).expect("pipeline emits a valid itr-stats/v1 report");
+    let first_mismatch = if report.counter("itr", "mismatches").unwrap_or(0) == 0 {
+        None
+    } else {
+        pipe.itr_events().iter().find_map(|(_, e)| match e {
+            ItrEvent::Mismatch { start_pc, cached_signature, new_signature, .. } => {
+                Some((*start_pc, *cached_signature, *new_signature))
+            }
+            _ => None,
+        })
+    };
+    let resident_lines = pipe.itr().map(|u| u.cache().iter_lines().collect()).unwrap_or_default();
+    let obs = Observation {
+        sdc,
+        deadlock: exit == RunExit::Deadlock,
+        first_mismatch,
+        spc_fired: report.counter("pipeline", "spc_violations").unwrap_or(0) > 0,
+        resident_lines,
+    };
+    (obs, report)
+}
+
+/// Cross-validates a passive `ITR+SDC+R` classification of a *transient*
+/// model in active recovery mode: the retried trace re-executes
+/// fault-free, so the active run must reproduce the golden committed
+/// stream without a machine check.
+///
+/// Panics (via `Err`) when called for a model whose
+/// [`FaultModel::active_recovery_sound`] is false — the caller is
+/// responsible for gating, because validating a re-striking model this
+/// way is exactly the unsoundness the gate exists to prevent.
+pub fn validate_model_recovery(
+    program: &Program,
+    model: &FaultModel,
+    golden: &[CommitRecord],
+    itr: ItrConfig,
+    window_cycles: u64,
+) -> Result<(), String> {
+    if !model.active_recovery_sound() {
+        return Err(format!(
+            "{}: active-recovery validation is unsound for {:?} models",
+            model.kind().label(),
+            model.persistence()
+        ));
+    }
+    let mut cfg = PipelineConfig {
+        itr: Some(ItrConfig { mode: ItrMode::Active, ..itr }),
+        ..PipelineConfig::default()
+    };
+    model.inject_into(&mut cfg);
+    let mut pipe = Pipeline::new(program, cfg);
+    let mut diverged_at = None;
+    let mut idx = 0usize;
+    let exit = pipe.run_with(window_cycles * 4 + 1_000_000, |r| {
+        if idx >= golden.len() || golden[idx] != *r {
+            diverged_at.get_or_insert(idx);
+        }
+        idx += 1;
+        true
+    });
+    if let Some(at) = diverged_at {
+        return Err(format!("active run diverged at commit {at} despite predicted recovery"));
+    }
+    if matches!(exit, RunExit::MachineCheck { .. }) {
+        return Err("unexpected machine check in predicted-recoverable run".to_string());
+    }
+    Ok(())
+}
+
+/// One sampled model instance with its classified outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelRecord {
+    /// The injected model instance.
+    pub model: FaultModel,
+    /// Classified outcome (same taxonomy as the SEU campaign).
+    pub outcome: Outcome,
+}
+
+/// The classified records and merged report of one model-campaign shard.
+#[derive(Debug, Clone, Default)]
+pub struct ModelShard {
+    /// Records in sample order.
+    pub records: Vec<ModelRecord>,
+    /// Merged `itr-stats` report plus `campaign` outcome counters.
+    pub report: Report,
+}
+
+/// Precomputed per-(program, kind) campaign state: golden references and
+/// the full sampled model list, addressed by shards as `[lo, hi)` index
+/// ranges (same decomposition contract as [`crate::CampaignPlan`]).
+pub struct ModelPlan {
+    golden: Vec<CommitRecord>,
+    clean_sigs: HashMap<u64, u64>,
+    models: Vec<FaultModel>,
+}
+
+impl ModelPlan {
+    /// Builds the golden references and samples `cfg.faults` instances
+    /// of `kind`. The RNG seed is perturbed by the kind's position so
+    /// different kinds over the same program draw independent streams.
+    pub fn new(program: &Program, kind: ModelKind, cfg: &CampaignConfig) -> ModelPlan {
+        let golden_len = cfg.max_decode + cfg.window_cycles * 4 + 10_000;
+        let (golden, clean_sigs) = golden_reference(program, golden_len);
+        let max_decode = cfg.max_decode.min(golden.len() as u64).max(cfg.min_decode + 1);
+        let kind_idx =
+            ModelKind::ALL.iter().position(|&k| k == kind).expect("kind is in ALL") as u64;
+        let mut rng = SplitMix64::new(cfg.seed ^ (kind_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let models = (0..cfg.faults)
+            .map(|_| FaultModel::sample(kind, &mut rng, cfg.min_decode, max_decode))
+            .collect();
+        ModelPlan { golden, clean_sigs, models }
+    }
+
+    /// The sampled model list (index space for [`ModelPlan::run_range`]).
+    pub fn models(&self) -> &[FaultModel] {
+        &self.models
+    }
+
+    /// The golden committed stream (also what
+    /// [`validate_model_recovery`] compares against).
+    pub fn golden(&self) -> &[CommitRecord] {
+        &self.golden
+    }
+
+    /// The clean per-trace signature map.
+    pub fn clean_signatures(&self) -> &HashMap<u64, u64> {
+        &self.clean_sigs
+    }
+
+    /// Runs and classifies the sampled models in `[lo, hi)`.
+    pub fn run_range(
+        &self,
+        program: &Program,
+        cfg: &CampaignConfig,
+        lo: u32,
+        hi: u32,
+        cancelled: &dyn Fn() -> bool,
+    ) -> ModelShard {
+        let mut shard = ModelShard::default();
+        let mut counts: BTreeMap<Outcome, u32> = BTreeMap::new();
+        for model in &self.models[lo as usize..hi as usize] {
+            if cancelled() {
+                break;
+            }
+            let (obs, report) =
+                observe_model(program, model, &self.golden, cfg.itr, cfg.window_cycles);
+            let outcome = classify(&obs, &self.clean_sigs);
+            *counts.entry(outcome).or_insert(0) += 1;
+            shard.records.push(ModelRecord { model: model.clone(), outcome });
+            shard.report.merge(&report);
+        }
+        seal_report(&mut shard.report, shard.records.len(), &counts);
+        shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itr_isa::asm::assemble;
+    use itr_workloads::kernels;
+
+    fn cfg() -> CampaignConfig {
+        CampaignConfig {
+            faults: 8,
+            window_cycles: 20_000,
+            min_decode: 20,
+            max_decode: 2_000,
+            seed: 7,
+            ..CampaignConfig::default()
+        }
+    }
+
+    fn outcomes_for(kind: ModelKind) -> Vec<Outcome> {
+        let p = assemble(kernels::SUM_LOOP.source).unwrap();
+        let c = cfg();
+        let plan = ModelPlan::new(&p, kind, &c);
+        let shard = plan.run_range(&p, &c, 0, c.faults, &|| false);
+        assert_eq!(shard.records.len(), c.faults as usize, "every instance classified once");
+        assert_eq!(
+            shard.report.counter("campaign", "injected"),
+            Some(u64::from(c.faults)),
+            "one logical fault = one injection, however many decodes it strikes"
+        );
+        shard.records.iter().map(|r| r.outcome).collect()
+    }
+
+    #[test]
+    fn every_kind_classifies_each_instance_exactly_once() {
+        for kind in ModelKind::ALL {
+            let outcomes = outcomes_for(kind);
+            assert!(!outcomes.is_empty(), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn multi_bit_models_are_detected_in_a_hot_loop() {
+        // Distinct-bit flips never cancel in the XOR fold, so a hot loop
+        // detects multi-bit upsets at least as readily as SEUs.
+        for kind in [ModelKind::MultiBitAdjacent, ModelKind::MultiBitRandom] {
+            let outcomes = outcomes_for(kind);
+            assert!(
+                outcomes.iter().any(|o| o.itr_detected()),
+                "{}: no ITR detection in {outcomes:?}",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn stuck_at_models_classify_without_double_counting() {
+        // A stuck-at fault strikes hundreds of decodes; the campaign
+        // section must still count it as a single injection (asserted in
+        // `outcomes_for`) and the observation must classify.
+        for kind in [ModelKind::StuckAt0, ModelKind::StuckAt1] {
+            let outcomes = outcomes_for(kind);
+            assert_eq!(outcomes.len(), 8, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn intermittent_model_is_detected_or_masked_never_lost() {
+        let outcomes = outcomes_for(ModelKind::Intermittent);
+        // The taxonomy is total: every instance lands in some bucket.
+        assert_eq!(outcomes.len(), 8);
+        assert!(outcomes.iter().any(|o| o.itr_detected() || *o == Outcome::UndetMask));
+    }
+
+    #[test]
+    fn burst_on_retry_arms_only_after_a_mismatch() {
+        // A burst with an unstrikable primary (decode index far past the
+        // window) never arms: the run is fault-free.
+        let p = assemble(kernels::SUM_LOOP.source).unwrap();
+        let model = FaultModel::BurstOnRetry {
+            primary: DecodeFault { nth_decode: u64::MAX - 1, bit: 0 },
+            bit: 3,
+            len: 8,
+        };
+        let c = cfg();
+        let golden_len = c.max_decode + c.window_cycles * 4 + 10_000;
+        let (golden, clean) = golden_reference(&p, golden_len);
+        let (obs, _) = observe_model(&p, &model, &golden, c.itr, c.window_cycles);
+        assert_eq!(classify(&obs, &clean), Outcome::UndetMask);
+    }
+
+    #[test]
+    fn burst_on_retry_strikes_after_the_primary_mismatch() {
+        let outcomes = outcomes_for(ModelKind::BurstOnRetry);
+        // The primary SEU alone already mismatches in a hot loop; the
+        // burst can only add further perturbation, never hide it.
+        assert!(outcomes.iter().any(|o| o.itr_detected()), "{outcomes:?}");
+    }
+
+    #[test]
+    fn persistence_and_soundness_gates() {
+        let seu = FaultModel::Seu(DecodeFault { nth_decode: 5, bit: 1 });
+        assert_eq!(seu.persistence(), FaultPersistence::Transient);
+        assert!(seu.active_recovery_sound());
+        let hard =
+            FaultModel::StuckAt { from_decode: 5, until_decode: u64::MAX, bit: 1, value: true };
+        assert_eq!(hard.persistence(), FaultPersistence::Persistent);
+        assert!(!hard.active_recovery_sound());
+        let window =
+            FaultModel::StuckAt { from_decode: 5, until_decode: 500, bit: 1, value: false };
+        assert_eq!(window.persistence(), FaultPersistence::Intermittent);
+        let burst = FaultModel::BurstOnRetry {
+            primary: DecodeFault { nth_decode: 5, bit: 1 },
+            bit: 2,
+            len: 4,
+        };
+        assert!(!burst.active_recovery_sound());
+        assert!(validate_model_recovery(
+            &assemble(kernels::FIB.source).unwrap(),
+            &burst,
+            &[],
+            ItrConfig::paper_default(),
+            1_000
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn transient_recoverable_instances_validate_in_active_mode() {
+        let p = assemble(kernels::SUM_LOOP.source).unwrap();
+        let c = CampaignConfig { faults: 30, ..cfg() };
+        let mut validated = 0;
+        for kind in [ModelKind::Seu, ModelKind::MultiBitAdjacent, ModelKind::MultiBitRandom] {
+            let plan = ModelPlan::new(&p, kind, &c);
+            let shard = plan.run_range(&p, &c, 0, c.faults, &|| false);
+            for r in &shard.records {
+                if r.outcome == Outcome::ItrSdcR && r.model.active_recovery_sound() {
+                    validate_model_recovery(&p, &r.model, plan.golden(), c.itr, c.window_cycles)
+                        .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+                    validated += 1;
+                }
+            }
+        }
+        assert!(validated > 0, "no recoverable transient instances sampled");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_kind_faithful() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for kind in ModelKind::ALL {
+            let ma = FaultModel::sample(kind, &mut a, 10, 1_000);
+            let mb = FaultModel::sample(kind, &mut b, 10, 1_000);
+            assert_eq!(ma, mb);
+            assert_eq!(ma.kind(), kind);
+            assert!(ma.first_strike() >= 10 && ma.first_strike() < 1_000);
+        }
+    }
+}

@@ -26,7 +26,10 @@ use crate::case::FuzzCase;
 use crate::coverage;
 use crate::diag;
 use itr_core::{ItrConfig, ItrMode};
-use itr_faults::{classify, observe_fault, validate_active_recovery, FaultRecord, Outcome};
+use itr_faults::{
+    classify, observe_fault, observe_model, validate_active_recovery, validate_model_recovery,
+    FaultModel, FaultRecord, ModelKind, Outcome,
+};
 use itr_isa::{DecodeSignals, Program, SignalFlags};
 use itr_sim::{
     CommitRecord, DecodeFault, FuncSim, Pipeline, PipelineConfig, RunExit, StopReason, TraceStream,
@@ -441,8 +444,69 @@ fn check_one_fault(
     (outcome, None)
 }
 
+/// Checks one extended fault model against the consistency oracle.
+///
+/// The soundness split mirrors [`check_one_fault`], adjusted for
+/// persistence:
+///
+/// * the mask-contradiction check is sound for **every** model — the
+///   verdict is derived from exactly the observation bits it is checked
+///   against, regardless of how many times the model struck;
+/// * the [`Outcome::ItrSdcR`] active-recovery check is applied only
+///   when [`FaultModel::active_recovery_sound`] holds (transient
+///   models). Persistent and intermittent models re-strike during the
+///   retry window, so active-mode recovery is not predicted by the
+///   passive verdict and checking it would manufacture false findings.
+///
+/// Model findings carry `fault: None`: the persisted-regression replay
+/// path covers single-SEU faults only, and the model itself is quoted
+/// in the detail string.
+fn check_one_model(
+    program: &Program,
+    golden: &[CommitRecord],
+    clean_sigs: &HashMap<u64, u64>,
+    model: &FaultModel,
+    cfg: &OracleConfig,
+) -> (Outcome, Option<Finding>) {
+    let passive = ItrConfig { mode: ItrMode::Passive, ..ItrConfig::paper_default() };
+    let (obs, _report) = observe_model(program, model, golden, passive, cfg.window_cycles);
+    let outcome = classify(&obs, clean_sigs);
+    let claims_mask =
+        matches!(outcome, Outcome::ItrMask | Outcome::MayItrMask | Outcome::UndetMask);
+    if claims_mask && (obs.sdc || obs.deadlock) {
+        let finding = Finding {
+            kind: OracleKind::FaultConsistency,
+            detail: format!(
+                "model {model:?}: classified {outcome:?} but observation shows sdc={} deadlock={}",
+                obs.sdc, obs.deadlock
+            ),
+            fault: None,
+        };
+        return (outcome, Some(finding));
+    }
+    if outcome == Outcome::ItrSdcR && model.active_recovery_sound() {
+        if let Err(e) = validate_model_recovery(
+            program,
+            model,
+            golden,
+            ItrConfig::paper_default(),
+            cfg.window_cycles,
+        ) {
+            let finding = Finding {
+                kind: OracleKind::FaultConsistency,
+                detail: format!("model {model:?} classified {outcome:?}: {e}"),
+                fault: None,
+            };
+            return (outcome, Some(finding));
+        }
+    }
+    (outcome, None)
+}
+
 /// Oracle 3: classifier verdicts versus architectural ground truth, for
-/// `cfg.fault_count` randomly placed decode faults.
+/// `cfg.fault_count` randomly placed decode faults plus one sampled
+/// extended fault model per evaluation (the kind rotates with the RNG,
+/// so a long campaign exercises all seven).
 fn check_faults(
     program: &Program,
     golden: &[CommitRecord],
@@ -460,6 +524,11 @@ fn check_faults(
         out.features.push(coverage::outcome_feature(outcome));
         out.findings.extend(finding);
     }
+    let kind = ModelKind::ALL[rng.gen_range(0..ModelKind::ALL.len())];
+    let model = FaultModel::sample(kind, rng, 2, golden.len() as u64);
+    let (outcome, finding) = check_one_model(program, golden, &clean_sigs, &model, cfg);
+    out.features.push(coverage::outcome_feature(outcome).wrapping_add(kind as u32 + 1));
+    out.findings.extend(finding);
 }
 
 /// Replays exactly one fault against the consistency oracle — the
@@ -559,6 +628,49 @@ mod tests {
         }
         let d = diag::first_divergence(&program, &golden, &actual).expect("tampered");
         assert!(d.to_string().contains("first divergent commit"));
+    }
+
+    #[test]
+    fn every_fault_model_kind_is_oracle_sound() {
+        // Each extended model kind, sampled over a halting generated
+        // program, must classify without contradicting the architectural
+        // observation — the always-sound half of the consistency oracle,
+        // plus the active-recovery half where the model is transient.
+        let cfg = OracleConfig::default();
+        let mut gen_rng = SplitMix64::new(11);
+        let (case, golden) = loop {
+            let case = gen::generate(&mut gen_rng, 48);
+            let program = case.program();
+            let mut sim = FuncSim::new(&program);
+            let (golden, stop) = sim.run_collect(cfg.max_instrs);
+            if stop == StopReason::Halted && golden.len() >= 20 {
+                break (case, golden);
+            }
+        };
+        let program = case.program();
+        let clean_sigs = clean_signatures(&program, cfg.max_instrs);
+        let mut rng = SplitMix64::new(0xE21);
+        for kind in ModelKind::ALL {
+            for _ in 0..3 {
+                let model = FaultModel::sample(kind, &mut rng, 2, golden.len() as u64);
+                let (outcome, finding) =
+                    check_one_model(&program, &golden, &clean_sigs, &model, &cfg);
+                assert!(
+                    finding.is_none(),
+                    "{}: {model:?} -> {outcome:?}: {:?}",
+                    kind.label(),
+                    finding.map(|f| f.detail)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn model_checks_are_deterministic() {
+        let a = eval_seed(4, true);
+        let b = eval_seed(4, true);
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.findings.len(), b.findings.len());
     }
 
     #[test]

@@ -15,6 +15,79 @@ pub struct DecodeFault {
     pub bit: u32,
 }
 
+/// How a [`SignalFault`] perturbs its target bit while active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalOp {
+    /// XOR the bit — a transient upset repeated on every active decode.
+    Flip,
+    /// Force the bit to 0 — a defect-induced stuck-at-0.
+    Stuck0,
+    /// Force the bit to 1 — a stuck-at-1.
+    Stuck1,
+}
+
+/// A multi-cycle decode-signal fault: one *logical* fault that perturbs
+/// `bit` of the packed signal vector of every decoded instruction whose
+/// decode index lies in `[from_decode, until_decode)` and falls inside
+/// the active part of the duty window. `period <= 1` means always
+/// active within the window; otherwise the fault is active for the
+/// first `duty` of every `period` decodes (an ITHICA-style intermittent
+/// window fault). A one-decode window with [`SignalOp::Flip`]
+/// degenerates to a classic [`DecodeFault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalFault {
+    /// First decode index (zero-based, wrong-path decodes count) struck.
+    pub from_decode: u64,
+    /// Exclusive end of the struck decode range (`u64::MAX` = for the
+    /// rest of the run: a permanent defect).
+    pub until_decode: u64,
+    /// Bit position within the packed signal vector (0..64).
+    pub bit: u32,
+    /// Perturbation applied while active.
+    pub op: SignalOp,
+    /// Duty-cycle period in decodes (`<= 1` = continuously active).
+    pub period: u64,
+    /// Active decodes per period (clamped to at least 1).
+    pub duty: u64,
+}
+
+impl SignalFault {
+    /// `true` when the fault perturbs the `nth_decode`-th decode.
+    pub fn strikes(&self, nth_decode: u64) -> bool {
+        if nth_decode < self.from_decode || nth_decode >= self.until_decode {
+            return false;
+        }
+        if self.period <= 1 {
+            return true;
+        }
+        (nth_decode - self.from_decode) % self.period < self.duty.max(1)
+    }
+
+    /// Applies the perturbation to a packed signal vector.
+    pub fn apply(&self, packed: u64) -> u64 {
+        let mask = 1u64 << (self.bit % 64);
+        match self.op {
+            SignalOp::Flip => packed ^ mask,
+            SignalOp::Stuck0 => packed & !mask,
+            SignalOp::Stuck1 => packed | mask,
+        }
+    }
+}
+
+/// A burst fault armed by the first ITR signature mismatch of the run:
+/// each of the `len` decodes that follow the cycle the mismatch
+/// surfaces has `bit` flipped. In active mode those decodes are the
+/// refetched (retried) trace, so the burst strikes *during retry* and
+/// stresses the recovery controller; in passive mode it models a noise
+/// burst clustered around the first upset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstFault {
+    /// Bit position within the packed signal vector (0..64).
+    pub bit: u32,
+    /// Number of consecutive decodes struck once armed.
+    pub len: u64,
+}
+
 /// A planned single-event upset in the *rename unit* (§1 of the paper
 /// sketches extending ITR to the rename map table): flip one bit of the
 /// architectural index used by the map-table lookup for one operand of
@@ -91,6 +164,12 @@ pub struct PipelineConfig {
     /// blind spot (§2.1: an even number of flips of the same signal bit
     /// within one trace cancels).
     pub faults: Vec<DecodeFault>,
+    /// Planned multi-cycle decode-signal faults (stuck-at, intermittent
+    /// window, repeated flips). Each entry is one logical fault that may
+    /// strike many decodes; see [`SignalFault`].
+    pub signal_faults: Vec<SignalFault>,
+    /// Planned burst fault armed by the first ITR mismatch, if any.
+    pub burst_fault: Option<BurstFault>,
     /// Planned fetch-reorder fault: swap the instruction words of the
     /// `n`-th and `n+1`-th decode slots (PCs keep their positions). XOR
     /// signatures are order-insensitive and cannot see a within-trace
@@ -145,6 +224,8 @@ impl Default for PipelineConfig {
             checkpoint_min_gap: 10_000,
             spc_check: true,
             faults: Vec::new(),
+            signal_faults: Vec::new(),
+            burst_fault: None,
             swap_fault: None,
             tac_check: false,
             scheduler_fault: None,
@@ -169,5 +250,41 @@ mod tests {
     fn with_itr_enables_the_unit() {
         assert!(PipelineConfig::with_itr().itr.is_some());
         assert!(PipelineConfig::default().itr.is_none());
+    }
+
+    #[test]
+    fn signal_fault_window_and_duty_cycle() {
+        let f = SignalFault {
+            from_decode: 10,
+            until_decode: 20,
+            bit: 3,
+            op: SignalOp::Flip,
+            period: 4,
+            duty: 2,
+        };
+        assert!(!f.strikes(9), "before the window");
+        assert!(f.strikes(10) && f.strikes(11), "active phase of the duty cycle");
+        assert!(!f.strikes(12) && !f.strikes(13), "inactive phase");
+        assert!(f.strikes(14) && f.strikes(15), "next period");
+        assert!(!f.strikes(20), "window end is exclusive");
+        let always = SignalFault { period: 0, ..f };
+        assert!((10..20).all(|i| always.strikes(i)));
+    }
+
+    #[test]
+    fn signal_fault_ops_apply_to_the_packed_vector() {
+        let f = |op| SignalFault {
+            from_decode: 0,
+            until_decode: u64::MAX,
+            bit: 3,
+            op,
+            period: 0,
+            duty: 0,
+        };
+        assert_eq!(f(SignalOp::Flip).apply(0b1000), 0);
+        assert_eq!(f(SignalOp::Flip).apply(0), 0b1000);
+        assert_eq!(f(SignalOp::Stuck0).apply(0b1000), 0);
+        assert_eq!(f(SignalOp::Stuck1).apply(0), 0b1000);
+        assert_eq!(f(SignalOp::Stuck1).apply(0b1000), 0b1000, "stuck-at is idempotent");
     }
 }

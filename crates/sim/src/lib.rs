@@ -49,7 +49,9 @@ pub mod semantics;
 pub use arch::{ArchState, CommitRecord, FCC_REG, NUM_ARCH_REGS};
 pub use branch::{Btb, Gshare, ReturnStack};
 pub use cache::{CacheGeometry, TimingCache};
-pub use config::{DecodeFault, PipelineConfig, RenameFault, SchedulerFault};
+pub use config::{
+    BurstFault, DecodeFault, PipelineConfig, RenameFault, SchedulerFault, SignalFault, SignalOp,
+};
 pub use func::{record_tap, FuncSim, StopReason, TraceStream};
 pub use mem::Memory;
 pub use pipeline::{Pipeline, PipelineStats, RunExit, SpcViolation, Stage, StageEvent};

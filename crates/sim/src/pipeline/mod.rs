@@ -48,7 +48,7 @@ pub use stats::{PipelineStats, Stage, StageEvent};
 
 use crate::arch::CommitRecord;
 use crate::cache::TimingCache;
-use crate::config::{DecodeFault, PipelineConfig};
+use crate::config::{DecodeFault, PipelineConfig, SignalFault};
 use crate::mem::Memory;
 use frontend::Frontend;
 use itr_core::{CoarseCheckpointer, ItrEvent, ItrUnit, SequentialPcChecker, TapStream, Watchdog};
@@ -122,6 +122,10 @@ pub struct Pipeline {
 
     // Fault injection.
     pub(in crate::pipeline) faults: Vec<DecodeFault>,
+    pub(in crate::pipeline) signal_faults: Vec<SignalFault>,
+    /// First decode index the armed burst fault strikes (`None` until
+    /// the first ITR mismatch surfaces).
+    pub(in crate::pipeline) burst_from: Option<u64>,
     pub(in crate::pipeline) swap_done: bool,
 
     /// `itr-tap/v1` recorder: when enabled, every ITR-relevant dispatch,
@@ -179,6 +183,8 @@ impl Pipeline {
             redundant_verify: None,
             verified_miss: None,
             faults: cfg.faults.clone(),
+            signal_faults: cfg.signal_faults.clone(),
+            burst_from: None,
             swap_done: false,
             tap: None,
             output: String::new(),
@@ -322,7 +328,17 @@ impl Pipeline {
         }
         if let Some(unit) = &mut self.itr {
             let cycle = self.cycle;
-            self.itr_events.extend(unit.drain_events().into_iter().map(|e| (cycle, e)));
+            let drained = unit.drain_events();
+            // Arm a planned burst fault on the run's first signature
+            // mismatch: the next `len` decodes (in active mode, the
+            // refetched trace) are struck.
+            if self.cfg.burst_fault.is_some()
+                && self.burst_from.is_none()
+                && drained.iter().any(|e| matches!(e, ItrEvent::Mismatch { .. }))
+            {
+                self.burst_from = Some(self.metrics.get(self.metrics.decoded));
+            }
+            self.itr_events.extend(drained.into_iter().map(|e| (cycle, e)));
         }
         if self.exit.is_none() && self.wdog.expired(self.cycle) {
             self.exit = Some(RunExit::Deadlock);

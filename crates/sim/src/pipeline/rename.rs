@@ -108,6 +108,31 @@ impl Pipeline {
                     self.metrics.event(self.cycle, Stage::Dispatch, f.pc, "decode fault injected");
                 }
             }
+            // Multi-cycle faults (stuck-at / intermittent / repeated
+            // flips) perturb the packed vector of every struck decode.
+            for fault in &self.signal_faults {
+                if fault.strikes(decoded_so_far) {
+                    let packed = sig.pack();
+                    let struck = fault.apply(packed);
+                    if struck != packed {
+                        sig = DecodeSignals::unpack(struck);
+                        self.metrics.event(
+                            self.cycle,
+                            Stage::Dispatch,
+                            f.pc,
+                            "signal fault active",
+                        );
+                    }
+                }
+            }
+            // An armed burst fault strikes the next `len` decodes after
+            // the run's first ITR mismatch.
+            if let (Some(burst), Some(from)) = (self.cfg.burst_fault, self.burst_from) {
+                if decoded_so_far >= from && decoded_so_far < from.saturating_add(burst.len) {
+                    sig = sig.with_bit_flipped(burst.bit % 64);
+                    self.metrics.event(self.cycle, Stage::Dispatch, f.pc, "burst fault injected");
+                }
+            }
             self.metrics.inc(self.metrics.decoded);
 
             // Rename: derive the map-table indexes, strike them with the

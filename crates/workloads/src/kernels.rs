@@ -844,6 +844,197 @@ done:
 "#,
 };
 
+/// Run-length encoding: compress a 48-byte buffer of runs into
+/// (count, value) pairs, then print a checksum folding each pair and the
+/// pair count — an RLE/LZ-style compression loop dominated by a
+/// data-dependent inner scan.
+pub const RLE_COMPRESS: Kernel = Kernel {
+    name: "rle_compress",
+    expected_output: "183221",
+    source: r#"
+.data
+inp: .byte 0x41, 0x41, 0x41, 0x41, 0x41, 0x41, 0x41
+     .byte 0x42, 0x42, 0x42
+     .byte 0x43
+     .byte 0x44, 0x44, 0x44, 0x44, 0x44, 0x44, 0x44, 0x44, 0x44, 0x44, 0x44, 0x44
+     .byte 0x45, 0x45, 0x45, 0x45, 0x45
+     .byte 0x46, 0x46
+     .byte 0x47, 0x47, 0x47, 0x47, 0x47, 0x47, 0x47, 0x47, 0x47
+     .byte 0x48, 0x48, 0x48, 0x48
+     .byte 0x41, 0x41, 0x41, 0x41, 0x41
+out: .space 96
+.text
+main:
+    la r8, inp           # input cursor
+    li r16, 48           # bytes remaining
+    la r17, out          # output cursor
+    li r18, 0            # pairs emitted
+    li r19, 0            # checksum
+rle_loop:
+    blez r16, rle_done
+    lbu r9, 0(r8)        # run value
+    li r10, 0            # run length
+run_scan:
+    lbu r11, 0(r8)
+    bne r11, r9, run_end
+    addi r10, r10, 1
+    addi r8, r8, 1
+    addi r16, r16, -1
+    bgtz r16, run_scan
+run_end:
+    sw r10, 0(r17)       # emit (count, value) pair
+    sw r9, 4(r17)
+    addi r17, r17, 8
+    addi r18, r18, 1
+    mul r12, r10, r9     # csum = csum*2 + count*value
+    sll r19, r19, 1
+    add r19, r19, r12
+    j rle_loop
+rle_done:
+    li r12, 100          # fold the pair count in
+    mul r18, r18, r12
+    add r4, r19, r18
+    trap 1
+    halt
+"#,
+};
+
+/// JSON-subset parser: a flat object of string keys and (possibly
+/// negative) integer values. Prints `sum_of_values + 1000 * keys +
+/// key_bytes` — a byte-at-a-time state machine full of data-dependent
+/// short branches, nothing like the suite's numeric loops.
+pub const JSON_PARSE: Kernel = Kernel {
+    name: "json_parse",
+    expected_output: "7513",
+    source: r#"
+.data
+doc: .asciiz "{\"alpha\":17,\"bv\":2029,\"c\":-3,\"delta\":400,\"ee\":55}"
+.text
+main:
+    la r8, doc
+    li r16, 0            # sum of values
+    li r17, 0            # number of keys
+    li r18, 0            # total key bytes
+    lbu r9, 0(r8)        # expect '{'
+    li r10, 123
+    bne r9, r10, bad
+    addi r8, r8, 1
+pair:
+    lbu r9, 0(r8)        # expect '"'
+    li r10, 34
+    bne r9, r10, bad
+    addi r8, r8, 1
+key:
+    lbu r9, 0(r8)
+    li r10, 34
+    beq r9, r10, key_end
+    addi r18, r18, 1
+    addi r8, r8, 1
+    j key
+key_end:
+    addi r8, r8, 1
+    lbu r9, 0(r8)        # expect ':'
+    li r10, 58
+    bne r9, r10, bad
+    addi r8, r8, 1
+    li r11, 1            # sign
+    lbu r9, 0(r8)
+    li r10, 45           # '-'
+    bne r9, r10, digits
+    li r11, -1
+    addi r8, r8, 1
+digits:
+    li r12, 0            # value accumulator
+digit:
+    lbu r9, 0(r8)
+    slti r10, r9, 48     # below '0'?
+    bgtz r10, num_end
+    slti r10, r9, 58     # above '9'?
+    beq r10, r0, num_end
+    li r10, 10
+    mul r12, r12, r10
+    addi r9, r9, -48
+    add r12, r12, r9
+    addi r8, r8, 1
+    j digit
+num_end:
+    mul r12, r12, r11    # apply sign
+    add r16, r16, r12
+    addi r17, r17, 1
+    lbu r9, 0(r8)
+    li r10, 44           # ','
+    beq r9, r10, next_pair
+    li r10, 125          # '}'
+    beq r9, r10, done
+bad:
+    li r4, -1
+    trap 1
+    halt
+next_pair:
+    addi r8, r8, 1
+    j pair
+done:
+    li r10, 1000
+    mul r17, r17, r10
+    add r4, r16, r17
+    add r4, r4, r18
+    trap 1
+    halt
+"#,
+};
+
+/// Packet-header parsing: walk a buffer of `[type, len, csum, payload…]`
+/// frames, verify each payload checksum, and print
+/// `valid*10000 + sum(type*len over valid frames)` — header-then-payload
+/// pointer chasing with a validation branch per frame.
+pub const PKT_PARSE: Kernel = Kernel {
+    name: "pkt_parse",
+    expected_output: "50061",
+    source: r#"
+.data
+pkts: .byte 1, 4, 100,  10, 20, 30, 40
+      .byte 2, 3, 18,   5, 6, 7
+      .byte 3, 5, 94,   50, 60, 70, 80, 90
+      .byte 4, 2, 99,   9, 9
+      .byte 5, 6, 21,   1, 2, 3, 4, 5, 6
+      .byte 6, 1, 200,  200
+      .byte 0
+.text
+main:
+    la r8, pkts
+    li r16, 0            # valid frames
+    li r17, 0            # sum of type*len over valid frames
+frame:
+    lbu r9, 0(r8)        # type (0 terminates)
+    beq r9, r0, report
+    lbu r10, 1(r8)       # len
+    lbu r11, 2(r8)       # claimed checksum
+    addi r8, r8, 3
+    li r12, 0            # payload sum
+    move r13, r10        # payload countdown
+payload:
+    blez r13, verify
+    lbu r14, 0(r8)
+    add r12, r12, r14
+    addi r8, r8, 1
+    addi r13, r13, -1
+    j payload
+verify:
+    andi r12, r12, 255
+    bne r12, r11, frame  # corrupt frame: skip
+    addi r16, r16, 1
+    mul r14, r9, r10
+    add r17, r17, r14
+    j frame
+report:
+    li r9, 10000
+    mul r16, r16, r9
+    add r4, r16, r17
+    trap 1
+    halt
+"#,
+};
+
 /// The full kernel suite.
 pub fn all() -> Vec<Kernel> {
     vec![
@@ -864,6 +1055,9 @@ pub fn all() -> Vec<Kernel> {
         NQUEENS,
         JUMPTABLE,
         HELLO,
+        RLE_COMPRESS,
+        JSON_PARSE,
+        PKT_PARSE,
     ]
 }
 

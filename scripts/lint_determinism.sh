@@ -28,6 +28,7 @@ ALLOWLIST=(
   "crates/bench/src/lib.rs:CLI extras are keyed lookups; histogram values sorted before use"
   "crates/faults/src/campaign.rs:clean-run signature map, keyed lookup only"
   "crates/faults/src/classify.rs:public classify() API takes a lookup-only map"
+  "crates/faults/src/models.rs:clean-run signature map, keyed lookup only"
   "crates/fuzz/src/corpus.rs:dedup membership set, never iterated"
   "crates/fuzz/src/oracle.rs:clean-run signature lookup maps, keyed lookup only"
   "crates/harness/src/job.rs:DAG validation state; order-insensitive checks"
@@ -53,8 +54,10 @@ allowed() {
 # artifacts — including the `itr-tap/v1` stream codec and its replay
 # fan-out (core/src/{tap,replay}.rs), whose byte-identity guarantee the
 # sweep experiments depend on — and must stay hash-free rather than
-# grow allowlist entries.
-BANNED_DIRS=(crates/analyze/src crates/stats/src crates/core/src)
+# grow allowlist entries. crates/env feeds the env.txt/env.csv artifacts
+# directly (every scenario counter it aggregates is rendered), so it is
+# banned too.
+BANNED_DIRS=(crates/analyze/src crates/stats/src crates/core/src crates/env/src)
 
 status=0
 

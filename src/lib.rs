@@ -15,8 +15,12 @@
 //! * [`sim`] — the substrate: functional simulator and the cycle-level
 //!   out-of-order pipeline with the ITR unit embedded,
 //! * [`workloads`] — assembly kernels and SPEC2K-mimic workloads,
-//! * [`faults`] — single-event-upset campaigns and the Figure-8 outcome
-//!   taxonomy,
+//! * [`faults`] — single-event-upset campaigns, the Figure-8 outcome
+//!   taxonomy, and the extended fault-model library (multi-bit upsets,
+//!   stuck-ats, intermittents, retry-window bursts),
+//! * [`env`] — hostile-environment scenarios: multi-program
+//!   interleaving through one shared ITR cache under configurable
+//!   context-switch policies,
 //! * [`fuzz`] — coverage-guided differential fuzzing of the simulator
 //!   and the ITR detection stack, with four replayable oracles,
 //! * [`analyze`] — static CFG recovery, trace-universe enumeration,
@@ -63,6 +67,7 @@
 
 pub use itr_analyze as analyze;
 pub use itr_core as core;
+pub use itr_env as env;
 pub use itr_faults as faults;
 pub use itr_fuzz as fuzz;
 pub use itr_isa as isa;

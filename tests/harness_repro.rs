@@ -53,6 +53,8 @@ fn quick_run_journals_and_resumes_without_recomputation() {
         "ablations.csv",
         "sweep.txt",
         "sweep_pareto.csv",
+        "env.txt",
+        "env.csv",
         "BENCH_repro.json",
     ] {
         assert!(out.join(artifact).exists(), "missing {artifact}");
