@@ -12,15 +12,17 @@
 
 use super::{sweep, Scale};
 use itr_core::{CoverageModel, ItrCacheConfig};
+use itr_fuzz::{FuzzConfig, Fuzzer, PowerSchedule};
 use itr_harness::{JobSpec, Registry, ShardPayload};
 use itr_sim::{FuncSim, Pipeline, PipelineConfig, TraceStream};
 use itr_stats::json::Value;
+use itr_stats::SplitMix64;
 use itr_workloads::{generate_mimic_sized, profiles};
 use std::path::Path;
 use std::time::Instant;
 
 /// Compute job families whose wall-clock the ledger records.
-pub const TIMED_FAMILIES: [&str; 14] = [
+pub const TIMED_FAMILIES: [&str; 15] = [
     "characterize",
     "coverage",
     "energy",
@@ -30,6 +32,7 @@ pub const TIMED_FAMILIES: [&str; 14] = [
     "perf-ipc",
     "ablations-units",
     "fuzz-campaign",
+    "fuzz-service",
     "analyze-suite",
     "sweep",
     "env-interleave",
@@ -43,6 +46,11 @@ pub const TIMED_FAMILIES: [&str; 14] = [
 /// from 8 direct simulations is already conservative, since the replay
 /// path amortises *one* simulation over all 1056.
 const DIRECT_SAMPLE: usize = 8;
+
+/// Fuzzing-throughput probe: iterations of the timed mini-campaign and
+/// the weighted-pick sample used to price the power scheduler.
+const FUZZ_PROBE_ITERS: u64 = 64;
+const PICK_SAMPLE: u64 = 10_000;
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
@@ -95,6 +103,34 @@ pub fn measure(scale: &Scale) -> Value {
     let direct_secs = t.elapsed().as_secs_f64();
     let direct_cps = DIRECT_SAMPLE as f64 / direct_secs;
 
+    // Fuzzing engine throughput: a timed mini-campaign at the quick
+    // oracle budgets (seeding included — it is part of every real run).
+    let fcfg = FuzzConfig::quick(scale.seed, FUZZ_PROBE_ITERS);
+    let t = Instant::now();
+    let mut fuzzer = Fuzzer::new(fcfg.clone());
+    fuzzer.seed(&|| false);
+    fuzzer.run_iters(fcfg.iters, &|| false);
+    let fuzz_secs = t.elapsed().as_secs_f64();
+    let fuzz_execs = fuzzer.execs();
+
+    // Power-scheduler overhead: price the O(corpus) weighted pick alone
+    // against the measured per-execution cost. The pick is integer
+    // arithmetic over ≤ corpus_cap entries, so the fraction is the
+    // evidence behind the "negligible next to one oracle evaluation"
+    // claim in `itr_fuzz::schedule`.
+    let mut power = PowerSchedule::new();
+    for e in fuzzer.corpus().entries() {
+        power.observe(&e.features);
+    }
+    let mut rng = SplitMix64::new(scale.seed);
+    let t = Instant::now();
+    for _ in 0..PICK_SAMPLE {
+        std::hint::black_box(power.pick(fuzzer.corpus(), &mut rng));
+    }
+    let pick_secs = t.elapsed().as_secs_f64();
+    let pick_cost = pick_secs / PICK_SAMPLE as f64;
+    let exec_cost = fuzz_secs / fuzz_execs.max(1) as f64;
+
     obj(vec![
         ("schema", Value::Str("itr-bench/v1".into())),
         ("workload", Value::Str(profile.name.to_string())),
@@ -125,6 +161,20 @@ pub fn measure(scale: &Scale) -> Value {
                 ("direct_secs", Value::Float(direct_secs)),
                 ("direct_configs_per_sec", Value::Float(direct_cps)),
                 ("replay_speedup", Value::Float(replay_cps / direct_cps)),
+            ]),
+        ),
+        (
+            "fuzz",
+            obj(vec![
+                ("iters", Value::UInt(fcfg.iters)),
+                ("execs", Value::UInt(fuzz_execs)),
+                ("secs", Value::Float(fuzz_secs)),
+                ("execs_per_sec", Value::Float(fuzz_execs as f64 / fuzz_secs)),
+                ("corpus_len", Value::UInt(fuzzer.corpus().entries().len() as u64)),
+                ("pick_sample", Value::UInt(PICK_SAMPLE)),
+                ("pick_usecs", Value::Float(pick_cost * 1e6)),
+                ("exec_usecs", Value::Float(exec_cost * 1e6)),
+                ("scheduler_overhead_frac", Value::Float(pick_cost / exec_cost)),
             ]),
         ),
     ])

@@ -3,9 +3,20 @@
 //! runs an independent deterministic fuzzing campaign (same engine the
 //! `itr-fuzz` binary drives), and the emit job renders a per-shard
 //! summary plus any findings into `fuzz.txt` / `fuzz.csv`.
+//!
+//! A second family, `fuzz-service`, demonstrates the persistent-service
+//! machinery under the harness's deterministic generation barrier: each
+//! worker shard fuzzes generation 0 and exports its novelty as an
+//! `itr-fuzz-sync/v1` document through the job blackboard; the report
+//! job then replays every worker's generation 0 (bit-identical — the
+//! engine is a pure function of its seed), imports the peers' exports,
+//! runs generation 1 on the merged frontier, and renders
+//! `fuzz_service.txt` / `fuzz_service.csv`. Unlike the wall-clock-driven
+//! `itr-fuzz serve` sync, the barrier timing is part of the job graph,
+//! so the artifact is byte-identical at any `--jobs` level.
 
 use super::{data_payload, emit_payload, get_str, get_u64, obj, Csv, Emitted, Scale};
-use itr_fuzz::{run, FuzzConfig};
+use itr_fuzz::{run, sync, FuzzConfig, Fuzzer};
 use itr_harness::{JobSpec, Registry, ShardSpec};
 use itr_stats::json::Value;
 use std::fmt::Write as _;
@@ -123,7 +134,127 @@ pub fn render_fuzz(shards: &[Value], total_iters: u64) -> Emitted {
     }
 }
 
-/// Registers the sharded campaign and its emit job.
+/// Worker count of the `fuzz-service` generation barrier. Two is enough
+/// to exercise the export/import path in both directions while keeping
+/// the report job's deterministic generation-0 replay affordable.
+pub const SERVICE_WORKERS: u32 = 2;
+
+/// Iterations per generation per service worker.
+pub fn service_gen_iters(scale: &Scale) -> u64 {
+    (scale.fuzz_iters / (u64::from(SERVICE_WORKERS) * 4)).max(8)
+}
+
+/// One service worker's engine configuration: quick oracle budgets (the
+/// family measures sync mechanics, not coverage depth) and a worker-
+/// derived seed disjoint from the campaign shards' `0x1000` stride.
+pub fn service_cfg(scale: &Scale, worker: u32) -> FuzzConfig {
+    FuzzConfig {
+        corpus_cap: 128,
+        ..FuzzConfig::quick(
+            scale.seed.wrapping_add(0x2000 * (u64::from(worker) + 1)),
+            service_gen_iters(scale),
+        )
+    }
+}
+
+/// One worker's line in the service report.
+pub struct ServiceRow {
+    pub worker: u32,
+    pub seed: u64,
+    pub gen_iters: u64,
+    pub gen0_coverage: u64,
+    pub exported: u64,
+    pub scanned: u64,
+    pub admitted: u64,
+    pub gen1_coverage: u64,
+    pub corpus_len: u64,
+    pub digest: String,
+    pub replay_ok: bool,
+}
+
+/// Renders the generation-barrier service report.
+pub fn render_fuzz_service(rows: &[ServiceRow]) -> Emitted {
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "=== itr-fuzz persistent service ({SERVICE_WORKERS} workers, generation barrier) ==="
+    );
+    let _ = writeln!(
+        text,
+        "{:<6} {:>18} {:>9} {:>8} {:>8} {:>7} {:>8} {:>8} {:>6} {:>19}",
+        "worker",
+        "seed",
+        "gen_iters",
+        "gen0_cov",
+        "exported",
+        "scanned",
+        "admitted",
+        "gen1_cov",
+        "corpus",
+        "digest"
+    );
+    let mut csv = Vec::new();
+    let mut replays_ok = true;
+    for r in rows {
+        replays_ok &= r.replay_ok;
+        let _ = writeln!(
+            text,
+            "{:<6} {:#18x} {:>9} {:>8} {:>8} {:>7} {:>8} {:>8} {:>6} {:>19}",
+            r.worker,
+            r.seed,
+            r.gen_iters,
+            r.gen0_coverage,
+            r.exported,
+            r.scanned,
+            r.admitted,
+            r.gen1_coverage,
+            r.corpus_len,
+            r.digest
+        );
+        csv.push(format!(
+            "{},{:#x},{},{},{},{},{},{},{},{},{}",
+            r.worker,
+            r.seed,
+            r.gen_iters,
+            r.gen0_coverage,
+            r.exported,
+            r.scanned,
+            r.admitted,
+            r.gen1_coverage,
+            r.corpus_len,
+            r.digest,
+            r.replay_ok
+        ));
+    }
+    if replays_ok {
+        let _ = writeln!(
+            text,
+            "\nGeneration-0 replays reproduced the barrier payloads' corpus digests\n\
+             bit-for-bit, so the sync exchange above is a pure function of the\n\
+             scale seed — the artifact is identical at any --jobs level."
+        );
+    } else {
+        let _ = writeln!(
+            text,
+            "\nWARNING: a generation-0 replay diverged from its barrier payload;\n\
+             the engine is no longer a pure function of its seed."
+        );
+    }
+    Emitted {
+        txt_name: "fuzz_service.txt",
+        text,
+        csv: Some(Csv {
+            name: "fuzz_service.csv",
+            header: "worker,seed,gen_iters,gen0_coverage,exported,scanned,admitted,\
+                     gen1_coverage,corpus_len,corpus_digest,replay_ok"
+                .to_string(),
+            rows: csv,
+        }),
+    }
+}
+
+/// Registers the sharded campaign and its emit job, plus the
+/// `fuzz-service` generation barrier and its report job.
 pub fn register(reg: &mut Registry, scale: &Scale, out: &Path) {
     let s = scale.clone();
     reg.add(JobSpec::new("fuzz-campaign", &[], move |_| {
@@ -143,5 +274,80 @@ pub fn register(reg: &mut Registry, scale: &Scale, out: &Path) {
     reg.add(JobSpec::single("fuzz", &["fuzz-campaign"], move |_, board| {
         let shards: Vec<Value> = board.expect("fuzz-campaign").data().cloned().collect();
         emit_payload(&dir, &render_fuzz(&shards, total_iters))
+    }));
+
+    // Generation 0: each worker fuzzes independently and ships its full
+    // corpus as an `itr-fuzz-sync/v1` document through the blackboard.
+    let s = scale.clone();
+    reg.add(JobSpec::new("fuzz-service", &[], move |_| {
+        (0..SERVICE_WORKERS)
+            .map(|worker| {
+                let cfg = service_cfg(&s, worker);
+                let range = (cfg.iters * u64::from(worker), cfg.iters * (u64::from(worker) + 1));
+                ShardSpec::new(worker, range, move |ctx| {
+                    let cancelled = || ctx.cancelled();
+                    let mut f = Fuzzer::new(cfg.clone());
+                    f.seed(&cancelled);
+                    f.run_iters(cfg.iters, &cancelled);
+                    let export = sync::render(&f.export_corpus());
+                    let outcome = f.outcome();
+                    data_payload(obj(vec![
+                        ("worker", Value::UInt(u64::from(worker))),
+                        ("gen0", outcome.stats_value(&cfg)),
+                        ("export", Value::Str(export)),
+                    ]))
+                })
+            })
+            .collect()
+    }));
+
+    // The barrier report: replay each worker's generation 0 (the engine
+    // is a pure function of its seed, so this reproduces the exported
+    // corpus exactly — asserted via digest), import the peers' exports,
+    // and fuzz generation 1 on the merged frontier.
+    let dir = out.to_path_buf();
+    let s = scale.clone();
+    reg.add(JobSpec::single("fuzz-service-report", &["fuzz-service"], move |ctx, board| {
+        let shards: Vec<Value> = board.expect("fuzz-service").data().cloned().collect();
+        let exports: Vec<Vec<sync::SyncRecord>> = shards
+            .iter()
+            .map(|v| {
+                sync::parse(get_str(v, "export")).expect("barrier payload carries valid sync doc")
+            })
+            .collect();
+        let cancelled = || ctx.cancelled();
+        let mut rows = Vec::new();
+        for v in &shards {
+            let worker = get_u64(v, "worker") as u32;
+            let cfg = service_cfg(&s, worker);
+            let gen0 = v.get("gen0").expect("barrier payload carries gen0 stats");
+            let mut f = Fuzzer::new(cfg.clone());
+            f.seed(&cancelled);
+            f.run_iters(cfg.iters, &cancelled);
+            let replay_ok =
+                format!("{:#018x}", f.corpus().digest()) == get_str(gen0, "corpus_digest");
+            let peers: Vec<sync::SyncRecord> = exports
+                .iter()
+                .enumerate()
+                .filter(|(w, _)| *w as u32 != worker)
+                .flat_map(|(_, recs)| recs.iter().cloned())
+                .collect();
+            let (scanned, admitted) = f.import(&peers);
+            f.run_iters(cfg.iters, &cancelled);
+            rows.push(ServiceRow {
+                worker,
+                seed: cfg.seed,
+                gen_iters: cfg.iters,
+                gen0_coverage: get_u64(gen0, "coverage"),
+                exported: exports[worker as usize].len() as u64,
+                scanned,
+                admitted,
+                gen1_coverage: f.coverage() as u64,
+                corpus_len: f.corpus().entries().len() as u64,
+                digest: format!("{:#018x}", f.corpus().digest()),
+                replay_ok,
+            });
+        }
+        emit_payload(&dir, &render_fuzz_service(&rows))
     }));
 }

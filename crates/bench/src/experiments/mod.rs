@@ -22,6 +22,7 @@
 //! perf-ipc (one shard per workload)           ──► perf-overhead
 //! ablations-units                             ──► ablations
 //! fuzz-campaign (seed-derived shards)         ──► fuzz
+//! fuzz-service (one shard per worker)         ──► fuzz-service-report
 //! analyze-suite (workload shards)             ──► analyze
 //! sweep (one tap shard per workload)          ──► sweep-pareto
 //! env-interleave, env-faultmodels,

@@ -3,8 +3,12 @@
 //!
 //! ```text
 //! itr-fuzz run [--seed N] [--iters N] [--time-secs N] [--mode quick|full]
-//!              [--out DIR] [--no-seeding]
+//!              [--schedule power|uniform] [--out DIR] [--no-seeding]
 //! itr-fuzz replay CASE.json [CASE.json ...]
+//! itr-fuzz serve [--port N] [--max-iters N] [--sync-dir DIR] [--worker N]
+//!                [--out DIR] [run options]
+//! itr-fuzz ab [--seed N] [--iters N] [--mode quick|full] [--no-seeding]
+//! itr-fuzz corpus CORPUS.jsonl
 //! ```
 //!
 //! `run` executes a deterministic fuzzing campaign: same seed and budget
@@ -16,8 +20,20 @@
 //! `replay` re-runs persisted findings under their recorded budgets.
 //! Exit status: 0 when nothing reproduces (regressions stay fixed), 1
 //! when a case still fails, 2 on usage or parse errors.
+//!
+//! `serve` runs a long-lived campaign behind `GET /stats`,
+//! `GET /findings` and `POST /shutdown` on localhost, optionally syncing
+//! its corpus with peer shards through `--sync-dir`.
+//!
+//! `ab` runs the uniform baseline for the iteration budget, notes the
+//! coverage it reached and how many oracle executions it spent, then
+//! runs the power scheduler until it matches that coverage. Exit status:
+//! 0 when the scheduler needs no more executions than the baseline.
+//!
+//! `corpus` parses a persisted `itr-fuzz-sync/v1` corpus and reports its
+//! size and digest — CI's check that a serve campaign's corpus reloads.
 
-use itr_fuzz::{FuzzConfig, RegressionCase};
+use itr_fuzz::{FuzzConfig, Fuzzer, RegressionCase, Schedule, ServeConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -28,23 +44,40 @@ itr-fuzz — coverage-guided differential fuzzing of the ITR reproduction
 USAGE:
     itr-fuzz run [OPTIONS]
     itr-fuzz replay CASE.json [CASE.json ...]
+    itr-fuzz serve [OPTIONS]
+    itr-fuzz ab [OPTIONS]
+    itr-fuzz corpus CORPUS.jsonl
 
 RUN OPTIONS:
     --seed N         master RNG seed (default 1)
     --iters N        mutation iterations (default 1000)
     --time-secs N    additional wall-clock budget; stops early when hit
     --mode quick|full  budget preset (default full; quick = smoke scale)
+    --schedule power|uniform  corpus selection policy (default power)
     --out DIR        output directory (default fuzz-out/)
     --no-seeding     skip the itr-workloads seed corpus
+
+SERVE OPTIONS (plus the run options above):
+    --port N         TCP port (default 0 = ephemeral; bound port printed
+                     as `itr-fuzz: serving on PORT`)
+    --max-iters N    stop after N iterations (default 0 = until shutdown)
+    --sync-dir DIR   shared directory for cross-shard corpus sync
+    --worker N       this worker's shard index (default 0)
+
+AB OPTIONS:
+    --seed N, --iters N, --mode, --no-seeding as for run
 ";
 
-fn run_cmd(args: &[String]) -> Result<ExitCode, String> {
+/// Consumes the engine-level flags shared by `run`, `serve` and `ab`
+/// (`--seed`, `--iters`, `--mode`, `--schedule`, `--no-seeding`) and
+/// returns the resulting config plus the unconsumed arguments.
+fn parse_fuzz_flags(args: &[String]) -> Result<(FuzzConfig, Vec<String>), String> {
     let mut seed = 1u64;
     let mut iters = 1000u64;
-    let mut time_secs: Option<u64> = None;
     let mut mode = "full".to_string();
-    let mut out = PathBuf::from("fuzz-out");
+    let mut schedule = Schedule::Power;
     let mut no_seeding = false;
+    let mut rest = Vec::new();
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -53,18 +86,14 @@ fn run_cmd(args: &[String]) -> Result<ExitCode, String> {
         match arg.as_str() {
             "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--iters" => iters = value("--iters")?.parse().map_err(|e| format!("--iters: {e}"))?,
-            "--time-secs" => {
-                time_secs =
-                    Some(value("--time-secs")?.parse().map_err(|e| format!("--time-secs: {e}"))?);
-            }
             "--mode" => mode = value("--mode")?,
-            "--out" => out = PathBuf::from(value("--out")?),
-            "--no-seeding" => no_seeding = true,
-            "--help" | "-h" => {
-                print!("{HELP}");
-                return Ok(ExitCode::SUCCESS);
+            "--schedule" => {
+                let v = value("--schedule")?;
+                schedule = Schedule::from_label(&v)
+                    .ok_or_else(|| format!("--schedule must be power or uniform, got `{v}`"))?;
             }
-            other => return Err(format!("unknown flag `{other}` (try --help)")),
+            "--no-seeding" => no_seeding = true,
+            other => rest.push(other.to_string()),
         }
     }
 
@@ -73,12 +102,39 @@ fn run_cmd(args: &[String]) -> Result<ExitCode, String> {
         "full" => FuzzConfig { seed, iters, ..FuzzConfig::default() },
         other => return Err(format!("--mode must be quick or full, got `{other}`")),
     };
+    cfg.schedule = schedule;
     cfg.skip_seeding = no_seeding;
+    Ok((cfg, rest))
+}
+
+fn run_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let (cfg, rest) = parse_fuzz_flags(args)?;
+    let mut time_secs: Option<u64> = None;
+    let mut out = PathBuf::from("fuzz-out");
+
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--time-secs" => {
+                time_secs =
+                    Some(value("--time-secs")?.parse().map_err(|e| format!("--time-secs: {e}"))?);
+            }
+            "--out" => out = PathBuf::from(value("--out")?),
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    let (seed, iters, schedule) = (cfg.seed, cfg.iters, cfg.schedule.label());
 
     let deadline = time_secs.map(|s| Instant::now() + Duration::from_secs(s));
     let cancelled = move || deadline.is_some_and(|d| Instant::now() >= d);
 
-    eprintln!("itr-fuzz: mode={mode} seed={seed} iters={iters}");
+    eprintln!("itr-fuzz: seed={seed} iters={iters} schedule={schedule}");
     let started = Instant::now();
     let outcome = itr_fuzz::run(&cfg, &cancelled);
 
@@ -148,11 +204,127 @@ fn replay_cmd(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn serve_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let (fuzz, rest) = parse_fuzz_flags(args)?;
+    let mut cfg = ServeConfig { fuzz, ..ServeConfig::default() };
+    let mut out: Option<PathBuf> = None;
+
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--port" => cfg.port = value("--port")?.parse().map_err(|e| format!("--port: {e}"))?,
+            "--max-iters" => {
+                cfg.max_iters =
+                    value("--max-iters")?.parse().map_err(|e| format!("--max-iters: {e}"))?;
+            }
+            "--sync-dir" => cfg.sync_dir = Some(PathBuf::from(value("--sync-dir")?)),
+            "--worker" => {
+                cfg.worker = value("--worker")?.parse().map_err(|e| format!("--worker: {e}"))?;
+            }
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    cfg.out_dir = Some(out.unwrap_or_else(|| PathBuf::from("fuzz-out")));
+
+    let outcome = itr_fuzz::serve(&cfg, &mut |port| {
+        // CI and scripts parse this line to find the ephemeral port.
+        println!("itr-fuzz: serving on {port}");
+    })
+    .map_err(|e| format!("serve: {e}"))?;
+    let s = &outcome.stats;
+    eprintln!(
+        "itr-fuzz: campaign done — {} iterations, {} execs, coverage {}, corpus {}, {} findings",
+        s.iterations,
+        s.execs,
+        s.coverage,
+        s.corpus_len,
+        s.findings(),
+    );
+    Ok(if s.findings() > 0 { ExitCode::from(1) } else { ExitCode::SUCCESS })
+}
+
+fn ab_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let (cfg, rest) = parse_fuzz_flags(args)?;
+    if let Some(extra) = rest.first() {
+        if extra == "--help" || extra == "-h" {
+            print!("{HELP}");
+            return Ok(ExitCode::SUCCESS);
+        }
+        return Err(format!("unknown flag `{extra}` (try --help)"));
+    }
+
+    // Baseline: uniform selection for the full iteration budget,
+    // recording the coverage trajectory. The race target is 95% of the
+    // baseline's final coverage — the last few features any engine finds
+    // are seed luck, so racing to the exact final value measures noise,
+    // while racing to the bulk of the curve measures scheduling.
+    let base_cfg = FuzzConfig { schedule: Schedule::Uniform, ..cfg.clone() };
+    let mut base = Fuzzer::new(base_cfg);
+    base.seed(&|| false);
+    let mut trajectory = vec![(base.execs(), base.coverage())];
+    for _ in 0..cfg.iters {
+        base.step();
+        trajectory.push((base.execs(), base.coverage()));
+    }
+    let target = base.coverage() * 95 / 100;
+    let base_execs =
+        trajectory.iter().find(|&&(_, c)| c >= target).map_or_else(|| base.execs(), |&(e, _)| e);
+    eprintln!(
+        "itr-fuzz: uniform reached coverage {target} (95% of {}) in {base_execs} execs",
+        base.coverage()
+    );
+
+    // Challenger: power scheduling until it reaches the same target
+    // (capped at 4x the budget so a regression still terminates).
+    let mut power = Fuzzer::new(FuzzConfig { schedule: Schedule::Power, ..cfg.clone() });
+    power.seed(&|| false);
+    while power.coverage() < target && power.iterations() < cfg.iters * 4 {
+        power.step();
+    }
+    let power_execs = power.execs();
+    eprintln!("itr-fuzz: power reached coverage {} in {power_execs} execs", power.coverage());
+
+    if power.coverage() < target {
+        eprintln!("itr-fuzz: A/B FAIL — power never reached the coverage target");
+        return Ok(ExitCode::from(1));
+    }
+    if power_execs > base_execs {
+        eprintln!("itr-fuzz: A/B FAIL — power spent {power_execs} execs vs uniform's {base_execs}");
+        return Ok(ExitCode::from(1));
+    }
+    eprintln!(
+        "itr-fuzz: A/B ok — power reached coverage {target} with {} of uniform's execs",
+        format_args!("{power_execs}/{base_execs}")
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn corpus_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args else {
+        return Err("corpus needs exactly one CORPUS.jsonl path".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let records = itr_fuzz::sync::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let digest = records.iter().fold(0u64, |h, r| h ^ r.case.fingerprint());
+    eprintln!("itr-fuzz: {path}: {} cases, digest {digest:#018x}", records.len());
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => run_cmd(&args[1..]),
         Some("replay") => replay_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("ab") => ab_cmd(&args[1..]),
+        Some("corpus") => corpus_cmd(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{HELP}");
             return ExitCode::SUCCESS;

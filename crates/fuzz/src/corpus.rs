@@ -17,7 +17,7 @@ use crate::oracle::{self, Finding, OracleConfig, OracleKind};
 use itr_sim::DecodeFault;
 use itr_stats::json::Value;
 use itr_stats::SplitMix64;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 
 /// Schema tag of the persisted finding format.
 pub const FINDING_SCHEMA: &str = "itr-fuzz-finding/v1";
@@ -35,37 +35,163 @@ pub fn seed_corpus(seed: u64, mimic_instrs: u64) -> Vec<FuzzCase> {
     seeds
 }
 
+/// One retained case together with the scheduling metadata the power
+/// scheduler and the eviction policy consume.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The case itself.
+    pub case: FuzzCase,
+    /// `case.fingerprint()`, computed once at insertion —
+    /// [`FuzzCase::fingerprint`] re-encodes the whole text and hashes
+    /// the data image, far too expensive for the per-pick probing the
+    /// power scheduler does.
+    pub fingerprint: u64,
+    /// Every coverage feature the case's evaluation lit (sorted,
+    /// deduplicated) — the eviction policy's cover sets.
+    pub features: Vec<u32>,
+    /// The subset of `features` this entry was the *first* to light —
+    /// its novelty claim, which the power scheduler weighs by rarity.
+    pub novel: Vec<u32>,
+    /// Mutation-chain depth: workload seeds and fresh cases are 0, a
+    /// mutant is its parent's depth + 1.
+    pub depth: u32,
+    /// Insertion ordinal (for age accounting).
+    pub inserted_at: u64,
+}
+
+/// Growth/retention accounting, exported with the run statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// Cases currently retained.
+    pub len: usize,
+    /// Total successful inserts (including later-evicted cases).
+    pub inserts: u64,
+    /// Entries displaced by the ring-replacement policy.
+    pub evictions: u64,
+    /// Evictions where every candidate was the sole cover of some
+    /// feature, so protection had to be overridden.
+    pub forced_evictions: u64,
+    /// Pushes rejected as fingerprint duplicates.
+    pub duplicates: u64,
+    /// Features currently covered by exactly one retained entry (the
+    /// entries the eviction policy protects).
+    pub sole_cover_features: usize,
+    /// Mean age of retained entries, in inserts since insertion.
+    pub mean_age: u64,
+    /// Age of the oldest retained entry, in inserts since insertion.
+    pub max_age: u64,
+}
+
 /// The retained corpus: deduplicated by fingerprint, bounded, replaced
-/// ring-wise once full so late novelty still lands.
+/// ring-wise once full so late novelty still lands — except that an
+/// entry which is the only retained cover of some coverage feature is
+/// skipped over (evicting it would forget the only witness of that
+/// behaviour; see [`CorpusStats::forced_evictions`] for the fallback).
 #[derive(Debug, Clone)]
 pub struct Corpus {
-    entries: Vec<FuzzCase>,
+    entries: Vec<CorpusEntry>,
     seen: HashSet<u64>,
+    /// feature → number of retained entries whose `features` contain it.
+    cover: BTreeMap<u32, u32>,
     cap: usize,
-    inserts: usize,
+    inserts: u64,
+    evictions: u64,
+    forced_evictions: u64,
+    duplicates: u64,
 }
 
 impl Corpus {
     /// An empty corpus holding at most `cap` cases.
     pub fn new(cap: usize) -> Corpus {
-        Corpus { entries: Vec::new(), seen: HashSet::new(), cap: cap.max(1), inserts: 0 }
+        Corpus {
+            entries: Vec::new(),
+            seen: HashSet::new(),
+            cover: BTreeMap::new(),
+            cap: cap.max(1),
+            inserts: 0,
+            evictions: 0,
+            forced_evictions: 0,
+            duplicates: 0,
+        }
     }
 
-    /// Adds `case` unless an identical case is already present. Returns
-    /// whether the corpus changed.
+    /// Adds `case` with empty scheduling metadata (tests and legacy
+    /// paths). Returns whether the corpus changed.
     pub fn push(&mut self, case: FuzzCase) -> bool {
-        if !self.seen.insert(case.fingerprint()) {
+        self.push_with(case, Vec::new(), Vec::new(), 0)
+    }
+
+    /// Adds `case` with its lit features, its first-lit (novel) features
+    /// and its mutation depth, unless an identical case is already
+    /// present. Returns whether the corpus changed.
+    pub fn push_with(
+        &mut self,
+        case: FuzzCase,
+        mut features: Vec<u32>,
+        mut novel: Vec<u32>,
+        depth: u32,
+    ) -> bool {
+        let fingerprint = case.fingerprint();
+        if !self.seen.insert(fingerprint) {
+            self.duplicates += 1;
             return false;
         }
+        features.sort_unstable();
+        features.dedup();
+        novel.sort_unstable();
+        novel.dedup();
+        let entry =
+            CorpusEntry { case, fingerprint, features, novel, depth, inserted_at: self.inserts };
         if self.entries.len() < self.cap {
-            self.entries.push(case);
+            self.add_cover(&entry);
+            self.entries.push(entry);
         } else {
-            let victim = self.inserts % self.cap;
-            self.seen.remove(&self.entries[victim].fingerprint());
-            self.entries[victim] = case;
+            let victim = self.pick_victim();
+            self.remove_cover(victim);
+            self.seen.remove(&self.entries[victim].fingerprint);
+            self.add_cover(&entry);
+            self.entries[victim] = entry;
+            self.evictions += 1;
         }
         self.inserts += 1;
         true
+    }
+
+    /// The ring slot to displace: the first candidate at or after the
+    /// ring cursor that is not the sole cover of any feature. When every
+    /// entry is protected, the cursor slot is sacrificed anyway (counted
+    /// as a forced eviction) so the corpus keeps accepting novelty.
+    fn pick_victim(&mut self) -> usize {
+        let start = (self.inserts % self.cap as u64) as usize;
+        for i in 0..self.entries.len() {
+            let idx = (start + i) % self.entries.len();
+            if !self.is_sole_cover(idx) {
+                return idx;
+            }
+        }
+        self.forced_evictions += 1;
+        start
+    }
+
+    fn is_sole_cover(&self, idx: usize) -> bool {
+        self.entries[idx].features.iter().any(|f| self.cover.get(f).copied().unwrap_or(0) == 1)
+    }
+
+    fn add_cover(&mut self, entry: &CorpusEntry) {
+        for &f in &entry.features {
+            *self.cover.entry(f).or_insert(0) += 1;
+        }
+    }
+
+    fn remove_cover(&mut self, idx: usize) {
+        for f in &self.entries[idx].features {
+            if let Some(n) = self.cover.get_mut(f) {
+                *n -= 1;
+                if *n == 0 {
+                    self.cover.remove(f);
+                }
+            }
+        }
     }
 
     /// Number of retained cases.
@@ -78,19 +204,49 @@ impl Corpus {
         self.entries.is_empty()
     }
 
-    /// A deterministic random pick, or `None` when empty.
+    /// True when an identical case is already retained.
+    pub fn contains(&self, fingerprint: u64) -> bool {
+        self.seen.contains(&fingerprint)
+    }
+
+    /// The retained entries, in slot order.
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// A deterministic uniform random pick, or `None` when empty (the
+    /// baseline the power scheduler is measured against).
     pub fn pick<'a>(&'a self, rng: &mut SplitMix64) -> Option<&'a FuzzCase> {
         if self.entries.is_empty() {
             None
         } else {
-            Some(&self.entries[rng.gen_range(0..self.entries.len())])
+            Some(&self.entries[rng.gen_range(0..self.entries.len())].case)
         }
     }
 
     /// XOR-fold over the retained fingerprints — a cheap order-insensitive
     /// digest for the deterministic stats export.
     pub fn digest(&self) -> u64 {
-        self.entries.iter().fold(0u64, |h, c| h ^ c.fingerprint())
+        self.entries.iter().fold(0u64, |h, e| h ^ e.fingerprint)
+    }
+
+    /// Growth/retention accounting.
+    pub fn stats(&self) -> CorpusStats {
+        let ages: Vec<u64> = self.entries.iter().map(|e| self.inserts - e.inserted_at).collect();
+        CorpusStats {
+            len: self.entries.len(),
+            inserts: self.inserts,
+            evictions: self.evictions,
+            forced_evictions: self.forced_evictions,
+            duplicates: self.duplicates,
+            sole_cover_features: self.cover.values().filter(|&&n| n == 1).count(),
+            mean_age: if ages.is_empty() {
+                0
+            } else {
+                ages.iter().sum::<u64>() / ages.len() as u64
+            },
+            max_age: ages.iter().copied().max().unwrap_or(0),
+        }
     }
 }
 
@@ -247,6 +403,57 @@ mod tests {
         assert_eq!(c.len(), 3, "capped");
         let mut rng = SplitMix64::new(7);
         assert!(c.pick(&mut rng).is_some());
+    }
+
+    #[test]
+    fn eviction_spares_sole_covers() {
+        let mut c = Corpus::new(2);
+        // Entry A is the only cover of feature 7; entry B covers only
+        // common features.
+        let a = gen::generate(&mut SplitMix64::new(1), 20);
+        let b = gen::generate(&mut SplitMix64::new(2), 20);
+        assert!(c.push_with(a.clone(), vec![7, 100], vec![7], 0));
+        assert!(c.push_with(b, vec![100], vec![], 1));
+        // Pushing two more cases forces two evictions; A must survive
+        // both because nothing else covers feature 7.
+        for seed in 3..5u64 {
+            let n = gen::generate(&mut SplitMix64::new(seed), 20);
+            assert!(c.push_with(n, vec![100], vec![], 1));
+        }
+        let kept: Vec<u64> = c.entries().iter().map(|e| e.case.fingerprint()).collect();
+        assert!(kept.contains(&a.fingerprint()), "sole cover of feature 7 evicted");
+        let stats = c.stats();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.forced_evictions, 0);
+        assert_eq!(stats.sole_cover_features, 1, "feature 7 is sole-covered");
+    }
+
+    #[test]
+    fn forced_eviction_when_everything_is_protected() {
+        let mut c = Corpus::new(2);
+        // Every entry is the sole cover of its own private feature.
+        for seed in 1..4u64 {
+            let n = gen::generate(&mut SplitMix64::new(seed), 20);
+            assert!(c.push_with(n, vec![seed as u32], vec![seed as u32], 0));
+        }
+        let stats = c.stats();
+        assert_eq!(stats.len, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.forced_evictions, 1, "protection must yield, not wedge");
+    }
+
+    #[test]
+    fn stats_track_growth_and_age() {
+        let mut c = Corpus::new(8);
+        let a = gen::generate(&mut SplitMix64::new(1), 20);
+        c.push(a.clone());
+        c.push(a); // duplicate
+        c.push(gen::generate(&mut SplitMix64::new(2), 20));
+        let stats = c.stats();
+        assert_eq!(stats.inserts, 2);
+        assert_eq!(stats.duplicates, 1);
+        assert_eq!(stats.max_age, 2, "first entry is two inserts old");
+        assert!(c.contains(c.entries()[0].case.fingerprint()));
     }
 
     #[test]

@@ -174,6 +174,12 @@ impl CoverageMap {
     pub fn covered(&self) -> usize {
         self.covered
     }
+
+    /// Whether feature `f` has been lit (out-of-range reads as lit, so
+    /// impossible features never count as novelty).
+    pub fn is_seen(&self, f: u32) -> bool {
+        self.seen.get(f as usize).copied().unwrap_or(true)
+    }
 }
 
 #[cfg(test)]

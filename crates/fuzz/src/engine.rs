@@ -1,17 +1,25 @@
-//! The fuzzing engine: seed, mutate, evaluate, retain, shrink.
+//! The fuzzing engine: seed, schedule, mutate, evaluate, retain, shrink,
+//! sync.
+//!
+//! The engine is a persistent [`Fuzzer`] value (the service mode and the
+//! harness's generation-barrier sync drive it incrementally); the
+//! original batch entry point [`run`] is a thin wrapper over it.
 //!
 //! Fully deterministic for a fixed [`FuzzConfig`]: every random choice
-//! flows from one `SplitMix64` stream, the fault-consistency oracle runs
-//! on a fixed cadence, and the exported statistics are built from
-//! ordered containers — two runs with the same seed and budget produce
-//! byte-identical stats and findings.
+//! flows from one `SplitMix64` stream, the fault-consistency oracle and
+//! the snapshot capture run on fixed cadences, and the exported
+//! statistics are built from ordered containers — two runs with the same
+//! seed and budget produce byte-identical stats and findings.
 
 use crate::case::FuzzCase;
-use crate::corpus::{seed_corpus, Corpus, RegressionCase};
+use crate::corpus::{seed_corpus, Corpus, CorpusStats, RegressionCase};
 use crate::coverage::CoverageMap;
 use crate::mutate;
 use crate::oracle::{self, OracleConfig, OracleKind};
+use crate::schedule::{PowerSchedule, Schedule};
 use crate::shrink::shrink;
+use crate::snapshot::snapshot_cases;
+use crate::sync::SyncRecord;
 use itr_stats::json::Value;
 use itr_stats::SplitMix64;
 use std::collections::BTreeMap;
@@ -44,6 +52,13 @@ pub struct FuzzConfig {
     /// for coverage, but shrinking duplicates of a systemic bug is
     /// wasted work).
     pub max_findings: usize,
+    /// Corpus selection policy.
+    pub schedule: Schedule,
+    /// Every `snapshot_every`-th iteration, materialize snapshot
+    /// start-states from the most recent novelty-bearing case (0 = off).
+    pub snapshot_every: u64,
+    /// Snapshots materialized per cadence point.
+    pub snapshot_max: usize,
 }
 
 impl Default for FuzzConfig {
@@ -59,6 +74,9 @@ impl Default for FuzzConfig {
             fresh_ratio: 0.15,
             shrink_budget: 48,
             max_findings: 8,
+            schedule: Schedule::Power,
+            snapshot_every: 64,
+            snapshot_max: 1,
         }
     }
 }
@@ -74,6 +92,7 @@ impl FuzzConfig {
             fault_every: 8,
             corpus_cap: 64,
             mimic_seed_instrs: 500,
+            snapshot_every: 32,
             ..FuzzConfig::default()
         }
     }
@@ -86,12 +105,21 @@ pub struct FuzzStats {
     pub iterations: u64,
     /// Seed cases evaluated.
     pub seeds: u64,
+    /// Total oracle evaluations: iterations + seeds + snapshot
+    /// materializations + sync imports (the A/B currency).
+    pub execs: u64,
     /// Coverage features lit.
     pub coverage: usize,
     /// Retained corpus size.
     pub corpus_len: usize,
     /// Order-insensitive digest of the retained corpus.
     pub corpus_digest: u64,
+    /// Corpus growth/retention accounting.
+    pub corpus: CorpusStats,
+    /// Snapshot start-states materialized and evaluated.
+    pub snapshot_cases: u64,
+    /// Peer cases admitted through sync import.
+    pub imported: u64,
     /// Total instructions the golden reference committed.
     pub golden_instrs: u64,
     /// Findings per oracle.
@@ -112,6 +140,9 @@ pub struct FuzzOutcome {
     pub stats: FuzzStats,
     /// Shrunken, deduplicated findings ready for persistence.
     pub findings: Vec<RegressionCase>,
+    /// The retained corpus as sync records (what serve mode persists
+    /// and what generation barriers exchange).
+    pub corpus_records: Vec<SyncRecord>,
 }
 
 impl FuzzOutcome {
@@ -126,14 +157,30 @@ impl FuzzOutcome {
         Value::Object(vec![
             ("schema".to_string(), Value::Str(STATS_SCHEMA.to_string())),
             ("seed".to_string(), Value::UInt(cfg.seed)),
+            ("schedule".to_string(), Value::Str(cfg.schedule.label().to_string())),
             ("iterations".to_string(), Value::UInt(self.stats.iterations)),
             ("seeds".to_string(), Value::UInt(self.stats.seeds)),
+            ("execs".to_string(), Value::UInt(self.stats.execs)),
             ("coverage".to_string(), Value::UInt(self.stats.coverage as u64)),
             ("corpus_len".to_string(), Value::UInt(self.stats.corpus_len as u64)),
             (
                 "corpus_digest".to_string(),
                 Value::Str(format!("{:#018x}", self.stats.corpus_digest)),
             ),
+            ("corpus_evictions".to_string(), Value::UInt(self.stats.corpus.evictions)),
+            (
+                "corpus_forced_evictions".to_string(),
+                Value::UInt(self.stats.corpus.forced_evictions),
+            ),
+            ("corpus_duplicates".to_string(), Value::UInt(self.stats.corpus.duplicates)),
+            (
+                "corpus_sole_cover".to_string(),
+                Value::UInt(self.stats.corpus.sole_cover_features as u64),
+            ),
+            ("corpus_mean_age".to_string(), Value::UInt(self.stats.corpus.mean_age)),
+            ("corpus_max_age".to_string(), Value::UInt(self.stats.corpus.max_age)),
+            ("snapshot_cases".to_string(), Value::UInt(self.stats.snapshot_cases)),
+            ("imported".to_string(), Value::UInt(self.stats.imported)),
             ("golden_instrs".to_string(), Value::UInt(self.stats.golden_instrs)),
             ("findings_total".to_string(), Value::UInt(self.stats.findings())),
             ("findings".to_string(), Value::Object(findings)),
@@ -157,86 +204,277 @@ fn shrink_finding(case: &FuzzCase, finding: &oracle::Finding, cfg: &FuzzConfig) 
     RegressionCase::new(small, finding, cfg.oracle.clone())
 }
 
-/// Runs one fuzzing campaign. `cancelled` is polled between iterations;
-/// a `true` return stops the loop early (the outcome reflects the work
-/// done so far).
-pub fn run(cfg: &FuzzConfig, cancelled: &dyn Fn() -> bool) -> FuzzOutcome {
-    let mut rng = SplitMix64::new(cfg.seed ^ 0x17F2_0070_F22D_2007);
-    let mut map = CoverageMap::new();
-    let mut corpus = Corpus::new(cfg.corpus_cap);
-    let mut out = FuzzOutcome::default();
-    let mut finding_ids: Vec<(OracleKind, u64)> = Vec::new();
+/// The persistent fuzzing engine: coverage map, scheduler state, corpus
+/// and findings survive across [`Fuzzer::run_iters`] calls, so the serve
+/// mode and the harness's generation-barrier sync can drive one campaign
+/// incrementally.
+pub struct Fuzzer {
+    cfg: FuzzConfig,
+    rng: SplitMix64,
+    map: CoverageMap,
+    power: PowerSchedule,
+    corpus: Corpus,
+    out: FuzzOutcome,
+    finding_ids: Vec<(OracleKind, u64)>,
+    iter: u64,
+    pending_novel: Vec<SyncRecord>,
+    last_novel: Option<FuzzCase>,
+}
 
-    // Seed from the workload suite: evaluate for coverage, retain all.
-    if !cfg.skip_seeding {
-        for seed_case in seed_corpus(cfg.seed, cfg.mimic_seed_instrs) {
+impl Fuzzer {
+    /// A fresh engine. Call [`seed`](Self::seed) before fuzzing unless
+    /// `cfg.skip_seeding` is intended.
+    pub fn new(cfg: FuzzConfig) -> Fuzzer {
+        let rng = SplitMix64::new(cfg.seed ^ 0x17F2_0070_F22D_2007);
+        let corpus = Corpus::new(cfg.corpus_cap);
+        Fuzzer {
+            cfg,
+            rng,
+            map: CoverageMap::new(),
+            power: PowerSchedule::new(),
+            corpus,
+            out: FuzzOutcome::default(),
+            finding_ids: Vec::new(),
+            iter: 0,
+            pending_novel: Vec::new(),
+            last_novel: None,
+        }
+    }
+
+    /// Evaluates and retains the workload-suite seed corpus (a no-op
+    /// when `cfg.skip_seeding` is set).
+    pub fn seed(&mut self, cancelled: &dyn Fn() -> bool) {
+        if self.cfg.skip_seeding {
+            return;
+        }
+        for seed_case in seed_corpus(self.cfg.seed, self.cfg.mimic_seed_instrs) {
             if cancelled() {
                 break;
             }
-            let eval = oracle::evaluate(&seed_case, &cfg.oracle, false, &mut rng);
-            map.observe(&eval.features);
-            out.stats.golden_instrs += eval.golden_len as u64;
-            out.stats.seeds += 1;
-            record_findings(&seed_case, &eval.findings, cfg, &mut out, &mut finding_ids);
-            corpus.push(seed_case);
+            let eval = oracle::evaluate(&seed_case, &self.cfg.oracle, false, &mut self.rng);
+            self.out.stats.golden_instrs += eval.golden_len as u64;
+            self.out.stats.seeds += 1;
+            self.out.stats.execs += 1;
+            self.record_findings(&seed_case, &eval.findings);
+            self.admit(seed_case, &eval.features, 0);
         }
     }
 
-    for iter in 0..cfg.iters {
-        if cancelled() {
-            break;
+    /// Observes an evaluation's features and retains the case when it
+    /// lit something new (seeds and imports are retained regardless —
+    /// they are novelty-bearing by construction on their side of the
+    /// transport, and set-union keeps the sync merge order-insensitive).
+    /// Returns whether the corpus changed.
+    fn admit(&mut self, case: FuzzCase, features: &[u32], depth: u32) -> bool {
+        let novel: Vec<u32> = features.iter().copied().filter(|&f| !self.map.is_seen(f)).collect();
+        self.power.observe(features);
+        self.map.observe(features);
+        let keep = !novel.is_empty() || depth == 0;
+        if !keep {
+            return false;
         }
-        let case = if corpus.is_empty() || rng.gen_bool(cfg.fresh_ratio) {
-            let target = 24 + rng.gen_range(0usize..64);
-            mutate::fresh(&mut rng, target)
+        let pushed = self.corpus.push_with(case.clone(), features.to_vec(), novel, depth);
+        if pushed {
+            self.pending_novel.push(SyncRecord { case: case.clone(), depth });
+            self.last_novel = Some(case);
+        }
+        pushed
+    }
+
+    /// One mutation/evaluation iteration, plus the snapshot cadence.
+    pub fn step(&mut self) {
+        let mut parent_fp = None;
+        let (case, depth) = if self.corpus.is_empty() || self.rng.gen_bool(self.cfg.fresh_ratio) {
+            let target = 24 + self.rng.gen_range(0usize..64);
+            (mutate::fresh(&mut self.rng, target), 0)
         } else {
-            let parent = corpus.pick(&mut rng).cloned().expect("non-empty corpus");
-            let donor = if rng.gen_bool(0.5) { corpus.pick(&mut rng).cloned() } else { None };
-            mutate::mutate(&mut rng, &parent, donor.as_ref())
+            let (parent, depth) = match self.cfg.schedule {
+                Schedule::Power => {
+                    let e = self.power.pick(&self.corpus, &mut self.rng).expect("non-empty");
+                    parent_fp = Some(e.fingerprint);
+                    (e.case.clone(), e.depth)
+                }
+                Schedule::Uniform => {
+                    let parent = self.corpus.pick(&mut self.rng).cloned().expect("non-empty");
+                    parent_fp = Some(parent.fingerprint());
+                    (parent, 0)
+                }
+            };
+            let donor = if self.rng.gen_bool(0.5) {
+                self.corpus.pick(&mut self.rng).cloned()
+            } else {
+                None
+            };
+            (mutate::mutate(&mut self.rng, &parent, donor.as_ref()), depth + 1)
         };
-        let with_faults = cfg.fault_every > 0 && iter % cfg.fault_every == 0;
-        let eval = oracle::evaluate(&case, &cfg.oracle, with_faults, &mut rng);
-        out.stats.golden_instrs += eval.golden_len as u64;
-        out.stats.iterations += 1;
-        if map.observe(&eval.features) > 0 {
-            corpus.push(case.clone());
+        let with_faults =
+            self.cfg.fault_every > 0 && self.iter.is_multiple_of(self.cfg.fault_every);
+        let eval = oracle::evaluate(&case, &self.cfg.oracle, with_faults, &mut self.rng);
+        self.out.stats.golden_instrs += eval.golden_len as u64;
+        self.out.stats.iterations += 1;
+        self.out.stats.execs += 1;
+        self.record_findings(&case, &eval.findings);
+        if self.admit(case, &eval.features, depth) {
+            if let Some(fp) = parent_fp {
+                self.power.reward(fp);
+            }
         }
-        record_findings(&case, &eval.findings, cfg, &mut out, &mut finding_ids);
+        self.iter += 1;
+
+        if self.cfg.snapshot_every > 0 && self.iter.is_multiple_of(self.cfg.snapshot_every) {
+            self.snapshot_round();
+        }
     }
 
-    out.stats.coverage = map.covered();
-    out.stats.corpus_len = corpus.len();
-    out.stats.corpus_digest = corpus.digest();
-    out
+    /// Materializes snapshot start-states from the most recent
+    /// novelty-bearing case and evaluates them like any other input.
+    fn snapshot_round(&mut self) {
+        let Some(src) = self.last_novel.take() else { return };
+        for m in snapshot_cases(&src, self.cfg.oracle.max_instrs, self.cfg.snapshot_max) {
+            if self.corpus.contains(m.fingerprint()) {
+                continue;
+            }
+            let eval = oracle::evaluate(&m, &self.cfg.oracle, false, &mut self.rng);
+            self.out.stats.golden_instrs += eval.golden_len as u64;
+            self.out.stats.execs += 1;
+            self.out.stats.snapshot_cases += 1;
+            self.record_findings(&m, &eval.findings);
+            self.admit(m, &eval.features, 0);
+        }
+    }
+
+    /// Runs up to `n` iterations, polling `cancelled` between them.
+    /// Returns how many ran.
+    pub fn run_iters(&mut self, n: u64, cancelled: &dyn Fn() -> bool) -> u64 {
+        for done in 0..n {
+            if cancelled() {
+                return done;
+            }
+            self.step();
+        }
+        n
+    }
+
+    /// Imports peer sync records: already-retained fingerprints are
+    /// skipped outright (making re-imports true no-ops), everything else
+    /// is evaluated locally — the import both warms the local coverage
+    /// map and checks the peer's case against this worker's oracles.
+    /// Returns `(scanned, admitted)`.
+    pub fn import(&mut self, records: &[SyncRecord]) -> (u64, u64) {
+        let mut scanned = 0;
+        let mut admitted = 0;
+        for rec in records {
+            if self.corpus.contains(rec.case.fingerprint()) {
+                continue;
+            }
+            scanned += 1;
+            let eval = oracle::evaluate(&rec.case, &self.cfg.oracle, false, &mut self.rng);
+            self.out.stats.golden_instrs += eval.golden_len as u64;
+            self.out.stats.execs += 1;
+            self.record_findings(&rec.case, &eval.findings);
+            if self.admit(rec.case.clone(), &eval.features, 0) {
+                admitted += 1;
+                self.out.stats.imported += 1;
+            }
+        }
+        (scanned, admitted)
+    }
+
+    /// Drains the cases retained since the last call — the worker's next
+    /// sync export.
+    pub fn take_novel(&mut self) -> Vec<SyncRecord> {
+        std::mem::take(&mut self.pending_novel)
+    }
+
+    /// Everything retained right now, as sync records (for corpus
+    /// persistence in serve mode).
+    pub fn export_corpus(&self) -> Vec<SyncRecord> {
+        self.corpus
+            .entries()
+            .iter()
+            .map(|e| SyncRecord { case: e.case.clone(), depth: e.depth })
+            .collect()
+    }
+
+    /// Coverage features lit so far.
+    pub fn coverage(&self) -> usize {
+        self.map.covered()
+    }
+
+    /// Total oracle evaluations so far.
+    pub fn execs(&self) -> u64 {
+        self.out.stats.execs
+    }
+
+    /// Mutation iterations executed so far.
+    pub fn iterations(&self) -> u64 {
+        self.out.stats.iterations
+    }
+
+    /// The shrunken findings recorded so far.
+    pub fn findings(&self) -> &[RegressionCase] {
+        &self.out.findings
+    }
+
+    /// The retained corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &FuzzConfig {
+        &self.cfg
+    }
+
+    /// A point-in-time outcome (stats + findings so far).
+    pub fn outcome(&self) -> FuzzOutcome {
+        let mut out = self.out.clone();
+        out.stats.coverage = self.map.covered();
+        out.stats.corpus_len = self.corpus.len();
+        out.stats.corpus_digest = self.corpus.digest();
+        out.stats.corpus = self.corpus.stats();
+        out.corpus_records = self.export_corpus();
+        out
+    }
+
+    /// Consumes the engine into its final outcome.
+    pub fn finish(self) -> FuzzOutcome {
+        self.outcome()
+    }
+
+    /// Shrinks and records findings, deduplicating by (oracle, shrunken
+    /// fingerprint) and respecting the findings cap.
+    fn record_findings(&mut self, case: &FuzzCase, findings: &[oracle::Finding]) {
+        for finding in findings {
+            *self.out.stats.findings_by_oracle.entry(finding.kind.label()).or_insert(0) += 1;
+            if self.out.findings.len() >= self.cfg.max_findings {
+                continue;
+            }
+            let rc = shrink_finding(case, finding, &self.cfg);
+            let id = (rc.kind, rc.case.fingerprint());
+            if self.finding_ids.contains(&id) {
+                continue;
+            }
+            self.finding_ids.push(id);
+            self.out.findings.push(rc);
+        }
+    }
 }
 
-/// Shrinks and records findings, deduplicating by (oracle, shrunken
-/// fingerprint) and respecting the findings cap.
-fn record_findings(
-    case: &FuzzCase,
-    findings: &[oracle::Finding],
-    cfg: &FuzzConfig,
-    out: &mut FuzzOutcome,
-    seen: &mut Vec<(OracleKind, u64)>,
-) {
-    for finding in findings {
-        *out.stats.findings_by_oracle.entry(finding.kind.label()).or_insert(0) += 1;
-        if out.findings.len() >= cfg.max_findings {
-            continue;
-        }
-        let rc = shrink_finding(case, finding, cfg);
-        let id = (rc.kind, rc.case.fingerprint());
-        if seen.contains(&id) {
-            continue;
-        }
-        seen.push(id);
-        out.findings.push(rc);
-    }
+/// Runs one batch fuzzing campaign. `cancelled` is polled between
+/// iterations; a `true` return stops the loop early (the outcome
+/// reflects the work done so far).
+pub fn run(cfg: &FuzzConfig, cancelled: &dyn Fn() -> bool) -> FuzzOutcome {
+    let mut fuzzer = Fuzzer::new(cfg.clone());
+    fuzzer.seed(cancelled);
+    fuzzer.run_iters(cfg.iters, cancelled);
+    fuzzer.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gen;
 
     fn tiny_cfg(seed: u64, iters: u64) -> FuzzConfig {
         FuzzConfig {
@@ -258,12 +496,21 @@ mod tests {
     }
 
     #[test]
+    fn uniform_schedule_is_also_deterministic() {
+        let cfg = FuzzConfig { schedule: Schedule::Uniform, ..tiny_cfg(5, 24) };
+        let a = run(&cfg, &|| false);
+        let b = run(&cfg, &|| false);
+        assert_eq!(a.stats_value(&cfg).to_json(), b.stats_value(&cfg).to_json());
+    }
+
+    #[test]
     fn coverage_and_corpus_grow() {
         let out = run(&tiny_cfg(2, 24), &|| false);
         assert_eq!(out.stats.iterations, 24);
         assert!(out.stats.coverage > 0);
         assert!(out.stats.corpus_len > 0);
         assert!(out.stats.golden_instrs > 0);
+        assert!(out.stats.execs >= out.stats.iterations);
     }
 
     #[test]
@@ -288,5 +535,60 @@ mod tests {
             "workload seeds must pass the oracles: {:?}",
             out.findings.iter().map(|f| &f.detail).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn import_merge_is_idempotent_and_commutative() {
+        // Two workers diverge, then exchange exports. Union of retained
+        // fingerprints must be order-insensitive and re-import a no-op.
+        let mk = |seed| {
+            let mut f = Fuzzer::new(FuzzConfig { corpus_cap: 512, ..tiny_cfg(seed, 12) });
+            f.run_iters(12, &|| false);
+            f
+        };
+        let mut a = mk(10);
+        let mut b = mk(11);
+        let ex_a = a.export_corpus();
+        let ex_b = b.export_corpus();
+
+        let (_, admitted_ab) = a.import(&ex_b);
+        let (_, admitted_ba) = b.import(&ex_a);
+        assert!(admitted_ab > 0 && admitted_ba > 0, "workers had something to trade");
+        assert_eq!(a.corpus().digest(), b.corpus().digest(), "A∪B == B∪A");
+
+        // Re-importing the same export changes nothing and costs nothing.
+        let execs_before = a.execs();
+        let (scanned, admitted) = a.import(&ex_b);
+        assert_eq!((scanned, admitted), (0, 0), "re-import is a no-op");
+        assert_eq!(a.execs(), execs_before, "no-op import consumes no execs");
+        assert_eq!(a.corpus().digest(), b.corpus().digest());
+    }
+
+    #[test]
+    fn take_novel_drains_retained_cases() {
+        let mut f = Fuzzer::new(tiny_cfg(6, 8));
+        f.run_iters(8, &|| false);
+        let first = f.take_novel();
+        assert!(!first.is_empty(), "early iterations always find novelty");
+        assert!(f.take_novel().is_empty(), "drained");
+        for rec in &first {
+            assert!(f.corpus().contains(rec.case.fingerprint()));
+        }
+    }
+
+    #[test]
+    fn snapshot_cadence_materializes_start_states() {
+        // A dense cadence over a seeded loop-heavy corpus must produce
+        // snapshot cases within a modest budget.
+        let mut f =
+            Fuzzer::new(FuzzConfig { snapshot_every: 4, snapshot_max: 2, ..tiny_cfg(7, 40) });
+        // Seed one loop-rich case directly.
+        let case = gen::generate(&mut SplitMix64::new(77), 48);
+        let eval = oracle::evaluate(&case, &f.cfg.oracle, false, &mut SplitMix64::new(0));
+        f.admit(case, &eval.features, 0);
+        f.run_iters(40, &|| false);
+        let out = f.finish();
+        assert!(out.stats.snapshot_cases > 0, "cadence must fire");
+        assert!(out.findings.is_empty(), "snapshot cases must be oracle-clean");
     }
 }

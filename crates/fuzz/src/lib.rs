@@ -20,6 +20,14 @@
 //! reproducers ([`shrink`]) and persisted as replayable JSON documents
 //! ([`corpus::RegressionCase`]) under `tests/fuzz_regressions/`.
 //!
+//! Beyond batch runs, the crate is a *persistent fuzzing service*: an
+//! energy-weighted power scheduler ([`schedule`]) replaces uniform
+//! corpus selection, workers exchange novelty through the
+//! `itr-fuzz-sync/v1` transport ([`sync`]), mid-execution simulator
+//! snapshots are materialized into self-contained start-state cases
+//! ([`snapshot`]), and `itr-fuzz serve` ([`server`]) runs a long-lived
+//! campaign behind a small std-only HTTP status endpoint.
+//!
 //! Everything is deterministic per seed — `itr-fuzz run --seed 1
 //! --iters 5000` twice yields byte-identical statistics and findings.
 
@@ -35,12 +43,20 @@ pub mod engine;
 pub mod gen;
 pub mod mutate;
 pub mod oracle;
+pub mod schedule;
+pub mod server;
 pub mod shrink;
+pub mod snapshot;
+pub mod sync;
 
 pub use case::{FuzzCase, CASE_SCHEMA};
-pub use corpus::{seed_corpus, Corpus, RegressionCase, FINDING_SCHEMA};
+pub use corpus::{seed_corpus, Corpus, CorpusEntry, CorpusStats, RegressionCase, FINDING_SCHEMA};
 pub use coverage::{CoverageMap, MAP_SIZE};
 pub use diag::{first_divergence, Divergence};
-pub use engine::{run, FuzzConfig, FuzzOutcome, FuzzStats, STATS_SCHEMA};
+pub use engine::{run, FuzzConfig, FuzzOutcome, FuzzStats, Fuzzer, STATS_SCHEMA};
 pub use oracle::{evaluate, replay_fault, Evaluation, Finding, OracleConfig, OracleKind};
+pub use schedule::{PowerSchedule, Schedule};
+pub use server::{serve, ServeConfig, SERVE_SCHEMA};
 pub use shrink::{shrink, DEFAULT_BUDGET};
+pub use snapshot::{materialize, snapshot_cases, MAX_DELTA_WORDS};
+pub use sync::{SyncRecord, SYNC_SCHEMA};

@@ -229,11 +229,16 @@ fn check_equivalence(
         });
         return;
     }
-    let divergence = if complete || conclusive {
-        // Both runs ran to completion (or the pipeline concluded early,
-        // which against a longer golden stream is itself a divergence).
+    let divergence = if complete || (conclusive && records.len() < golden.len()) {
+        // Both runs ran to completion, or the pipeline concluded before
+        // the truncated golden stream ran out — either way the streams
+        // are comparable in full and any difference is a divergence.
         diag::first_divergence(program, golden, &records)
     } else {
+        // The golden run was truncated at the instruction budget; the
+        // pipeline (bounded by cycles and a slightly larger commit cap)
+        // may legitimately conclude a few commits past it. Only the
+        // common prefix is comparable.
         let n = golden.len().min(records.len());
         diag::first_divergence(program, &golden[..n], &records[..n])
     };
@@ -610,6 +615,28 @@ mod tests {
         assert_eq!(a.features, b.features);
         assert_eq!(a.golden_len, b.golden_len);
         assert_eq!(a.findings.len(), b.findings.len());
+    }
+
+    #[test]
+    fn a_halt_just_past_the_instruction_budget_is_not_a_divergence() {
+        // The golden run truncates at `max_instrs`; the pipeline, bounded
+        // by cycles and a slightly larger commit cap, legitimately
+        // commits the halt sitting one instruction past the budget. Only
+        // the common prefix is comparable — this must not be a finding.
+        let n = 40usize;
+        let body: String = (0..n).map(|i| format!("    addi r8, r8, {}\n", i % 7)).collect();
+        let src = format!(".text\nmain:\n{body}    halt\n");
+        let program = itr_isa::asm::assemble(&src).expect("assembles");
+        let case = FuzzCase::from_program(&program).expect("converts");
+        let cfg = OracleConfig { max_instrs: n as u64, ..OracleConfig::default() };
+        let mut rng = SplitMix64::new(0);
+        let e = evaluate(&case, &cfg, false, &mut rng);
+        assert_eq!(e.golden_len as u64, cfg.max_instrs, "golden truncated at the budget");
+        assert!(
+            e.findings.is_empty(),
+            "budget-boundary halt flagged: {:?}",
+            e.findings.iter().map(|f| &f.detail).collect::<Vec<_>>()
+        );
     }
 
     #[test]

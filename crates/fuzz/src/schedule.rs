@@ -1,0 +1,266 @@
+//! Power scheduling: energy-weighted corpus selection.
+//!
+//! The uniform `Corpus::pick` treats a seed that lit one common feature
+//! the same as one that discovered a rare ITR-event bucket. The power
+//! scheduler (AFL-style) instead assigns each retained entry an integer
+//! *energy* and picks proportionally to it:
+//!
+//! ```text
+//!            ( BASE + max_{f ∈ feat(e)} RARITY_SCALE / hits(f)
+//!                   + DEPTH_UNIT · min(depth(e), DEPTH_CAP)
+//!                   + SIZE_SCALE / (SIZE_PIVOT + |text(e)|) ) · (1 + 2·wins(e))
+//! energy(e) = ───────────────────────────────────────────────────────────────
+//!                                  1 + picks(e)
+//! ```
+//!
+//! * **rarity** — `hits(f)` counts how many evaluations (not just
+//!   retained cases) have lit feature `f` so far; an entry whose rarest
+//!   exhibited behavior stays rarely re-observed keeps a high energy,
+//!   while behaviors the whole corpus re-lights every iteration decay
+//!   toward nothing.
+//! * **depth** — deeper mutation chains get a modest boost (they sit at
+//!   the frontier the uniform engine under-samples).
+//! * **brevity** — smaller cases mutate and evaluate faster, so ties
+//!   break toward them.
+//! * **yield feedback** — each pick divides an entry's energy away
+//!   (AFL-fast style), and each retained child multiplies it back:
+//!   uniform selection over-samples lucky entries and starves late
+//!   arrivals, while the discount walks the whole frontier and then
+//!   concentrates on the parents whose mutants actually produce novelty.
+//!
+//! Everything is u64 integer arithmetic and the draw comes from the
+//! engine's single `SplitMix64` stream, so fixed-seed reruns pick the
+//! identical sequence — the determinism bar every fuzz artifact in this
+//! repo is held to.
+
+use crate::corpus::{Corpus, CorpusEntry};
+use crate::coverage::MAP_SIZE;
+use itr_stats::SplitMix64;
+use std::collections::BTreeMap;
+
+/// Baseline energy: no entry starves.
+const BASE: u64 = 16;
+/// Rarity numerator: a feature observed once contributes this much.
+const RARITY_SCALE: u64 = 256;
+/// Energy per depth level.
+const DEPTH_UNIT: u64 = 8;
+/// Depth levels past this stop adding energy.
+const DEPTH_CAP: u32 = 8;
+/// Brevity numerator and pivot (in text instructions).
+const SIZE_SCALE: u64 = 1024;
+const SIZE_PIVOT: u64 = 16;
+
+/// Which selection policy the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Energy-weighted selection (the default).
+    #[default]
+    Power,
+    /// Uniform selection (the pre-service engine; kept as the A/B
+    /// baseline the scheduler is measured against).
+    Uniform,
+}
+
+impl Schedule {
+    /// Stable label for stats exports and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            Schedule::Power => "power",
+            Schedule::Uniform => "uniform",
+        }
+    }
+
+    /// Parses a CLI label.
+    pub fn from_label(s: &str) -> Option<Schedule> {
+        match s {
+            "power" => Some(Schedule::Power),
+            "uniform" => Some(Schedule::Uniform),
+            _ => None,
+        }
+    }
+}
+
+/// Global per-feature observation counts, per-entry pick/win counts,
+/// and the weighted pick.
+#[derive(Debug, Clone)]
+pub struct PowerSchedule {
+    hits: Vec<u32>,
+    /// fingerprint → times picked as a mutation parent (probed per
+    /// entry, never iterated, so selection stays order-independent).
+    picks: BTreeMap<u64, u32>,
+    /// fingerprint → times a pick of this parent yielded a retained
+    /// (novelty-bearing) child.
+    wins: BTreeMap<u64, u32>,
+}
+
+impl Default for PowerSchedule {
+    fn default() -> PowerSchedule {
+        PowerSchedule::new()
+    }
+}
+
+impl PowerSchedule {
+    /// An empty scheduler over the full feature space.
+    pub fn new() -> PowerSchedule {
+        PowerSchedule { hits: vec![0; MAP_SIZE], picks: BTreeMap::new(), wins: BTreeMap::new() }
+    }
+
+    /// Credits parent `fingerprint` for a retained (novelty-bearing)
+    /// child — the yield feedback that keeps productive parents hot.
+    pub fn reward(&mut self, fingerprint: u64) {
+        *self.wins.entry(fingerprint).or_insert(0) += 1;
+    }
+
+    /// Records every feature one evaluation lit (saturating).
+    pub fn observe(&mut self, features: &[u32]) {
+        for &f in features {
+            if let Some(h) = self.hits.get_mut(f as usize) {
+                *h = h.saturating_add(1);
+            }
+        }
+    }
+
+    /// Times feature `f` has been observed across all evaluations.
+    pub fn hits(&self, f: u32) -> u32 {
+        self.hits.get(f as usize).copied().unwrap_or(0)
+    }
+
+    /// The energy of one corpus entry under the current hit counts.
+    pub fn energy(&self, entry: &CorpusEntry) -> u64 {
+        // Rarity is the entry's *rarest exhibited* feature — its whole
+        // behavior set, not just its first-lit novelty claim. A max, not
+        // a sum: early entries light hundreds of features and a sum
+        // would let them dominate selection forever, while the max decays
+        // as the rare behavior's neighborhood gets mined. Falls back to
+        // `novel` for entries carrying no feature metadata.
+        let pool = if entry.features.is_empty() { &entry.novel } else { &entry.features };
+        let rarity: u64 =
+            pool.iter().map(|&f| RARITY_SCALE / u64::from(self.hits(f).max(1))).max().unwrap_or(0);
+        let depth = DEPTH_UNIT * u64::from(entry.depth.min(DEPTH_CAP));
+        let brevity = SIZE_SCALE / (SIZE_PIVOT + entry.case.text.len() as u64);
+        // Yield feedback: picks without retained children mill an
+        // entry's energy away; every novelty-bearing child restores it.
+        // Unpicked entries keep full energy, so fresh corpus arrivals
+        // are explored before anything is re-mined.
+        let picked = u64::from(self.picks.get(&entry.fingerprint).copied().unwrap_or(0));
+        let wins = u64::from(self.wins.get(&entry.fingerprint).copied().unwrap_or(0));
+        ((BASE + rarity + depth + brevity) * (1 + 2 * wins) / (1 + picked)).max(1)
+    }
+
+    /// Energy-weighted deterministic pick, or `None` when the corpus is
+    /// empty; the winner's pick count is bumped (the discount term).
+    /// O(corpus) per pick — negligible next to one oracle evaluation
+    /// (two full simulations plus the pipeline).
+    pub fn pick<'a>(
+        &mut self,
+        corpus: &'a Corpus,
+        rng: &mut SplitMix64,
+    ) -> Option<&'a CorpusEntry> {
+        let entries = corpus.entries();
+        if entries.is_empty() {
+            return None;
+        }
+        let energies: Vec<u64> = entries.iter().map(|e| self.energy(e)).collect();
+        let mut draw = rng.gen_range(0..energies.iter().sum::<u64>());
+        let mut winner = entries.last()?;
+        for (entry, &e) in entries.iter().zip(&energies) {
+            if draw < e {
+                winner = entry;
+                break;
+            }
+            draw -= e;
+        }
+        *self.picks.entry(winner.fingerprint).or_insert(0) += 1;
+        Some(winner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn corpus_of(specs: &[(u64, Vec<u32>, u32)]) -> Corpus {
+        let mut c = Corpus::new(64);
+        for (seed, novel, depth) in specs {
+            let case = gen::generate(&mut SplitMix64::new(*seed), 20);
+            assert!(c.push_with(case, novel.clone(), novel.clone(), *depth));
+        }
+        c
+    }
+
+    #[test]
+    fn fixed_seed_pick_sequence_is_identical() {
+        let c = corpus_of(&[(1, vec![5], 0), (2, vec![9], 2), (3, vec![], 5)]);
+        let mut s = PowerSchedule::new();
+        s.observe(&[5, 9, 9, 9, 9]);
+        let picks = |seed: u64| -> Vec<u64> {
+            let mut s = s.clone();
+            let mut rng = SplitMix64::new(seed);
+            (0..64).map(|_| s.pick(&c, &mut rng).expect("non-empty").case.fingerprint()).collect()
+        };
+        assert_eq!(picks(42), picks(42), "same seed, same sequence");
+        assert_ne!(picks(42), picks(43), "different seed explores differently");
+    }
+
+    #[test]
+    fn rare_novelty_attracts_energy() {
+        let c = corpus_of(&[(1, vec![5], 0), (2, vec![9], 0)]);
+        let mut s = PowerSchedule::new();
+        // Feature 5 observed once (rare); feature 9 re-observed often.
+        s.observe(&[5]);
+        for _ in 0..200 {
+            s.observe(&[9]);
+        }
+        let rare = c.entries()[0].case.fingerprint();
+        assert!(
+            s.energy(&c.entries()[0]) > 2 * s.energy(&c.entries()[1]),
+            "rare {} vs common {}",
+            s.energy(&c.entries()[0]),
+            s.energy(&c.entries()[1])
+        );
+        // The weighted pick prefers the rare entry until the pick
+        // discount has milled its advantage away.
+        let mut rng = SplitMix64::new(1);
+        let mut rare_picks = 0;
+        for _ in 0..10 {
+            if s.pick(&c, &mut rng).expect("non-empty").case.fingerprint() == rare {
+                rare_picks += 1;
+            }
+        }
+        assert!(rare_picks > 5, "rare entry picked {rare_picks}/10 early picks");
+    }
+
+    #[test]
+    fn pick_discount_walks_the_whole_frontier() {
+        // Eight equal-energy entries: within the first two sweeps of the
+        // discount every entry must have been picked at least once —
+        // uniform selection at these odds would almost surely starve one.
+        let c = corpus_of(&(1..=8).map(|s| (s, vec![], 0)).collect::<Vec<_>>());
+        let mut s = PowerSchedule::new();
+        let mut rng = SplitMix64::new(3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..16 {
+            seen.insert(s.pick(&c, &mut rng).expect("non-empty").case.fingerprint());
+        }
+        assert_eq!(seen.len(), 8, "every entry visited within two sweeps");
+    }
+
+    #[test]
+    fn depth_and_brevity_contribute() {
+        let c = corpus_of(&[(1, vec![], 0), (2, vec![], 6)]);
+        let s = PowerSchedule::new();
+        let shallow = s.energy(&c.entries()[0]);
+        let deep = s.energy(&c.entries()[1]);
+        assert!(deep > shallow, "depth boost missing: {deep} vs {shallow}");
+        assert!(shallow >= BASE, "baseline energy present");
+    }
+
+    #[test]
+    fn empty_corpus_yields_none() {
+        let c = Corpus::new(4);
+        let mut s = PowerSchedule::new();
+        let mut rng = SplitMix64::new(1);
+        assert!(s.pick(&c, &mut rng).is_none());
+    }
+}

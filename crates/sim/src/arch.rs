@@ -66,6 +66,11 @@ impl ArchState {
     pub fn fcc(&self) -> bool {
         self.regs[FCC_REG as usize] != 0
     }
+
+    /// The whole register file, as a flat array (snapshot capture).
+    pub fn regs(&self) -> &[u32; NUM_ARCH_REGS] {
+        &self.regs
+    }
 }
 
 /// One committed instruction's architectural effect — the unit of

@@ -94,6 +94,23 @@ impl FuncSim {
         &self.arch
     }
 
+    /// Mutable architectural state (snapshot restore).
+    pub(crate) fn arch_mut(&mut self) -> &mut ArchState {
+        &mut self.arch
+    }
+
+    /// Writes one aligned word, invalidating any predecoded text word it
+    /// overwrites (snapshot restore).
+    pub(crate) fn write_word(&mut self, addr: u64, word: u32) {
+        self.mem.write(addr, 4, word);
+        self.invalidate(addr, 4);
+    }
+
+    /// Overrides the executed-instruction counter (snapshot restore).
+    pub(crate) fn set_instr_count(&mut self, n: u64) {
+        self.instrs = n;
+    }
+
     /// Memory contents.
     pub fn mem(&self) -> &Memory {
         &self.mem

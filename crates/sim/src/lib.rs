@@ -45,6 +45,7 @@ mod func;
 mod mem;
 mod pipeline;
 pub mod semantics;
+mod snapshot;
 
 pub use arch::{ArchState, CommitRecord, FCC_REG, NUM_ARCH_REGS};
 pub use branch::{Btb, Gshare, ReturnStack};
@@ -55,3 +56,4 @@ pub use config::{
 pub use func::{record_tap, FuncSim, StopReason, TraceStream};
 pub use mem::Memory;
 pub use pipeline::{Pipeline, PipelineStats, RunExit, SpcViolation, Stage, StageEvent};
+pub use snapshot::{capture_at_traces, count_traces, SimSnapshot, SnapshotRecorder};

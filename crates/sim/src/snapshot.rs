@@ -1,0 +1,299 @@
+//! Mid-execution architectural snapshots of a [`FuncSim`] run.
+//!
+//! A [`SimSnapshot`] freezes the architectural state of a functional
+//! execution at a **trace-formation point**: the instant the
+//! [`TraceBuilder`] has just completed a trace, so no partial trace is
+//! in flight. That boundary makes snapshots exact resume points:
+//!
+//! * restoring the register file, PC and the memory delta reproduces the
+//!   original run's commit stream instruction-for-instruction
+//!   (see [`FuncSim::from_snapshot`]), and
+//! * a fresh [`TraceBuilder`] started at the resume PC re-forms exactly
+//!   the traces the original run formed after the capture point, because
+//!   trace identity is a pure function of the committed PC/signal stream.
+//!
+//! The snapshot also carries the traces formed *before* the capture
+//! point — the warm ITR-cache image — so consumers can pre-populate an
+//! [`itr_core`] unit to the state it would have reached.
+//!
+//! The fuzzer uses this to materialize "start inside the hot loop body"
+//! seed cases (`itr-fuzz`'s `snapshot` module); the capture side lives
+//! here because it needs the simulator's internals (store tracking for
+//! the memory delta).
+
+use crate::arch::NUM_ARCH_REGS;
+use crate::func::FuncSim;
+use itr_core::{TraceBuilder, TraceRecord};
+use itr_isa::Program;
+use std::collections::BTreeSet;
+
+/// Frozen architectural state at a trace-formation point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSnapshot {
+    /// Resume PC (the first instruction *not* yet executed).
+    pub pc: u64,
+    /// All 65 architectural registers (32 int + 32 FP + FCC).
+    pub regs: [u32; NUM_ARCH_REGS],
+    /// Memory words that differ from the freshly loaded program image:
+    /// `(word-aligned address, current value)`, sorted by address.
+    pub mem_delta: Vec<(u64, u32)>,
+    /// Instructions executed before the capture point.
+    pub instrs: u64,
+    /// Traces formed before the capture point, in formation order — the
+    /// warm ITR-cache image.
+    pub traces: Vec<TraceRecord>,
+    /// `true` when the run stored into the text segment before the
+    /// capture point (self-modifying code). Such snapshots restore
+    /// correctly here, but cannot be materialized as fuzz start states
+    /// (the store-safety invariant forbids text writes).
+    pub touches_text: bool,
+}
+
+/// Steps a [`FuncSim`] while tracking stores and trace formation, and
+/// captures [`SimSnapshot`]s at requested trace ordinals.
+pub struct SnapshotRecorder {
+    sim: FuncSim,
+    builder: TraceBuilder,
+    /// Word-aligned addresses touched by stores, in address order.
+    dirty: BTreeSet<u64>,
+    traces: Vec<TraceRecord>,
+    text_base: u64,
+    text_end: u64,
+    touches_text: bool,
+}
+
+impl SnapshotRecorder {
+    /// Prepares to execute `program` with traces bounded at `max_len`.
+    pub fn new(program: &Program, max_len: u32) -> SnapshotRecorder {
+        SnapshotRecorder {
+            sim: FuncSim::new(program),
+            builder: TraceBuilder::new(max_len),
+            dirty: BTreeSet::new(),
+            traces: Vec::new(),
+            text_base: program.text_base(),
+            text_end: program.text_base() + program.text().len() as u64 * 4,
+            touches_text: false,
+        }
+    }
+
+    /// Runs for at most `max_instrs` instructions, capturing a snapshot
+    /// each time the total number of formed traces reaches a value in
+    /// `at_traces` (which must be sorted ascending). Returns the
+    /// captured snapshots; ordinals never reached produce nothing.
+    pub fn run(&mut self, max_instrs: u64, at_traces: &[u64]) -> Vec<SimSnapshot> {
+        let mut out = Vec::new();
+        let mut next = at_traces.iter().copied().peekable();
+        for _ in 0..max_instrs {
+            let Some(step) = self.sim.step() else { break };
+            if let Some(store) = step.record.store {
+                let (addr, size) = (store.0, store.1.max(1) as u64);
+                self.dirty.insert(addr & !3);
+                self.dirty.insert((addr + size - 1) & !3);
+                if store.0 < self.text_end && addr + size > self.text_base {
+                    self.touches_text = true;
+                }
+            }
+            if let Some(trace) = self.builder.push(step.record.pc, &step.signals) {
+                self.traces.push(trace);
+                while next.peek().is_some_and(|&n| n <= self.traces.len() as u64) {
+                    next.next();
+                    out.push(self.snapshot());
+                }
+                if next.peek().is_none() && !at_traces.is_empty() {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Total traces formed so far.
+    pub fn traces_formed(&self) -> u64 {
+        self.traces.len() as u64
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &FuncSim {
+        &self.sim
+    }
+
+    fn snapshot(&self) -> SimSnapshot {
+        let arch = self.sim.arch();
+        SimSnapshot {
+            pc: arch.pc,
+            regs: *arch.regs(),
+            mem_delta: self.dirty.iter().map(|&a| (a, self.sim.mem().read_u32(a))).collect(),
+            instrs: self.sim.instr_count(),
+            traces: self.traces.clone(),
+            touches_text: self.touches_text,
+        }
+    }
+}
+
+/// Counts the traces `program` forms within `max_instrs` instructions —
+/// used to aim capture ordinals at the middle of an execution.
+pub fn count_traces(program: &Program, max_instrs: u64, max_len: u32) -> u64 {
+    let mut rec = SnapshotRecorder::new(program, max_len);
+    rec.run(max_instrs, &[]);
+    rec.traces_formed()
+}
+
+/// Convenience wrapper: captures snapshots of `program` at the given
+/// (sorted ascending) trace ordinals.
+pub fn capture_at_traces(
+    program: &Program,
+    max_instrs: u64,
+    max_len: u32,
+    at_traces: &[u64],
+) -> Vec<SimSnapshot> {
+    SnapshotRecorder::new(program, max_len).run(max_instrs, at_traces)
+}
+
+impl FuncSim {
+    /// Reconstructs a simulator mid-execution from a snapshot of a run
+    /// of the *same* `program`: fresh image, memory delta re-applied
+    /// (invalidating any predecoded words it overwrites), registers and
+    /// PC restored. The resumed run commits exactly what the original
+    /// run committed after the capture point. Output text produced
+    /// before the capture point is not part of the snapshot; the resumed
+    /// run's output is the post-capture suffix only.
+    pub fn from_snapshot(program: &Program, snap: &SimSnapshot) -> FuncSim {
+        let mut sim = FuncSim::new(program);
+        for &(addr, word) in &snap.mem_delta {
+            sim.write_word(addr, word);
+        }
+        for (idx, &value) in snap.regs.iter().enumerate() {
+            sim.arch_mut().set_reg(idx as u16, value);
+        }
+        sim.arch_mut().pc = snap.pc;
+        sim.set_instr_count(snap.instrs);
+        sim
+    }
+
+    /// Resumes execution from `snap` and returns `true` when the resumed
+    /// commit stream matches `reference` (the original run's records from
+    /// `snap.instrs` onward) for `reference.len()` instructions. Test and
+    /// validation helper.
+    pub fn snapshot_resumes_exactly(
+        program: &Program,
+        snap: &SimSnapshot,
+        reference: &[crate::arch::CommitRecord],
+    ) -> bool {
+        let mut sim = FuncSim::from_snapshot(program, snap);
+        let (records, _) = sim.run_collect(reference.len() as u64);
+        records == reference
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{StopReason, TraceStream};
+    use itr_core::MAX_TRACE_LEN;
+    use itr_isa::asm::assemble;
+
+    fn looped_program() -> Program {
+        assemble(
+            r#"
+            .data
+            acc: .word 0
+            .text
+            main:
+                li r8, 24
+                la r9, acc
+            top:
+                lw r10, 0(r9)
+                add r10, r10, r8
+                sw r10, 0(r9)
+                andi r11, r8, 3
+                mtc1 r11, f2
+                addi r8, r8, -1
+                bgtz r8, top
+                lw r4, 0(r9)
+                trap 1
+                halt
+            "#,
+        )
+        .expect("assembles")
+    }
+
+    #[test]
+    fn roundtrip_matches_from_scratch_run() {
+        let p = looped_program();
+        let total = count_traces(&p, 100_000, MAX_TRACE_LEN);
+        assert!(total > 6, "loop forms many traces, got {total}");
+
+        // Golden: the full from-scratch commit stream.
+        let mut golden = FuncSim::new(&p);
+        let (all_records, reason) = golden.run_collect(100_000);
+        assert_eq!(reason, StopReason::Halted);
+
+        for at in [2, total / 2, total - 1] {
+            let snaps = capture_at_traces(&p, 100_000, MAX_TRACE_LEN, &[at]);
+            assert_eq!(snaps.len(), 1, "ordinal {at} reached");
+            let snap = &snaps[0];
+            assert!(!snap.touches_text);
+            assert_eq!(snap.traces.len() as u64, at);
+            let suffix = &all_records[snap.instrs as usize..];
+            assert!(
+                FuncSim::snapshot_resumes_exactly(&p, snap, suffix),
+                "resume at trace {at} must replay the golden suffix"
+            );
+        }
+    }
+
+    #[test]
+    fn resumed_trace_stream_matches_suffix() {
+        let p = looped_program();
+        let total = count_traces(&p, 100_000, MAX_TRACE_LEN);
+        let at = total / 2;
+        let snap = &capture_at_traces(&p, 100_000, MAX_TRACE_LEN, &[at])[0];
+
+        let full: Vec<TraceRecord> = TraceStream::new(&p, 100_000).collect();
+        assert_eq!(&full[..at as usize], &snap.traces[..], "warm image is the trace prefix");
+
+        // A fresh builder at the resume point re-forms the remaining
+        // traces exactly (capture is at a formation boundary).
+        let mut sim = FuncSim::from_snapshot(&p, snap);
+        let mut builder = TraceBuilder::new(MAX_TRACE_LEN);
+        let mut resumed = Vec::new();
+        while let Some(step) = sim.step() {
+            if let Some(t) = builder.push(step.record.pc, &step.signals) {
+                resumed.push(t);
+            }
+        }
+        assert_eq!(&full[at as usize..], &resumed[..]);
+    }
+
+    #[test]
+    fn mem_delta_is_sorted_and_minimal() {
+        let p = looped_program();
+        let snap = &capture_at_traces(&p, 100_000, MAX_TRACE_LEN, &[3])[0];
+        assert!(snap.mem_delta.windows(2).all(|w| w[0].0 < w[1].0), "sorted by address");
+        for &(addr, _) in &snap.mem_delta {
+            assert_eq!(addr & 3, 0, "word aligned");
+        }
+        assert!(!snap.mem_delta.is_empty(), "the accumulator store is visible");
+    }
+
+    #[test]
+    fn self_modifying_run_is_flagged() {
+        let p = assemble(
+            r#"
+            main:
+                la r8, patch
+                lw r9, 0(r8)
+                sw r9, 4(r8)
+            patch:
+                addi r10, r10, 1
+                addi r10, r10, 2
+                halt
+            "#,
+        )
+        .expect("assembles");
+        let mut rec = SnapshotRecorder::new(&p, MAX_TRACE_LEN);
+        let snaps = rec.run(1_000, &[1]);
+        assert!(!snaps.is_empty());
+        assert!(snaps[0].touches_text, "text store must be flagged");
+    }
+}

@@ -29,7 +29,7 @@ ALLOWLIST=(
   "crates/faults/src/campaign.rs:clean-run signature map, keyed lookup only"
   "crates/faults/src/classify.rs:public classify() API takes a lookup-only map"
   "crates/faults/src/models.rs:clean-run signature map, keyed lookup only"
-  "crates/fuzz/src/corpus.rs:dedup membership set, never iterated"
+  "crates/fuzz/src/corpus.rs:dedup membership set, probed only (audited: digest/stats fold over the entries Vec, never the set)"
   "crates/fuzz/src/oracle.rs:clean-run signature lookup maps, keyed lookup only"
   "crates/harness/src/job.rs:DAG validation state; order-insensitive checks"
   "crates/harness/src/pool.rs:test-only worker-id set behind a Mutex"
@@ -59,6 +59,20 @@ allowed() {
 # banned too.
 BANNED_DIRS=(crates/analyze/src crates/stats/src crates/core/src crates/env/src)
 
+# Report-critical *files* inside otherwise-allowlisted crates. The
+# fuzzing service's scheduler, sync transport, serve endpoint, engine
+# and snapshot modules all feed serialized artifacts (`itr-fuzz-stats/v1`,
+# `itr-fuzz-sync/v1`, `itr-fuzz-serve/v1`, persisted corpora) whose
+# byte-identity per seed is an acceptance bar — they must stay hash-free
+# (BTreeMap keyed state only) rather than grow allowlist entries.
+BANNED_FILES=(
+  crates/fuzz/src/engine.rs
+  crates/fuzz/src/schedule.rs
+  crates/fuzz/src/server.rs
+  crates/fuzz/src/snapshot.rs
+  crates/fuzz/src/sync.rs
+)
+
 status=0
 
 hits=$(grep -rnE '\b(HashMap|HashSet)\b' src crates/*/src --include='*.rs' | grep -vE '^\S+:[0-9]+:\s*//' || true)
@@ -69,6 +83,13 @@ while IFS= read -r line; do
   for dir in "${BANNED_DIRS[@]}"; do
     if [[ "$file" == "$dir"/* ]]; then
       echo "FORBIDDEN (hash-free crate): $line"
+      status=1
+      continue 2
+    fi
+  done
+  for banned in "${BANNED_FILES[@]}"; do
+    if [[ "$file" == "$banned" ]]; then
+      echo "FORBIDDEN (hash-free file): $line"
       status=1
       continue 2
     fi
