@@ -12,17 +12,20 @@
 
 use super::{sweep, Scale};
 use itr_core::{CoverageModel, ItrCacheConfig};
+use itr_faults::{FaultModel, ModelKind};
 use itr_fuzz::{FuzzConfig, Fuzzer, PowerSchedule};
 use itr_harness::{JobSpec, Registry, ShardPayload};
+use itr_isa::asm::assemble;
+use itr_recover::{run_recovery, GoldenRun, RecoverConfig};
 use itr_sim::{FuncSim, Pipeline, PipelineConfig, TraceStream};
 use itr_stats::json::Value;
 use itr_stats::SplitMix64;
-use itr_workloads::{generate_mimic_sized, profiles};
+use itr_workloads::{generate_mimic_sized, kernels, profiles};
 use std::path::Path;
 use std::time::Instant;
 
 /// Compute job families whose wall-clock the ledger records.
-pub const TIMED_FAMILIES: [&str; 15] = [
+pub const TIMED_FAMILIES: [&str; 16] = [
     "characterize",
     "coverage",
     "energy",
@@ -38,6 +41,7 @@ pub const TIMED_FAMILIES: [&str; 15] = [
     "env-interleave",
     "env-faultmodels",
     "env-workloads",
+    "recover-sweep",
 ];
 
 /// Direct-path sample: how many of the 1056 sweep geometries to
@@ -51,6 +55,13 @@ const DIRECT_SAMPLE: usize = 8;
 /// the weighted-pick sample used to price the power scheduler.
 const FUZZ_PROBE_ITERS: u64 = 64;
 const PICK_SAMPLE: u64 = 10_000;
+
+/// Recovery-engine probe: end-to-end fault runs of the timed sample
+/// (active pipeline + ground-truth classification + rollback replay).
+/// Detection-and-rollback is a few percent of SEU placements on CRC32,
+/// so the sample is sized to include actual rollbacks, not just the
+/// active-run fast path.
+const RECOVER_PROBE_RUNS: u64 = 480;
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
@@ -131,6 +142,22 @@ pub fn measure(scale: &Scale) -> Value {
     let pick_cost = pick_secs / PICK_SAMPLE as f64;
     let exec_cost = fuzz_secs / fuzz_execs.max(1) as f64;
 
+    // Recovery-engine throughput: one sampled fault taken end to end
+    // through the ground-truth engine (active run, classification and —
+    // when detection fires — the shadow-replay rollback).
+    let crc = assemble(kernels::CRC32.source).expect("crc32 assembles");
+    let golden = GoldenRun::capture(&crc, 400_000);
+    let rcfg = RecoverConfig { checkpoint_min_gap: 0, ..RecoverConfig::default() };
+    let mut rng = SplitMix64::new(scale.seed ^ 0x4EC0_7E4A);
+    let t = Instant::now();
+    let mut rollbacks = 0u64;
+    for _ in 0..RECOVER_PROBE_RUNS {
+        let model = FaultModel::sample(ModelKind::Seu, &mut rng, 10, 300);
+        let run = run_recovery(&crc, &model, &golden, &rcfg);
+        rollbacks += u64::from(run.rolled_back);
+    }
+    let recover_secs = t.elapsed().as_secs_f64();
+
     obj(vec![
         ("schema", Value::Str("itr-bench/v1".into())),
         ("workload", Value::Str(profile.name.to_string())),
@@ -175,6 +202,15 @@ pub fn measure(scale: &Scale) -> Value {
                 ("pick_usecs", Value::Float(pick_cost * 1e6)),
                 ("exec_usecs", Value::Float(exec_cost * 1e6)),
                 ("scheduler_overhead_frac", Value::Float(pick_cost / exec_cost)),
+            ]),
+        ),
+        (
+            "recover",
+            obj(vec![
+                ("runs", Value::UInt(RECOVER_PROBE_RUNS)),
+                ("rollbacks", Value::UInt(rollbacks)),
+                ("secs", Value::Float(recover_secs)),
+                ("runs_per_sec", Value::Float(RECOVER_PROBE_RUNS as f64 / recover_secs)),
             ]),
         ),
     ])

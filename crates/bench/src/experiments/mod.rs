@@ -41,6 +41,7 @@ pub mod env;
 pub mod fuzz;
 pub mod injection;
 pub mod perf;
+pub mod recover;
 pub mod statics;
 pub mod sweep;
 pub mod window;
@@ -232,5 +233,6 @@ pub fn register_all(reg: &mut Registry, scale: &Scale, out: &Path) {
     analyze::register(reg, scale, out);
     sweep::register(reg, scale, out);
     env::register(reg, scale, out);
+    recover::register(reg, scale, out);
     bench::register(reg, scale, out);
 }

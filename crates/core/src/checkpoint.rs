@@ -98,4 +98,41 @@ mod tests {
         assert_eq!(c.last_checkpoint_at(), Some(1100));
         assert_eq!(c.opportunities(), 3);
     }
+
+    #[test]
+    fn gap_boundary_is_inclusive() {
+        // A gap of exactly `min_gap` is due; one instruction less is not.
+        let mut c = CoarseCheckpointer::new(1000);
+        assert!(c.observe(0, 100));
+        assert!(!c.observe(0, 1099)); // gap 999 < 1000: blocked
+        assert!(c.observe(0, 1100)); // gap exactly 1000: taken
+        assert_eq!(c.checkpoints_taken(), 2);
+        assert_eq!(c.last_checkpoint_at(), Some(1100));
+    }
+
+    #[test]
+    fn blocked_opportunities_are_still_counted() {
+        // Opportunities count §2.3-safe instants whether or not min_gap
+        // lets the checkpoint happen; unchecked-line instants never count.
+        let mut c = CoarseCheckpointer::new(u64::MAX);
+        assert!(!c.observe(5, 10));
+        assert!(c.observe(0, 20)); // first checkpoint is always due
+        assert!(!c.observe(0, 30));
+        assert!(!c.observe(0, 40));
+        assert_eq!(c.opportunities(), 3);
+        assert_eq!(c.checkpoints_taken(), 1);
+        assert_eq!(c.last_checkpoint_at(), Some(20));
+    }
+
+    #[test]
+    fn first_checkpoint_at_commit_zero_anchors_the_gap() {
+        // Committed-instruction zero is a valid checkpoint position and
+        // subsequent spacing is measured from it, not from "no checkpoint".
+        let mut c = CoarseCheckpointer::new(100);
+        assert!(c.observe(0, 0));
+        assert_eq!(c.last_checkpoint_at(), Some(0));
+        assert!(!c.observe(0, 99));
+        assert!(c.observe(0, 100));
+        assert_eq!(c.checkpoints_taken(), 2);
+    }
 }

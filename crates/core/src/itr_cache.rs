@@ -264,6 +264,32 @@ impl ItrCache {
         self.unreferenced
     }
 
+    /// Number of valid unreferenced lines inserted within the last
+    /// `max_age` cache events (probes + inserts) — the *young* unchecked
+    /// lines of the bounded-wait checkpoint policy.
+    ///
+    /// The strict §2.3 condition ([`unreferenced_count`]) never fires in
+    /// a program with any run-once trace: the prologue's line stays
+    /// unreferenced forever and blocks every checkpoint. Bounded wait
+    /// lets a line that has sat unreferenced for a full age window stop
+    /// blocking — it has demonstrably left the working set, so the next
+    /// probe that could check it is not imminent. The price is that such
+    /// a line may still hold committed corruption, making a checkpoint
+    /// over a corrupt prefix possible (measured by the recovery engine
+    /// as `rollback-sdc`, never silently).
+    ///
+    /// An unreferenced line's `last_use` is its insertion tick (only a
+    /// probe hit updates `last_use`, and that also marks it referenced),
+    /// so age falls out of the existing LRU state. O(lines).
+    ///
+    /// [`unreferenced_count`]: ItrCache::unreferenced_count
+    pub fn unreferenced_young_count(&self, max_age: u64) -> u64 {
+        self.lines
+            .iter()
+            .filter(|l| l.valid && !l.referenced && self.tick - l.last_use < max_age)
+            .count() as u64
+    }
+
     /// Inserts (or overwrites) the signature of a missed trace, as done
     /// when its trace-ending instruction commits. Returns the displaced
     /// line, if a valid one was evicted.
@@ -539,5 +565,25 @@ mod tests {
         assert_eq!(c.unreferenced_count(), 2);
         c.probe(0x100);
         assert_eq!(c.unreferenced_count(), 1);
+    }
+
+    #[test]
+    fn young_unreferenced_lines_age_out_of_the_blocking_set() {
+        let mut c = cache(16, Associativity::Ways(2));
+        c.insert(0x100, 1, 1); // the "run-once prologue" line
+        assert_eq!(c.unreferenced_young_count(4), 1);
+        // Each probe is one cache event; after 4 events the line has
+        // aged past the window and stops blocking, while the strict
+        // count still sees it.
+        for _ in 0..4 {
+            c.probe(0x900); // misses: events that never reference 0x100
+        }
+        assert_eq!(c.unreferenced_young_count(4), 0);
+        assert_eq!(c.unreferenced_count(), 1);
+        // A fresh insert re-enters the young set; u64::MAX degenerates
+        // to the strict count.
+        c.insert(0x200, 2, 1);
+        assert_eq!(c.unreferenced_young_count(4), 1);
+        assert_eq!(c.unreferenced_young_count(u64::MAX), c.unreferenced_count());
     }
 }

@@ -6,7 +6,7 @@
 //!              [--schedule power|uniform] [--out DIR] [--no-seeding]
 //! itr-fuzz replay CASE.json [CASE.json ...]
 //! itr-fuzz serve [--port N] [--max-iters N] [--sync-dir DIR] [--worker N]
-//!                [--out DIR] [run options]
+//!                [--warm-start URL] [--out DIR] [run options]
 //! itr-fuzz ab [--seed N] [--iters N] [--mode quick|full] [--no-seeding]
 //! itr-fuzz corpus CORPUS.jsonl
 //! ```
@@ -22,8 +22,10 @@
 //! when a case still fails, 2 on usage or parse errors.
 //!
 //! `serve` runs a long-lived campaign behind `GET /stats`,
-//! `GET /findings` and `POST /shutdown` on localhost, optionally syncing
-//! its corpus with peer shards through `--sync-dir`.
+//! `GET /findings`, `GET /corpus` and `POST /shutdown` on localhost,
+//! optionally syncing its corpus with peer shards through `--sync-dir`
+//! and warm-starting from a running peer's `/corpus` export with
+//! `--warm-start`.
 //!
 //! `ab` runs the uniform baseline for the iteration budget, notes the
 //! coverage it reached and how many oracle executions it spent, then
@@ -63,6 +65,8 @@ SERVE OPTIONS (plus the run options above):
     --max-iters N    stop after N iterations (default 0 = until shutdown)
     --sync-dir DIR   shared directory for cross-shard corpus sync
     --worker N       this worker's shard index (default 0)
+    --warm-start URL import a running peer's GET /corpus export before
+                     the first batch (host:port, path defaults /corpus)
 
 AB OPTIONS:
     --seed N, --iters N, --mode, --no-seeding as for run
@@ -223,6 +227,7 @@ fn serve_cmd(args: &[String]) -> Result<ExitCode, String> {
             "--worker" => {
                 cfg.worker = value("--worker")?.parse().map_err(|e| format!("--worker: {e}"))?;
             }
+            "--warm-start" => cfg.corpus_url = Some(value("--warm-start")?),
             "--out" => out = Some(PathBuf::from(value("--out")?)),
             "--help" | "-h" => {
                 print!("{HELP}");

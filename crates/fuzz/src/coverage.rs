@@ -41,9 +41,11 @@ const TRACE_LEN_BASE: u32 = EVENT_BASE + EVENT_SIZE;
 const TRACE_LEN_SIZE: u32 = 17;
 const OUTCOME_BASE: u32 = TRACE_LEN_BASE + TRACE_LEN_SIZE;
 const OUTCOME_SIZE: u32 = 10;
+const RECOVERY_BASE: u32 = OUTCOME_BASE + OUTCOME_SIZE;
+const RECOVERY_SIZE: u32 = 7;
 
 /// Total feature-space size.
-pub const MAP_SIZE: usize = (OUTCOME_BASE + OUTCOME_SIZE) as usize;
+pub const MAP_SIZE: usize = (RECOVERY_BASE + RECOVERY_SIZE) as usize;
 
 /// The `itr-stats` counters bucketed into telemetry features.
 const BUCKETED_COUNTERS: &[(&str, &str)] = &[
@@ -133,6 +135,12 @@ pub fn trace_len_feature(len: u32) -> u32 {
 pub fn outcome_feature(outcome: itr_faults::Outcome) -> u32 {
     let idx = itr_faults::Outcome::ALL.iter().position(|&o| o == outcome).unwrap_or(0);
     OUTCOME_BASE + (idx as u32).min(OUTCOME_SIZE - 1)
+}
+
+/// Feature: a ground-truth recovery outcome produced by `itr-recover`.
+pub fn recovery_feature(outcome: itr_recover::ActualOutcome) -> u32 {
+    let idx = itr_recover::ActualOutcome::ALL.iter().position(|&o| o == outcome).unwrap_or(0);
+    RECOVERY_BASE + (idx as u32).min(RECOVERY_SIZE - 1)
 }
 
 /// The global seen-feature bitmap.

@@ -18,6 +18,14 @@
 //!    the static trace universe `itr-analyze` enumerates, with a
 //!    matching signature and length. A violation means either the
 //!    static enumerator or the decode-time trace formation is wrong.
+//! 5. **Recovery ground truth** — the passive classification's
+//!    active-mode prediction versus what the `itr-recover` engine
+//!    actually did: the sound invariant subset
+//!    ([`itr_recover::sound_violation`]) must hold for every injected
+//!    transient fault. This re-widens the cross-mode checks oracle 3
+//!    had to narrow — instead of *predicting* recovery from passive
+//!    bits, the engine rolls back and re-executes, so
+//!    predicted-vs-actual is checkable without heuristics.
 //!
 //! Alongside verdicts the oracles emit the coverage features the engine
 //! feeds its novelty map.
@@ -31,6 +39,7 @@ use itr_faults::{
     FaultModel, FaultRecord, ModelKind, Outcome,
 };
 use itr_isa::{DecodeSignals, Program, SignalFlags};
+use itr_recover::{run_recovery, sound_violation, GoldenRun, RecoverConfig};
 use itr_sim::{
     CommitRecord, DecodeFault, FuncSim, Pipeline, PipelineConfig, RunExit, StopReason, TraceStream,
 };
@@ -75,6 +84,9 @@ pub enum OracleKind {
     FaultConsistency,
     /// A dynamic trace is not a member of the static trace universe.
     StaticSubset,
+    /// The recovery engine's actual outcome violates a sound invariant
+    /// of the passive classification's active-mode prediction.
+    RecoveryGroundTruth,
 }
 
 impl OracleKind {
@@ -85,6 +97,7 @@ impl OracleKind {
             OracleKind::SignatureDeterminism => "signature_determinism",
             OracleKind::FaultConsistency => "fault_consistency",
             OracleKind::StaticSubset => "static_subset",
+            OracleKind::RecoveryGroundTruth => "recovery_ground_truth",
         }
     }
 
@@ -95,6 +108,7 @@ impl OracleKind {
             "signature_determinism" => Some(OracleKind::SignatureDeterminism),
             "fault_consistency" => Some(OracleKind::FaultConsistency),
             "static_subset" => Some(OracleKind::StaticSubset),
+            "recovery_ground_truth" => Some(OracleKind::RecoveryGroundTruth),
             _ => None,
         }
     }
@@ -508,10 +522,44 @@ fn check_one_model(
     (outcome, None)
 }
 
-/// Oracle 3: classifier verdicts versus architectural ground truth, for
-/// `cfg.fault_count` randomly placed decode faults plus one sampled
-/// extended fault model per evaluation (the kind rotates with the RNG,
-/// so a long campaign exercises all seven).
+/// Oracle 5: the checkpoint/rollback engine's *actual* outcome versus
+/// the sound invariant subset of the passive verdict's active-mode
+/// prediction ([`itr_recover::sound_violation`]).
+///
+/// This is the re-widened form of the cross-mode checks oracle 3 had to
+/// narrow: instead of predicting what active mode *would* do from
+/// passive observation bits, the recovery engine runs active mode, rolls
+/// back on detection and classifies against the architectural golden
+/// run — so predicted-vs-actual becomes checkable without heuristics.
+/// Soundness preconditions (transient model, complete golden run, no
+/// context switches) are the caller's responsibility: `check_faults`
+/// only runs on halting cases and gates models on
+/// [`FaultModel::active_recovery_sound`].
+fn check_recovery(
+    program: &Program,
+    passive: Outcome,
+    model: &FaultModel,
+    fault: Option<DecodeFault>,
+    grun: &GoldenRun,
+    rcfg: &RecoverConfig,
+    out: &mut Evaluation,
+) {
+    let run = run_recovery(program, model, grun, rcfg);
+    out.features.push(coverage::recovery_feature(run.actual));
+    if let Some(v) = sound_violation(passive, &run) {
+        out.findings.push(Finding {
+            kind: OracleKind::RecoveryGroundTruth,
+            detail: format!("model {model:?}: {v}"),
+            fault,
+        });
+    }
+}
+
+/// Oracles 3 and 5: classifier verdicts versus architectural ground
+/// truth, for `cfg.fault_count` randomly placed decode faults plus one
+/// sampled extended fault model per evaluation (the kind rotates with
+/// the RNG, so a long campaign exercises all seven). Each transient
+/// fault additionally takes the full trip through the recovery engine.
 fn check_faults(
     program: &Program,
     golden: &[CommitRecord],
@@ -520,6 +568,12 @@ fn check_faults(
     out: &mut Evaluation,
 ) {
     let clean_sigs = clean_signatures(program, cfg.max_instrs);
+    let grun = GoldenRun::capture(program, cfg.max_instrs);
+    let rcfg = RecoverConfig {
+        checkpoint_min_gap: 0,
+        max_cycles: cfg.max_cycles(),
+        ..RecoverConfig::default()
+    };
     for _ in 0..cfg.fault_count {
         let fault = DecodeFault {
             nth_decode: rng.gen_range(2..golden.len() as u64),
@@ -528,12 +582,16 @@ fn check_faults(
         let (outcome, finding) = check_one_fault(program, golden, &clean_sigs, fault, cfg);
         out.features.push(coverage::outcome_feature(outcome));
         out.findings.extend(finding);
+        check_recovery(program, outcome, &FaultModel::Seu(fault), Some(fault), &grun, &rcfg, out);
     }
     let kind = ModelKind::ALL[rng.gen_range(0..ModelKind::ALL.len())];
     let model = FaultModel::sample(kind, rng, 2, golden.len() as u64);
     let (outcome, finding) = check_one_model(program, golden, &clean_sigs, &model, cfg);
     out.features.push(coverage::outcome_feature(outcome).wrapping_add(kind as u32 + 1));
     out.findings.extend(finding);
+    if model.active_recovery_sound() {
+        check_recovery(program, outcome, &model, None, &grun, &rcfg, out);
+    }
 }
 
 /// Replays exactly one fault against the consistency oracle — the
@@ -707,6 +765,7 @@ mod tests {
             OracleKind::SignatureDeterminism,
             OracleKind::FaultConsistency,
             OracleKind::StaticSubset,
+            OracleKind::RecoveryGroundTruth,
         ] {
             assert_eq!(OracleKind::from_label(k.label()), Some(k));
         }

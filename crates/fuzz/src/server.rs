@@ -9,6 +9,8 @@
 //!   (executions per second, coverage, corpus digest, findings count, …),
 //! * `GET /findings` — the shrunken findings as `itr-fuzz-finding/v1`
 //!   documents,
+//! * `GET /corpus` — the full retained corpus as an `itr-fuzz-sync/v1`
+//!   JSONL export (the same format `--sync-dir` files use),
 //! * `POST /shutdown` — stop the campaign; the corpus and the final
 //!   (deterministic) statistics are persisted before the process exits.
 //!
@@ -16,6 +18,12 @@
 //! corpus as an `itr-fuzz-sync/v1` export and imports every peer
 //! export it finds — the same merge the harness's generation barriers
 //! run, so shards converge to a shared frontier regardless of timing.
+//!
+//! A new worker can *warm-start* from a running peer: with
+//! `corpus_url` set, the worker fetches the peer's `GET /corpus`
+//! export once before its first batch and imports it through the
+//! normal fingerprint-dedup path — so late joiners begin at the
+//! fleet's coverage frontier instead of rediscovering it.
 //!
 //! Wall-clock only influences the *live* `/stats` answer (its
 //! `execs_per_sec` field) and when sync rounds happen; everything
@@ -56,6 +64,11 @@ pub struct ServeConfig {
     /// Where to persist `corpus.jsonl` and `serve_stats.json` at
     /// shutdown.
     pub out_dir: Option<PathBuf>,
+    /// Peer to warm-start from: a `host:port` (optionally prefixed with
+    /// `http://`, optionally with an explicit path, default `/corpus`)
+    /// whose corpus export is fetched and imported before the first
+    /// batch.
+    pub corpus_url: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +82,7 @@ impl Default for ServeConfig {
             worker: 0,
             sync_every: 4,
             out_dir: None,
+            corpus_url: None,
         }
     }
 }
@@ -94,6 +108,10 @@ pub fn serve(cfg: &ServeConfig, ready: &mut dyn FnMut(u16)) -> io::Result<FuzzOu
 
     let mut fuzzer = Fuzzer::new(cfg.fuzz.clone());
     fuzzer.seed(&|| false);
+    if let Some(url) = &cfg.corpus_url {
+        let peers = fetch_corpus(url)?;
+        fuzzer.import(&peers);
+    }
     let started = Instant::now();
     let mut batches = 0u64;
     let mut shutdown = false;
@@ -177,8 +195,11 @@ fn handle(mut stream: TcpStream, fuzzer: &Fuzzer, started: Instant) -> io::Resul
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
 
-    let (status, body, handled) = match (method, path) {
-        ("GET", "/stats") => ("200 OK", live_stats(fuzzer, started).to_json(), Handled::Continue),
+    let json = "application/json";
+    let (status, ctype, body, handled) = match (method, path) {
+        ("GET", "/stats") => {
+            ("200 OK", json, live_stats(fuzzer, started).to_json(), Handled::Continue)
+        }
         ("GET", "/findings") => {
             let docs: Vec<Value> = fuzzer.findings().iter().map(|f| f.to_value()).collect();
             let body = Value::Object(vec![
@@ -186,17 +207,55 @@ fn handle(mut stream: TcpStream, fuzzer: &Fuzzer, started: Instant) -> io::Resul
                 ("findings".to_string(), Value::Array(docs)),
             ])
             .to_json();
-            ("200 OK", body, Handled::Continue)
+            ("200 OK", json, body, Handled::Continue)
         }
-        ("POST", "/shutdown") => ("200 OK", "{\"ok\":true}".to_string(), Handled::Shutdown),
-        _ => ("404 Not Found", "{\"error\":\"unknown endpoint\"}".to_string(), Handled::Continue),
+        ("GET", "/corpus") => {
+            let body = sync::render(&fuzzer.export_corpus());
+            ("200 OK", "application/jsonl", body, Handled::Continue)
+        }
+        ("POST", "/shutdown") => ("200 OK", json, "{\"ok\":true}".to_string(), Handled::Shutdown),
+        _ => (
+            "404 Not Found",
+            json,
+            "{\"error\":\"unknown endpoint\"}".to_string(),
+            Handled::Continue,
+        ),
     };
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(response.as_bytes())?;
     Ok(handled)
+}
+
+/// Fetches a peer's `GET /corpus` export over plain HTTP/1.1 on a
+/// blocking `TcpStream` (std-only, like the server itself). Accepts
+/// `host:port`, `http://host:port` and either form with an explicit
+/// path; the path defaults to `/corpus`.
+///
+/// # Errors
+///
+/// Propagates connection and read errors; an unparseable export (wrong
+/// schema, tampered fingerprints) maps to [`io::ErrorKind::InvalidData`]
+/// — a warm-start pointed at the wrong service should fail loudly, not
+/// silently start cold.
+fn fetch_corpus(url: &str) -> io::Result<Vec<sync::SyncRecord>> {
+    let rest = url.strip_prefix("http://").unwrap_or(url);
+    let (addr, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/corpus"),
+    };
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut text = String::new();
+    stream.read_to_string(&mut text)?;
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    sync::parse(body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 /// Persists the shutdown artifacts: the retained corpus as sync records
@@ -278,6 +337,46 @@ mod tests {
         };
         let out = serve(&cfg, &mut |_| {}).expect("serve ok");
         assert_eq!(out.stats.iterations, 12, "batch clamp must not overshoot");
+    }
+
+    #[test]
+    fn warm_start_fetches_a_peer_corpus_over_http() {
+        // Worker A: seeded, serves until told to shut down.
+        let cfg_a = ServeConfig {
+            fuzz: FuzzConfig::quick(5, 0),
+            batch: 4,
+            sync_every: 0,
+            ..ServeConfig::default()
+        };
+        let (tx, rx) = mpsc::channel();
+        let a = thread::spawn(move || serve(&cfg_a, &mut |port| tx.send(port).expect("send")));
+        let port = rx.recv().expect("port");
+
+        // The corpus endpoint serves a parseable, non-empty sync export.
+        let corpus = http_get(port, "GET", "/corpus");
+        let records = sync::parse(&corpus).expect("corpus export parses");
+        assert!(!records.is_empty(), "seeded worker must export its corpus");
+
+        // Worker B warm-starts from A and begins at A's frontier.
+        let cfg_b = ServeConfig {
+            fuzz: FuzzConfig { skip_seeding: true, ..FuzzConfig::quick(6, 0) },
+            max_iters: 8,
+            batch: 4,
+            sync_every: 0,
+            corpus_url: Some(format!("127.0.0.1:{port}")),
+            ..ServeConfig::default()
+        };
+        let b = serve(&cfg_b, &mut |_| {}).expect("worker B");
+        assert!(b.stats.imported > 0, "warm start must import the peer corpus");
+        assert!(b.stats.corpus_len > 0);
+
+        // A bad warm-start address fails loudly instead of starting cold.
+        let cfg_bad =
+            ServeConfig { corpus_url: Some("127.0.0.1:1".to_string()), ..ServeConfig::default() };
+        assert!(serve(&cfg_bad, &mut |_| {}).is_err());
+
+        http_get(port, "POST", "/shutdown");
+        a.join().expect("join").expect("worker A");
     }
 
     #[test]

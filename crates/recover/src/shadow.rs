@@ -1,0 +1,167 @@
+//! Shadow architectural state: replays a pipeline's committed-record
+//! stream into a register file and sparse memory image, so the full
+//! architectural snapshot behind any [`CheckpointRecord`] can be
+//! materialized from the commit log alone.
+//!
+//! The pipeline already tells us *when* a §2.3 checkpoint is safe (the
+//! [`itr_core::CoarseCheckpointer`] fires at a trace-end commit with no
+//! unchecked ITR lines resident) and logs the commit count it covers
+//! ([`CheckpointRecord`]). What hardware would latch into its checkpoint
+//! store — registers, dirty memory, resume PC — is exactly the
+//! architectural effect of the committed prefix, which a [`CommitRecord`]
+//! stream encodes completely: destination writes, stores, and the
+//! next-PC chain. Replaying the prefix here therefore reconstructs the
+//! checkpoint a real machine would have taken, without the pipeline
+//! snapshotting anything mid-run.
+//!
+//! [`CheckpointRecord`]: itr_sim::CheckpointRecord
+
+use itr_isa::Program;
+use itr_sim::{CommitRecord, FuncSim, Memory, SimSnapshot, NUM_ARCH_REGS};
+use std::collections::BTreeSet;
+
+/// Accumulates the architectural effect of a committed-record prefix.
+#[derive(Debug)]
+pub struct ShadowArch {
+    regs: [u32; NUM_ARCH_REGS],
+    mem: Memory,
+    /// Word-aligned addresses touched by stores, in address order.
+    dirty: BTreeSet<u64>,
+    instrs: u64,
+    next_pc: u64,
+    text_base: u64,
+    text_end: u64,
+    touches_text: bool,
+}
+
+impl ShadowArch {
+    /// Starts from the freshly loaded image of `program` (the same
+    /// initial state every simulator in the workspace starts from).
+    pub fn new(program: &Program) -> ShadowArch {
+        ShadowArch {
+            // Seed from a fresh FuncSim so ABI setup (stack pointer) is
+            // identical to what the pipeline started with.
+            regs: *FuncSim::new(program).arch().regs(),
+            mem: Memory::with_program(program),
+            dirty: BTreeSet::new(),
+            instrs: 0,
+            next_pc: program.entry(),
+            text_base: program.text_base(),
+            text_end: program.text_base() + program.text().len() as u64 * 4,
+            touches_text: false,
+        }
+    }
+
+    /// Applies one committed instruction's architectural effect.
+    pub fn apply(&mut self, r: &CommitRecord) {
+        if let Some((reg, value)) = r.dst {
+            // r0 is hardwired zero; a faulty record naming it must not
+            // corrupt the shadow file.
+            if reg != 0 {
+                self.regs[reg as usize] = value;
+            }
+        }
+        if let Some((addr, size, value)) = r.store {
+            let span = size.max(1) as u64;
+            self.mem.write(addr, size, value);
+            self.dirty.insert(addr & !3);
+            self.dirty.insert((addr + span - 1) & !3);
+            if addr < self.text_end && addr + span > self.text_base {
+                self.touches_text = true;
+            }
+        }
+        self.instrs += 1;
+        self.next_pc = r.next_pc;
+    }
+
+    /// Instructions applied so far.
+    pub fn instrs(&self) -> u64 {
+        self.instrs
+    }
+
+    /// Freezes the current state as a resumable [`SimSnapshot`]. The
+    /// `traces` field is left empty: a rollback restarts trace formation
+    /// from scratch (the warm-cache image is irrelevant after the ITR
+    /// cache is distrusted).
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            pc: self.next_pc,
+            regs: self.regs,
+            mem_delta: self.dirty.iter().map(|&a| (a, self.mem.read_u32(a))).collect(),
+            instrs: self.instrs,
+            traces: Vec::new(),
+            touches_text: self.touches_text,
+        }
+    }
+}
+
+/// Replays `records` from the program's initial state and snapshots the
+/// result — the architectural checkpoint covering exactly that prefix.
+pub fn snapshot_at(program: &Program, records: &[CommitRecord]) -> SimSnapshot {
+    let mut shadow = ShadowArch::new(program);
+    for r in records {
+        shadow.apply(r);
+    }
+    shadow.snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itr_isa::asm::assemble;
+    use itr_workloads::kernels;
+
+    #[test]
+    fn shadow_snapshot_resumes_exactly_at_arbitrary_prefixes() {
+        let p = assemble(kernels::SUM_LOOP.source).unwrap();
+        let mut sim = FuncSim::new(&p);
+        let (records, stop) = sim.run_collect(200_000);
+        assert_eq!(stop, itr_sim::StopReason::Halted);
+        for cut in [1usize, 7, records.len() / 2, records.len() - 1] {
+            let snap = snapshot_at(&p, &records[..cut]);
+            assert_eq!(snap.instrs, cut as u64);
+            assert!(
+                FuncSim::snapshot_resumes_exactly(&p, &snap, &records[cut..]),
+                "resume at commit {cut} must replay the suffix"
+            );
+        }
+    }
+
+    #[test]
+    fn shadow_mem_delta_is_sorted_word_aligned() {
+        let p = assemble(kernels::BUBBLE_SORT.source).unwrap();
+        let mut sim = FuncSim::new(&p);
+        let (records, _) = sim.run_collect(50_000);
+        let snap = snapshot_at(&p, &records[..records.len() / 2]);
+        assert!(snap.mem_delta.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(snap.mem_delta.iter().all(|&(a, _)| a & 3 == 0));
+        assert!(!snap.mem_delta.is_empty(), "sorting stores are visible");
+    }
+
+    #[test]
+    fn zero_register_writes_are_discarded() {
+        let p = assemble(kernels::SUM_LOOP.source).unwrap();
+        let mut shadow = ShadowArch::new(&p);
+        shadow.apply(&CommitRecord {
+            pc: p.entry(),
+            dst: Some((0, 0xDEAD_BEEF)),
+            store: None,
+            next_pc: p.entry() + 4,
+        });
+        assert_eq!(shadow.snapshot().regs[0], 0);
+    }
+
+    #[test]
+    fn text_stores_are_flagged() {
+        let p = assemble(kernels::SUM_LOOP.source).unwrap();
+        let mut shadow = ShadowArch::new(&p);
+        assert!(!shadow.snapshot().touches_text);
+        shadow.apply(&CommitRecord {
+            pc: p.entry(),
+            dst: None,
+            store: Some((p.text_base(), 4, 0)),
+            next_pc: p.entry() + 4,
+        });
+        assert!(shadow.snapshot().touches_text);
+    }
+}

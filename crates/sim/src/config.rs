@@ -157,6 +157,16 @@ pub struct PipelineConfig {
     /// Minimum committed-instruction spacing between §2.3 coarse-grain
     /// checkpoints.
     pub checkpoint_min_gap: u64,
+    /// Bounded-wait checkpointing: an unreferenced ITR line older than
+    /// this many cache events (probes + inserts) stops blocking §2.3
+    /// checkpoints. `None` keeps the paper's strict condition — which a
+    /// single run-once trace (any prologue) blocks for the rest of the
+    /// run, leaving zero checkpoint availability on real programs. A
+    /// bounded wait restores availability at the price that an aged-out
+    /// line may still hold committed corruption, so a checkpoint can
+    /// cover a corrupt prefix (surfaced by `itr-recover` as
+    /// `rollback-sdc`).
+    pub checkpoint_line_age: Option<u64>,
     /// Enable the sequential-PC check at retirement (§2.5's `spc`).
     pub spc_check: bool,
     /// Planned decode faults (empty = fault-free). Multiple entries model
@@ -222,6 +232,7 @@ impl Default for PipelineConfig {
             watchdog_cycles: 10_000,
             itr: None,
             checkpoint_min_gap: 10_000,
+            checkpoint_line_age: None,
             spc_check: true,
             faults: Vec::new(),
             signal_faults: Vec::new(),

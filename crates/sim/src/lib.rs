@@ -55,5 +55,7 @@ pub use config::{
 };
 pub use func::{record_tap, FuncSim, StopReason, TraceStream};
 pub use mem::Memory;
-pub use pipeline::{Pipeline, PipelineStats, RunExit, SpcViolation, Stage, StageEvent};
+pub use pipeline::{
+    CheckpointRecord, Pipeline, PipelineStats, RunExit, SpcViolation, Stage, StageEvent,
+};
 pub use snapshot::{capture_at_traces, count_traces, SimSnapshot, SnapshotRecorder};

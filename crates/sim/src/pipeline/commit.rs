@@ -215,11 +215,20 @@ impl Pipeline {
                 if let Some(unit) = &mut self.itr {
                     unit.on_trace_end_commit(u.trace_seq);
                     // §2.3: a coarse-grain checkpoint is safe whenever no
-                    // unchecked (unreferenced) lines are resident.
-                    self.checkpointer.observe(
-                        unit.cache().unreferenced_count(),
-                        self.metrics.get(self.metrics.committed),
-                    );
+                    // unchecked (unreferenced) lines are resident. Under
+                    // bounded wait only *young* unreferenced lines block;
+                    // aged-out lines (run-once prologues) no longer do.
+                    let committed = self.metrics.get(self.metrics.committed);
+                    let blocking = match self.cfg.checkpoint_line_age {
+                        None => unit.cache().unreferenced_count(),
+                        Some(age) => unit.cache().unreferenced_young_count(age),
+                    };
+                    if self.checkpointer.observe(blocking, committed) {
+                        self.checkpoint_log.push(super::CheckpointRecord {
+                            committed,
+                            output_len: self.output.len(),
+                        });
+                    }
                 }
             }
             if !on_commit(&record) {

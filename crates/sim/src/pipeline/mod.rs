@@ -88,6 +88,21 @@ pub struct SpcViolation {
     pub pc: u64,
 }
 
+/// A §2.3 coarse-grain checkpoint the run actually took: the commit
+/// point it covers and how much program output had escaped by then.
+/// Checkpoints land at trace-end commits with no unchecked ITR lines
+/// resident, so `committed` is always a trace-formation boundary —
+/// exactly the resume points [`crate::SimSnapshot`] supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointRecord {
+    /// Instructions committed when the checkpoint was taken (the
+    /// checkpoint covers the commit-record prefix `[..committed]`).
+    pub committed: u64,
+    /// Bytes of program output already emitted — output beyond this
+    /// point is lost on rollback (recovered-with-output-loss).
+    pub output_len: usize,
+}
+
 /// The cycle-level pipeline: stage state plus the driver loop.
 ///
 /// Fields are visible to the sibling stage modules (`pub(in
@@ -110,6 +125,7 @@ pub struct Pipeline {
     // Checks.
     pub(in crate::pipeline) itr: Option<ItrUnit>,
     pub(in crate::pipeline) checkpointer: CoarseCheckpointer,
+    pub(in crate::pipeline) checkpoint_log: Vec<CheckpointRecord>,
     pub(in crate::pipeline) itr_events: Vec<(u64, ItrEvent)>,
     pub(in crate::pipeline) spc: SequentialPcChecker,
     pub(in crate::pipeline) spc_violations: Vec<SpcViolation>,
@@ -176,6 +192,7 @@ impl Pipeline {
             dcache: TimingCache::new(cfg.dcache),
             itr: cfg.itr.map(ItrUnit::new),
             checkpointer: CoarseCheckpointer::new(cfg.checkpoint_min_gap),
+            checkpoint_log: Vec::new(),
             itr_events: Vec::new(),
             spc: SequentialPcChecker::new(),
             spc_violations: Vec::new(),
@@ -254,6 +271,12 @@ impl Pipeline {
     /// whenever the ITR cache holds no unchecked lines).
     pub fn checkpointer(&self) -> &CoarseCheckpointer {
         &self.checkpointer
+    }
+
+    /// Every checkpoint the run took, in commit order (empty without an
+    /// ITR unit — checkpoint safety is defined by the ITR cache).
+    pub fn checkpoint_log(&self) -> &[CheckpointRecord] {
+        &self.checkpoint_log
     }
 
     /// Memory contents (e.g. to inspect results after a run).

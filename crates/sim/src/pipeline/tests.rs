@@ -538,6 +538,44 @@ fn checkpoint_opportunities_arise_in_hot_loops() {
 }
 
 #[test]
+fn bounded_wait_restores_checkpoint_availability_past_a_prologue() {
+    // A run-once prologue trace stays unreferenced forever, so the
+    // strict §2.3 condition never fires again for the rest of the run.
+    // Bounded wait lets the prologue's line age out of the blocking set
+    // and checkpoints resume; strict on the same program takes none.
+    let src = r#"
+        main:
+            li r8, 0
+            li r10, 0
+        loop:
+            addi r8, r8, 1
+            addi r10, r10, 2
+            slti r9, r8, 200
+            bgtz r9, loop
+            halt
+    "#;
+    let strict = PipelineConfig { checkpoint_min_gap: 0, ..PipelineConfig::with_itr() };
+    let (pipe, exit) = run_pipeline(src, strict);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(pipe.checkpointer().checkpoints_taken(), 0, "prologue blocks strict forever");
+
+    let bounded = PipelineConfig {
+        checkpoint_min_gap: 0,
+        checkpoint_line_age: Some(32),
+        ..PipelineConfig::with_itr()
+    };
+    let (pipe, exit) = run_pipeline(src, bounded);
+    assert_eq!(exit, RunExit::Halted);
+    assert!(
+        pipe.checkpointer().checkpoints_taken() >= 2,
+        "bounded wait took {} checkpoints over {} opportunities",
+        pipe.checkpointer().checkpoints_taken(),
+        pipe.checkpointer().opportunities()
+    );
+    assert_eq!(pipe.checkpoint_log().len() as u64, pipe.checkpointer().checkpoints_taken());
+}
+
+#[test]
 fn fp_program_runs_correctly_out_of_order() {
     let src = r#"
         main:

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Multi-process corpus-sync soak: WORKERS concurrent `itr-fuzz serve`
+# processes share one --sync-dir and fuzz to a bounded --max-iters.
+# Verifies the cross-process sync protocol end to end:
+#
+#   * every shard export and every persisted corpus parses via
+#     `itr-fuzz corpus` — concurrent writers never tear a reader
+#     (the write-then-rename discipline in itr_fuzz::sync);
+#   * every worker imported at least one peer case (serve_stats.json
+#     `imported` > 0) — the sync rounds actually exchanged novelty
+#     while the workers raced;
+#   * final shard exports overlap pairwise — the fleet converged
+#     toward a shared frontier rather than fuzzing in isolation.
+#
+# Usage: scripts/fuzz_sync_soak.sh
+#   BIN=target/release/itr-fuzz WORKERS=3 ITERS=600 DIR=fuzz-soak
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${BIN:-target/release/itr-fuzz}
+WORKERS=${WORKERS:-3}
+ITERS=${ITERS:-600}
+DIR=${DIR:-fuzz-soak}
+
+test -x "$BIN" || { echo "build first: cargo build -p itr-fuzz --release"; exit 2; }
+rm -rf "$DIR"
+mkdir -p "$DIR/sync"
+
+pids=()
+for w in $(seq 0 $((WORKERS - 1))); do
+  "$BIN" serve --mode full --seed $((11 + w)) --port 0 \
+    --max-iters "$ITERS" --sync-dir "$DIR/sync" --worker "$w" \
+    --out "$DIR/out-$w" >"$DIR/worker-$w.log" 2>&1 &
+  pids+=("$!")
+done
+for pid in "${pids[@]}"; do
+  wait "$pid" || { echo "a worker failed; logs in $DIR/"; exit 1; }
+done
+
+for w in $(seq 0 $((WORKERS - 1))); do
+  "$BIN" corpus "$DIR/sync/shard-$w.jsonl"
+  "$BIN" corpus "$DIR/out-$w/corpus.jsonl"
+done
+
+python3 - "$DIR" "$WORKERS" <<'EOF'
+import itertools
+import json
+import sys
+
+dir_, n = sys.argv[1], int(sys.argv[2])
+sets = []
+for w in range(n):
+    stats = json.load(open(f"{dir_}/out-{w}/serve_stats.json"))
+    assert stats["imported"] > 0, f"worker {w} never imported a peer case: {stats}"
+    fps = set()
+    for line in open(f"{dir_}/sync/shard-{w}.jsonl"):
+        if line.strip():
+            fps.add(json.loads(line)["fingerprint"])
+    assert fps, f"worker {w} exported an empty corpus"
+    sets.append(fps)
+    print(f"worker {w}: {len(fps)} exported, {stats['imported']} imported")
+for a, b in itertools.combinations(range(n), 2):
+    shared = len(sets[a] & sets[b])
+    assert shared >= 16, f"workers {a}/{b} share only {shared} cases — no convergence"
+    print(f"workers {a}/{b}: {shared} shared cases")
+print("sync soak ok")
+EOF

@@ -56,8 +56,9 @@ allowed() {
 # sweep experiments depend on — and must stay hash-free rather than
 # grow allowlist entries. crates/env feeds the env.txt/env.csv artifacts
 # directly (every scenario counter it aggregates is rendered), so it is
-# banned too.
-BANNED_DIRS=(crates/analyze/src crates/stats/src crates/core/src crates/env/src)
+# banned too, as is crates/recover: its campaign counters and sweep
+# cells are rendered verbatim into recover.txt/recover.csv.
+BANNED_DIRS=(crates/analyze/src crates/stats/src crates/core/src crates/env/src crates/recover/src)
 
 # Report-critical *files* inside otherwise-allowlisted crates. The
 # fuzzing service's scheduler, sync transport, serve endpoint, engine
