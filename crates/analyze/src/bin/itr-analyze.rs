@@ -5,7 +5,7 @@
 //! itr-analyze [--workload NAME]... [--seed N] [--mimic-instrs N]
 //!             [--trace-lens 4,8,16] [--verify-dynamic N] [--jobs N]
 //!             [--out FILE] [--baseline FILE] [--write-baseline FILE]
-//!             [--deny-unreachable]
+//!             [--write-gap FILE] [--deny-unreachable]
 //! ```
 //!
 //! The report is byte-identical across runs and `--jobs` settings:
@@ -42,6 +42,9 @@ OPTIONS:
                          stdout)
     --baseline FILE      check against a stored itr-analyze-baseline/v1
     --write-baseline FILE  write the baseline derived from this run
+    --write-gap FILE     write the itr-gap-golden/v1 self-observed gap
+                         document for the selected workloads (used to
+                         regenerate tests/golden_gap.json)
     --deny-unreachable   fail when any workload has unreachable code
 ";
 
@@ -54,6 +57,7 @@ struct Options {
     out: Option<PathBuf>,
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
+    write_gap: Option<PathBuf>,
     deny_unreachable: bool,
 }
 
@@ -67,6 +71,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         out: None,
         baseline: None,
         write_baseline: None,
+        write_gap: None,
         deny_unreachable: false,
     };
     let mut it = args.iter();
@@ -113,6 +118,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
             "--write-baseline" => {
                 opts.write_baseline = Some(PathBuf::from(value("--write-baseline")?));
+            }
+            "--write-gap" => {
+                opts.write_gap = Some(PathBuf::from(value("--write-gap")?));
             }
             "--deny-unreachable" => opts.deny_unreachable = true,
             "--help" | "-h" => {
@@ -199,6 +207,18 @@ fn run(opts: Options) -> Result<ExitCode, String> {
         std::fs::write(path, report.baseline_value().to_json())
             .map_err(|e| format!("write {}: {e}", path.display()))?;
         eprintln!("itr-analyze: baseline -> {}", path.display());
+    }
+    if let Some(path) = &opts.write_gap {
+        let programs: Vec<(&str, &itr_isa::Program)> =
+            workloads.iter().map(|w| (w.name.as_str(), &w.program)).collect();
+        let doc = itr_analyze::golden_document(
+            &programs,
+            itr_analyze::GAP_GOLDEN_BUDGET,
+            &opts.cfg.trace_lens,
+        );
+        std::fs::write(path, doc.to_json())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        eprintln!("itr-analyze: gap golden -> {}", path.display());
     }
 
     let mut failed = false;

@@ -21,7 +21,11 @@
 //! * [`oracle`] — the cross-validation oracle asserting that every
 //!   dynamically observed trace is a member of the static universe with
 //!   a matching signature. `itr-fuzz` runs this as its fourth
-//!   differential oracle.
+//!   differential oracle;
+//! * [`gap`] — the inverse diff: which statically possible traces,
+//!   CFG edges and loops were *never* observed dynamically, with
+//!   dominator-path / branch-polarity feasibility metadata per gap.
+//!   `itr-fuzz`'s directed mutation stage consumes this report.
 //!
 //! The analyses exist for two reasons. First, they answer static
 //! questions the simulator cannot: how many distinct traces *can* a
@@ -37,12 +41,17 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod cfg;
+pub mod gap;
 pub mod image;
 pub mod oracle;
 pub mod report;
 pub mod trace;
 
 pub use cfg::{BasicBlock, BlockExit, Cfg, NaturalLoop};
+pub use gap::{
+    gap_report, golden_document, BranchPolarity, EdgeGap, GapObservations, GapReport, LenGap,
+    GAP_GOLDEN_BUDGET, GAP_GOLDEN_SCHEMA, GAP_SCHEMA,
+};
 pub use image::{ProgramImage, DEFAULT_REGION_PAD};
 pub use oracle::{
     check_trace, cross_validate, dynamic_traces, CrossValidation, Violation, ViolationKind,

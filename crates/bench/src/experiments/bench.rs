@@ -11,6 +11,7 @@
 //! byte-identity checks the other artifacts must pass.
 
 use super::{sweep, Scale};
+use itr_analyze::{gap_report, GapObservations};
 use itr_core::{CoverageModel, ItrCacheConfig};
 use itr_faults::{FaultModel, ModelKind};
 use itr_fuzz::{FuzzConfig, Fuzzer, PowerSchedule};
@@ -25,7 +26,7 @@ use std::path::Path;
 use std::time::Instant;
 
 /// Compute job families whose wall-clock the ledger records.
-pub const TIMED_FAMILIES: [&str; 16] = [
+pub const TIMED_FAMILIES: [&str; 19] = [
     "characterize",
     "coverage",
     "energy",
@@ -42,6 +43,9 @@ pub const TIMED_FAMILIES: [&str; 16] = [
     "env-faultmodels",
     "env-workloads",
     "recover-sweep",
+    "gap-suite",
+    "gap-adversarial",
+    "gap-ab",
 ];
 
 /// Direct-path sample: how many of the 1056 sweep geometries to
@@ -62,6 +66,12 @@ const PICK_SAMPLE: u64 = 10_000;
 /// so the sample is sized to include actual rollbacks, not just the
 /// active-run fast path.
 const RECOVER_PROBE_RUNS: u64 = 480;
+
+/// Gap-analysis probe: repetitions of the full static↔dynamic diff
+/// (image + CFG + three trace universes + the coverage closure) and the
+/// execution budget of the observation pass.
+const GAP_PROBE_REPS: u64 = 32;
+const GAP_PROBE_BUDGET: u64 = 60_000;
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
@@ -158,6 +168,33 @@ pub fn measure(scale: &Scale) -> Value {
     }
     let recover_secs = t.elapsed().as_secs_f64();
 
+    // Gap-analysis throughput: the static↔dynamic diff the directed
+    // fuzzer and the gap repro family both lean on, priced as traces
+    // diffed per second on a real kernel.
+    let gap_lens = [4u32, 8, 16];
+    let obs = GapObservations::from_program(&crc, GAP_PROBE_BUDGET, &gap_lens);
+    let t = Instant::now();
+    let mut gap_traces = 0u64;
+    for _ in 0..GAP_PROBE_REPS {
+        let report = gap_report("crc32", &crc, &gap_lens, &obs);
+        gap_traces += report.lens.iter().map(|l| l.static_traces).sum::<u64>();
+        std::hint::black_box(&report);
+    }
+    let gap_secs = t.elapsed().as_secs_f64();
+
+    // Directed-mutation overhead: the same mini-campaign with the
+    // analysis-directed stage on; the extra wall-clock over the blind
+    // run prices the plan computation + targeted mutators per exec.
+    let dcfg = FuzzConfig { directed: true, ..fcfg.clone() };
+    let t = Instant::now();
+    let mut directed = Fuzzer::new(dcfg);
+    directed.seed(&|| false);
+    directed.run_iters(fcfg.iters, &|| false);
+    let directed_secs = t.elapsed().as_secs_f64();
+    let directed_execs = directed.execs();
+    let blind_per_exec = fuzz_secs / fuzz_execs.max(1) as f64;
+    let directed_per_exec = directed_secs / directed_execs.max(1) as f64;
+
     obj(vec![
         ("schema", Value::Str("itr-bench/v1".into())),
         ("workload", Value::Str(profile.name.to_string())),
@@ -211,6 +248,22 @@ pub fn measure(scale: &Scale) -> Value {
                 ("rollbacks", Value::UInt(rollbacks)),
                 ("secs", Value::Float(recover_secs)),
                 ("runs_per_sec", Value::Float(RECOVER_PROBE_RUNS as f64 / recover_secs)),
+            ]),
+        ),
+        (
+            "gap",
+            obj(vec![
+                ("reps", Value::UInt(GAP_PROBE_REPS)),
+                ("traces_diffed", Value::UInt(gap_traces)),
+                ("secs", Value::Float(gap_secs)),
+                ("traces_per_sec", Value::Float(gap_traces as f64 / gap_secs)),
+                ("directed_iters", Value::UInt(fcfg.iters)),
+                ("directed_execs", Value::UInt(directed_execs)),
+                ("directed_secs", Value::Float(directed_secs)),
+                (
+                    "directed_overhead_frac",
+                    Value::Float((directed_per_exec - blind_per_exec) / blind_per_exec),
+                ),
             ]),
         ),
     ])

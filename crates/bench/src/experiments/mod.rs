@@ -24,6 +24,7 @@
 //! fuzz-campaign (seed-derived shards)         ──► fuzz
 //! fuzz-service (one shard per worker)         ──► fuzz-service-report
 //! analyze-suite (workload shards)             ──► analyze
+//! gap-suite, gap-adversarial, gap-ab          ──► gap
 //! sweep (one tap shard per workload)          ──► sweep-pareto
 //! env-interleave, env-faultmodels,
 //! env-workloads (hostile environments)        ──► env-report
@@ -39,6 +40,7 @@ pub mod coverage;
 pub mod energy;
 pub mod env;
 pub mod fuzz;
+pub mod gap;
 pub mod injection;
 pub mod perf;
 pub mod recover;
@@ -231,6 +233,7 @@ pub fn register_all(reg: &mut Registry, scale: &Scale, out: &Path) {
     ablations::register(reg, scale, out);
     fuzz::register(reg, scale, out);
     analyze::register(reg, scale, out);
+    gap::register(reg, scale, out);
     sweep::register(reg, scale, out);
     env::register(reg, scale, out);
     recover::register(reg, scale, out);

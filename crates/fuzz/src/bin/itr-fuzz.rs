@@ -8,6 +8,7 @@
 //! itr-fuzz serve [--port N] [--max-iters N] [--sync-dir DIR] [--worker N]
 //!                [--warm-start URL] [--out DIR] [run options]
 //! itr-fuzz ab [--seed N] [--iters N] [--mode quick|full] [--no-seeding]
+//! itr-fuzz gap-ab [--seed N] [--iters N] [--mode quick|full] [--no-seeding]
 //! itr-fuzz corpus CORPUS.jsonl
 //! ```
 //!
@@ -32,6 +33,11 @@
 //! runs the power scheduler until it matches that coverage. Exit status:
 //! 0 when the scheduler needs no more executions than the baseline.
 //!
+//! `gap-ab` is the same race with gap closures as the currency: the
+//! undirected engine runs the budget, then the analysis-directed engine
+//! must reach 95% of its final gap-closure count in no more executions.
+//! Exit status mirrors `ab`.
+//!
 //! `corpus` parses a persisted `itr-fuzz-sync/v1` corpus and reports its
 //! size and digest — CI's check that a serve campaign's corpus reloads.
 
@@ -48,6 +54,7 @@ USAGE:
     itr-fuzz replay CASE.json [CASE.json ...]
     itr-fuzz serve [OPTIONS]
     itr-fuzz ab [OPTIONS]
+    itr-fuzz gap-ab [OPTIONS]
     itr-fuzz corpus CORPUS.jsonl
 
 RUN OPTIONS:
@@ -56,6 +63,8 @@ RUN OPTIONS:
     --time-secs N    additional wall-clock budget; stops early when hit
     --mode quick|full  budget preset (default full; quick = smoke scale)
     --schedule power|uniform  corpus selection policy (default power)
+    --directed       analysis-directed mutation: target the gap report's
+                     uncovered CFG edges and never-formed traces
     --out DIR        output directory (default fuzz-out/)
     --no-seeding     skip the itr-workloads seed corpus
 
@@ -68,7 +77,7 @@ SERVE OPTIONS (plus the run options above):
     --warm-start URL import a running peer's GET /corpus export before
                      the first batch (host:port, path defaults /corpus)
 
-AB OPTIONS:
+AB / GAP-AB OPTIONS:
     --seed N, --iters N, --mode, --no-seeding as for run
 ";
 
@@ -81,6 +90,7 @@ fn parse_fuzz_flags(args: &[String]) -> Result<(FuzzConfig, Vec<String>), String
     let mut mode = "full".to_string();
     let mut schedule = Schedule::Power;
     let mut no_seeding = false;
+    let mut directed = false;
     let mut rest = Vec::new();
 
     let mut it = args.iter();
@@ -97,6 +107,7 @@ fn parse_fuzz_flags(args: &[String]) -> Result<(FuzzConfig, Vec<String>), String
                     .ok_or_else(|| format!("--schedule must be power or uniform, got `{v}`"))?;
             }
             "--no-seeding" => no_seeding = true,
+            "--directed" => directed = true,
             other => rest.push(other.to_string()),
         }
     }
@@ -108,6 +119,7 @@ fn parse_fuzz_flags(args: &[String]) -> Result<(FuzzConfig, Vec<String>), String
     };
     cfg.schedule = schedule;
     cfg.skip_seeding = no_seeding;
+    cfg.directed = directed;
     Ok((cfg, rest))
 }
 
@@ -311,6 +323,68 @@ fn ab_cmd(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn gap_ab_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let (cfg, rest) = parse_fuzz_flags(args)?;
+    if let Some(extra) = rest.first() {
+        if extra == "--help" || extra == "-h" {
+            print!("{HELP}");
+            return Ok(ExitCode::SUCCESS);
+        }
+        return Err(format!("unknown flag `{extra}` (try --help)"));
+    }
+
+    // Baseline: blind (undirected) mutation for the full budget,
+    // recording the gap-closure trajectory. Same 95% rationale as `ab`:
+    // the last closures are seed luck, the bulk of the curve is signal.
+    // Gap accounting runs identically in both engines; only the
+    // mutation policy differs.
+    let base_cfg = FuzzConfig { directed: false, ..cfg.clone() };
+    let mut base = Fuzzer::new(base_cfg);
+    base.seed(&|| false);
+    let mut trajectory = vec![(base.execs(), base.gap_closures())];
+    for _ in 0..cfg.iters {
+        base.step();
+        trajectory.push((base.execs(), base.gap_closures()));
+    }
+    if base.gap_closures() == 0 {
+        eprintln!("itr-fuzz: gap A/B FAIL — blind baseline closed no gaps; config too small");
+        return Ok(ExitCode::from(1));
+    }
+    let target = (base.gap_closures() * 95).div_ceil(100);
+    let base_execs =
+        trajectory.iter().find(|&&(_, c)| c >= target).map_or_else(|| base.execs(), |&(e, _)| e);
+    eprintln!(
+        "itr-fuzz: blind closed {target} gaps (95% of {}) in {base_execs} execs",
+        base.gap_closures()
+    );
+
+    // Challenger: analysis-directed mutation until it matches the
+    // target (capped at 4x the budget so a regression still terminates).
+    let mut dir = Fuzzer::new(FuzzConfig { directed: true, ..cfg.clone() });
+    dir.seed(&|| false);
+    while dir.gap_closures() < target && dir.iterations() < cfg.iters * 4 {
+        dir.step();
+    }
+    let dir_execs = dir.execs();
+    eprintln!("itr-fuzz: directed closed {} gaps in {dir_execs} execs", dir.gap_closures());
+
+    if dir.gap_closures() < target {
+        eprintln!("itr-fuzz: gap A/B FAIL — directed never reached the closure target");
+        return Ok(ExitCode::from(1));
+    }
+    if dir_execs > base_execs {
+        eprintln!(
+            "itr-fuzz: gap A/B FAIL — directed spent {dir_execs} execs vs blind's {base_execs}"
+        );
+        return Ok(ExitCode::from(1));
+    }
+    eprintln!(
+        "itr-fuzz: gap A/B ok — directed closed {target} gaps with {} of blind's execs",
+        format_args!("{dir_execs}/{base_execs}")
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 fn corpus_cmd(args: &[String]) -> Result<ExitCode, String> {
     let [path] = args else {
         return Err("corpus needs exactly one CORPUS.jsonl path".into());
@@ -329,6 +403,7 @@ fn main() -> ExitCode {
         Some("replay") => replay_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
         Some("ab") => ab_cmd(&args[1..]),
+        Some("gap-ab") => gap_ab_cmd(&args[1..]),
         Some("corpus") => corpus_cmd(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{HELP}");

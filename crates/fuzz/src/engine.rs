@@ -14,6 +14,7 @@
 use crate::case::FuzzCase;
 use crate::corpus::{seed_corpus, Corpus, CorpusStats, RegressionCase};
 use crate::coverage::CoverageMap;
+use crate::directed::{self, DirectedPlan};
 use crate::mutate;
 use crate::oracle::{self, OracleConfig, OracleKind};
 use crate::schedule::{PowerSchedule, Schedule};
@@ -22,10 +23,21 @@ use crate::snapshot::snapshot_cases;
 use crate::sync::SyncRecord;
 use itr_stats::json::Value;
 use itr_stats::SplitMix64;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Schema tag of the exported statistics document.
 pub const STATS_SCHEMA: &str = "itr-fuzz-stats/v1";
+
+/// Aggregate observed-edge set cap: once this many distinct
+/// (branch_pc, dest_pc) edges are recorded, further inserts are dropped
+/// (deterministically — the set serves gap *pruning*, so saturation
+/// only makes plans conservative, never wrong).
+const OBSERVED_EDGES_CAP: usize = 1 << 16;
+
+/// Directed-plan cache bound; on overflow the cache is cleared whole
+/// (deterministic, and stale plans against a grown observed set get
+/// recomputed for free).
+const GAP_PLAN_CAP: usize = 256;
 
 /// Engine parameters.
 #[derive(Debug, Clone)]
@@ -54,6 +66,12 @@ pub struct FuzzConfig {
     pub max_findings: usize,
     /// Corpus selection policy.
     pub schedule: Schedule,
+    /// Analysis-directed mutation: consult the `itr-gap/v1` plan of the
+    /// picked parent and target its uncovered edges / never-formed
+    /// traces instead of mutating blindly. Gap-closure accounting runs
+    /// in *both* modes (the A/B currency must mean the same thing);
+    /// only the mutation choice differs.
+    pub directed: bool,
     /// Every `snapshot_every`-th iteration, materialize snapshot
     /// start-states from the most recent novelty-bearing case (0 = off).
     pub snapshot_every: u64,
@@ -75,6 +93,7 @@ impl Default for FuzzConfig {
             shrink_budget: 48,
             max_findings: 8,
             schedule: Schedule::Power,
+            directed: false,
             snapshot_every: 64,
             snapshot_max: 1,
         }
@@ -122,6 +141,10 @@ pub struct FuzzStats {
     pub imported: u64,
     /// Total instructions the golden reference committed.
     pub golden_instrs: u64,
+    /// Statically possible CFG edges that were open gaps in the parent's
+    /// `itr-gap/v1` plan when a child first covered them (the directed
+    /// A/B currency; counted identically in directed and blind modes).
+    pub gap_closures: u64,
     /// Findings per oracle.
     pub findings_by_oracle: BTreeMap<&'static str, u64>,
 }
@@ -182,6 +205,8 @@ impl FuzzOutcome {
             ("snapshot_cases".to_string(), Value::UInt(self.stats.snapshot_cases)),
             ("imported".to_string(), Value::UInt(self.stats.imported)),
             ("golden_instrs".to_string(), Value::UInt(self.stats.golden_instrs)),
+            ("directed".to_string(), Value::Bool(cfg.directed)),
+            ("gap_closures".to_string(), Value::UInt(self.stats.gap_closures)),
             ("findings_total".to_string(), Value::UInt(self.stats.findings())),
             ("findings".to_string(), Value::Object(findings)),
         ])
@@ -219,6 +244,16 @@ pub struct Fuzzer {
     iter: u64,
     pending_novel: Vec<SyncRecord>,
     last_novel: Option<FuzzCase>,
+    /// Campaign-aggregate observed (branch_pc, dest_pc) edges — the
+    /// compact dynamic side the gap engine diffs against, fed straight
+    /// from `Evaluation::edges` (never re-derived from replays). All
+    /// fuzz cases share the fixed text base, so the set acts as one
+    /// AFL-style global edge map in PC space.
+    observed: BTreeSet<(u64, u64)>,
+    /// fingerprint → cached directed plan (see [`GAP_PLAN_CAP`]).
+    gap_plans: BTreeMap<u64, DirectedPlan>,
+    /// Gap edges already credited as closures (each counts once).
+    closed_gaps: BTreeSet<(u64, u64)>,
 }
 
 impl Fuzzer {
@@ -238,6 +273,9 @@ impl Fuzzer {
             iter: 0,
             pending_novel: Vec::new(),
             last_novel: None,
+            observed: BTreeSet::new(),
+            gap_plans: BTreeMap::new(),
+            closed_gaps: BTreeSet::new(),
         }
     }
 
@@ -255,9 +293,37 @@ impl Fuzzer {
             self.out.stats.golden_instrs += eval.golden_len as u64;
             self.out.stats.seeds += 1;
             self.out.stats.execs += 1;
+            self.observe_edges(&eval.edges);
             self.record_findings(&seed_case, &eval.findings);
             self.admit(seed_case, &eval.features, 0);
         }
+    }
+
+    /// Folds one evaluation's observed edges into the campaign
+    /// aggregate, dropping inserts past [`OBSERVED_EDGES_CAP`].
+    fn observe_edges(&mut self, edges: &[(u64, u64)]) {
+        for &e in edges {
+            if self.observed.len() >= OBSERVED_EDGES_CAP {
+                break;
+            }
+            self.observed.insert(e);
+        }
+    }
+
+    /// The cached (or freshly computed) directed plan for a corpus
+    /// entry: its own golden execution plus the campaign aggregate,
+    /// diffed against its static universe and CFG.
+    fn plan_for(&mut self, fingerprint: u64, case: &FuzzCase) -> DirectedPlan {
+        if let Some(p) = self.gap_plans.get(&fingerprint) {
+            return p.clone();
+        }
+        let budget = self.cfg.oracle.max_instrs.min(1200);
+        let plan = directed::plan(case, &self.observed, budget);
+        if self.gap_plans.len() >= GAP_PLAN_CAP {
+            self.gap_plans.clear();
+        }
+        self.gap_plans.insert(fingerprint, plan.clone());
+        plan
     }
 
     /// Observes an evaluation's features and retains the case when it
@@ -284,6 +350,7 @@ impl Fuzzer {
     /// One mutation/evaluation iteration, plus the snapshot cadence.
     pub fn step(&mut self) {
         let mut parent_fp = None;
+        let mut plan: Option<DirectedPlan> = None;
         let (case, depth) = if self.corpus.is_empty() || self.rng.gen_bool(self.cfg.fresh_ratio) {
             let target = 24 + self.rng.gen_range(0usize..64);
             (mutate::fresh(&mut self.rng, target), 0)
@@ -300,12 +367,23 @@ impl Fuzzer {
                     (parent, 0)
                 }
             };
+            // The plan is computed in both modes so `gap_closures`
+            // measures the same quantity in the directed-vs-blind A/B;
+            // only the mutation below consults it.
+            let p = self.plan_for(parent_fp.unwrap_or(0), &parent);
             let donor = if self.rng.gen_bool(0.5) {
                 self.corpus.pick(&mut self.rng).cloned()
             } else {
                 None
             };
-            (mutate::mutate(&mut self.rng, &parent, donor.as_ref()), depth + 1)
+            let child = if self.cfg.directed {
+                directed::directed_mutate(&mut self.rng, &parent, &p)
+                    .unwrap_or_else(|| mutate::mutate(&mut self.rng, &parent, donor.as_ref()))
+            } else {
+                mutate::mutate(&mut self.rng, &parent, donor.as_ref())
+            };
+            plan = Some(p);
+            (child, depth + 1)
         };
         let with_faults =
             self.cfg.fault_every > 0 && self.iter.is_multiple_of(self.cfg.fault_every);
@@ -313,6 +391,22 @@ impl Fuzzer {
         self.out.stats.golden_instrs += eval.golden_len as u64;
         self.out.stats.iterations += 1;
         self.out.stats.execs += 1;
+        self.observe_edges(&eval.edges);
+        if let Some(plan) = &plan {
+            let newly: Vec<(u64, u64)> = eval
+                .edges
+                .iter()
+                .copied()
+                .filter(|e| plan.uncovered_edges.contains(e) && !self.closed_gaps.contains(e))
+                .collect();
+            if !newly.is_empty() {
+                self.out.stats.gap_closures += newly.len() as u64;
+                self.closed_gaps.extend(newly);
+                if let Some(fp) = parent_fp {
+                    self.power.reward_gap(fp);
+                }
+            }
+        }
         self.record_findings(&case, &eval.findings);
         if self.admit(case, &eval.features, depth) {
             if let Some(fp) = parent_fp {
@@ -336,6 +430,7 @@ impl Fuzzer {
             }
             let eval = oracle::evaluate(&m, &self.cfg.oracle, false, &mut self.rng);
             self.out.stats.golden_instrs += eval.golden_len as u64;
+            self.observe_edges(&eval.edges);
             self.out.stats.execs += 1;
             self.out.stats.snapshot_cases += 1;
             self.record_findings(&m, &eval.findings);
@@ -370,6 +465,7 @@ impl Fuzzer {
             scanned += 1;
             let eval = oracle::evaluate(&rec.case, &self.cfg.oracle, false, &mut self.rng);
             self.out.stats.golden_instrs += eval.golden_len as u64;
+            self.observe_edges(&eval.edges);
             self.out.stats.execs += 1;
             self.record_findings(&rec.case, &eval.findings);
             if self.admit(rec.case.clone(), &eval.features, 0) {
@@ -399,6 +495,18 @@ impl Fuzzer {
     /// Coverage features lit so far.
     pub fn coverage(&self) -> usize {
         self.map.covered()
+    }
+
+    /// The campaign-aggregate observed (branch_pc, dest_pc) edge set —
+    /// the compact export the gap engine diffs against, accumulated from
+    /// every oracle evaluation rather than re-derived from replays.
+    pub fn observed_edges(&self) -> &BTreeSet<(u64, u64)> {
+        &self.observed
+    }
+
+    /// Gap closures credited so far (the directed A/B currency).
+    pub fn gap_closures(&self) -> u64 {
+        self.out.stats.gap_closures
     }
 
     /// Total oracle evaluations so far.
@@ -574,6 +682,29 @@ mod tests {
         for rec in &first {
             assert!(f.corpus().contains(rec.case.fingerprint()));
         }
+    }
+
+    #[test]
+    fn directed_mode_is_deterministic_and_closes_gaps() {
+        let cfg = FuzzConfig { directed: true, ..tiny_cfg(8, 32) };
+        let a = run(&cfg, &|| false);
+        let b = run(&cfg, &|| false);
+        assert_eq!(a.stats_value(&cfg).to_json(), b.stats_value(&cfg).to_json());
+        assert!(a.stats.gap_closures > 0, "directed mode must close some gaps in 32 iters");
+    }
+
+    #[test]
+    fn gap_accounting_runs_in_blind_mode_too() {
+        // The A/B currency must be measured identically with directed
+        // mutation off — otherwise the comparison is meaningless.
+        let mut f = Fuzzer::new(tiny_cfg(9, 48));
+        f.run_iters(48, &|| false);
+        assert!(!f.observed_edges().is_empty(), "edges aggregate from every evaluation");
+        // gap_closures may legitimately be zero this early; the stat
+        // must at least be exported.
+        let cfg = f.config().clone();
+        let out = f.finish();
+        assert!(out.stats_value(&cfg).to_json().contains("\"gap_closures\":"));
     }
 
     #[test]

@@ -217,7 +217,7 @@ pub fn generate(rng: &mut SplitMix64, target_len: usize) -> FuzzCase {
 }
 
 /// `true` when `inst` writes the given *integer* register.
-fn writes_int_reg(inst: &Instruction, reg: u8) -> bool {
+pub(crate) fn writes_int_reg(inst: &Instruction, reg: u8) -> bool {
     let p = inst.op.props();
     if p.num_rdst == 0 || p.flags.contains(SignalFlags::IS_FP) && inst.op != Opcode::Mfc1 {
         return false;

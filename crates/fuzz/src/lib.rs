@@ -28,6 +28,12 @@
 //! ([`snapshot`]), and `itr-fuzz serve` ([`server`]) runs a long-lived
 //! campaign behind a small std-only HTTP status endpoint.
 //!
+//! The static analyzer closes the loop from the other side: in
+//! `--directed` mode the coverage-gap report of `itr_analyze::gap`
+//! plans branch flips and never-formed-trace synthesis ([`directed`]),
+//! and gap closures feed the power scheduler as a high-weight energy
+//! signal (`itr-fuzz gap-ab` races directed against blind mutation).
+//!
 //! Everything is deterministic per seed — `itr-fuzz run --seed 1
 //! --iters 5000` twice yields byte-identical statistics and findings.
 
@@ -39,6 +45,7 @@ pub mod case;
 pub mod corpus;
 pub mod coverage;
 pub mod diag;
+pub mod directed;
 pub mod engine;
 pub mod gen;
 pub mod mutate;
@@ -53,6 +60,7 @@ pub use case::{FuzzCase, CASE_SCHEMA};
 pub use corpus::{seed_corpus, Corpus, CorpusEntry, CorpusStats, RegressionCase, FINDING_SCHEMA};
 pub use coverage::{CoverageMap, MAP_SIZE};
 pub use diag::{first_divergence, Divergence};
+pub use directed::{directed_mutate, BranchGoal, DirectedPlan, GAP_LENS};
 pub use engine::{run, FuzzConfig, FuzzOutcome, FuzzStats, Fuzzer, STATS_SCHEMA};
 pub use oracle::{evaluate, replay_fault, Evaluation, Finding, OracleConfig, OracleKind};
 pub use schedule::{PowerSchedule, Schedule};

@@ -134,14 +134,21 @@ pub struct Evaluation {
     pub features: Vec<u32>,
     /// Instructions the golden reference committed.
     pub golden_len: usize,
+    /// Observed control-flow edges `(branch_pc, destination_pc)` — one
+    /// entry per executed trace-ending instruction outcome, sorted and
+    /// deduplicated. This is the compact export the gap engine
+    /// (`itr_analyze::gap`) diffs against the static CFG, so gap
+    /// analysis never re-derives edges from replays.
+    pub edges: Vec<(u64, u64)>,
 }
 
-/// Runs the golden functional reference, collecting the committed stream
-/// and its control-flow coverage features.
+/// Runs the golden functional reference, collecting the committed
+/// stream, its control-flow coverage features and the observed CFG edge
+/// set.
 fn golden_run(
     program: &Program,
     cfg: &OracleConfig,
-    features: &mut Vec<u32>,
+    out: &mut Evaluation,
 ) -> (Vec<CommitRecord>, StopReason) {
     let mut sim = FuncSim::new(program);
     let mut records = Vec::new();
@@ -150,17 +157,20 @@ fn golden_run(
         let Some(step) = sim.step() else { break };
         let op = step.signals.opcode;
         if let Some(p) = prev_op {
-            features.push(coverage::pair_feature(p, op));
+            out.features.push(coverage::pair_feature(p, op));
         }
         if step.signals.flags.contains(SignalFlags::IS_BRANCH) {
             let taken = step.record.next_pc != step.record.pc + 4;
-            features.push(coverage::branch_feature(op, taken));
+            out.features.push(coverage::branch_feature(op, taken));
+            out.edges.push((step.record.pc, step.record.next_pc));
         }
         prev_op = Some(op);
         records.push(step.record);
     }
     let stop = sim.stopped().unwrap_or(StopReason::InstrLimit);
-    features.push(coverage::stop_feature(stop));
+    out.features.push(coverage::stop_feature(stop));
+    out.edges.sort_unstable();
+    out.edges.dedup();
     (records, stop)
 }
 
@@ -629,7 +639,7 @@ pub fn evaluate(
 ) -> Evaluation {
     let program = case.program();
     let mut out = Evaluation::default();
-    let (golden, stop) = golden_run(&program, cfg, &mut out.features);
+    let (golden, stop) = golden_run(&program, cfg, &mut out);
     out.golden_len = golden.len();
     check_equivalence(&program, "plain", PipelineConfig::default(), &golden, stop, cfg, &mut out);
     check_equivalence(&program, "itr", PipelineConfig::with_itr(), &golden, stop, cfg, &mut out);

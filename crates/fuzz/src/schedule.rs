@@ -8,7 +8,8 @@
 //! ```text
 //!            ( BASE + max_{f ∈ feat(e)} RARITY_SCALE / hits(f)
 //!                   + DEPTH_UNIT · min(depth(e), DEPTH_CAP)
-//!                   + SIZE_SCALE / (SIZE_PIVOT + |text(e)|) ) · (1 + 2·wins(e))
+//!                   + SIZE_SCALE / (SIZE_PIVOT + |text(e)|) )
+//!                   · (1 + 2·wins(e) + GAP_WIN_WEIGHT·gap_wins(e))
 //! energy(e) = ───────────────────────────────────────────────────────────────
 //!                                  1 + picks(e)
 //! ```
@@ -27,6 +28,11 @@
 //!   uniform selection over-samples lucky entries and starves late
 //!   arrivals, while the discount walks the whole frontier and then
 //!   concentrates on the parents whose mutants actually produce novelty.
+//! * **gap closure** — a parent whose child covered a statically
+//!   possible but never-observed CFG edge (per the `itr-gap/v1` report)
+//!   gets a stronger multiplier than an ordinary novelty win: closing a
+//!   known static↔dynamic gap is rarer and more valuable than relighting
+//!   the feature map, so those parents stay hot longest.
 //!
 //! Everything is u64 integer arithmetic and the draw comes from the
 //! engine's single `SplitMix64` stream, so fixed-seed reruns pick the
@@ -49,6 +55,9 @@ const DEPTH_CAP: u32 = 8;
 /// Brevity numerator and pivot (in text instructions).
 const SIZE_SCALE: u64 = 1024;
 const SIZE_PIVOT: u64 = 16;
+/// Multiplier per gap-closing child — twice an ordinary novelty win,
+/// because a closed static↔dynamic gap is strictly rarer.
+const GAP_WIN_WEIGHT: u64 = 4;
 
 /// Which selection policy the engine runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -91,6 +100,10 @@ pub struct PowerSchedule {
     /// fingerprint → times a pick of this parent yielded a retained
     /// (novelty-bearing) child.
     wins: BTreeMap<u64, u32>,
+    /// fingerprint → times a pick of this parent yielded a child that
+    /// closed an open coverage gap (covered a statically possible CFG
+    /// edge never observed before).
+    gap_wins: BTreeMap<u64, u32>,
 }
 
 impl Default for PowerSchedule {
@@ -102,13 +115,25 @@ impl Default for PowerSchedule {
 impl PowerSchedule {
     /// An empty scheduler over the full feature space.
     pub fn new() -> PowerSchedule {
-        PowerSchedule { hits: vec![0; MAP_SIZE], picks: BTreeMap::new(), wins: BTreeMap::new() }
+        PowerSchedule {
+            hits: vec![0; MAP_SIZE],
+            picks: BTreeMap::new(),
+            wins: BTreeMap::new(),
+            gap_wins: BTreeMap::new(),
+        }
     }
 
     /// Credits parent `fingerprint` for a retained (novelty-bearing)
     /// child — the yield feedback that keeps productive parents hot.
     pub fn reward(&mut self, fingerprint: u64) {
         *self.wins.entry(fingerprint).or_insert(0) += 1;
+    }
+
+    /// Credits parent `fingerprint` for a child that closed an open
+    /// coverage gap — the analysis-directed energy signal, weighted
+    /// above an ordinary novelty win.
+    pub fn reward_gap(&mut self, fingerprint: u64) {
+        *self.gap_wins.entry(fingerprint).or_insert(0) += 1;
     }
 
     /// Records every feature one evaluation lit (saturating).
@@ -144,7 +169,10 @@ impl PowerSchedule {
         // are explored before anything is re-mined.
         let picked = u64::from(self.picks.get(&entry.fingerprint).copied().unwrap_or(0));
         let wins = u64::from(self.wins.get(&entry.fingerprint).copied().unwrap_or(0));
-        ((BASE + rarity + depth + brevity) * (1 + 2 * wins) / (1 + picked)).max(1)
+        let gap_wins = u64::from(self.gap_wins.get(&entry.fingerprint).copied().unwrap_or(0));
+        ((BASE + rarity + depth + brevity) * (1 + 2 * wins + GAP_WIN_WEIGHT * gap_wins)
+            / (1 + picked))
+            .max(1)
     }
 
     /// Energy-weighted deterministic pick, or `None` when the corpus is
@@ -254,6 +282,20 @@ mod tests {
         let deep = s.energy(&c.entries()[1]);
         assert!(deep > shallow, "depth boost missing: {deep} vs {shallow}");
         assert!(shallow >= BASE, "baseline energy present");
+    }
+
+    #[test]
+    fn gap_closure_outweighs_an_ordinary_win() {
+        let c = corpus_of(&[(1, vec![], 0), (2, vec![], 0)]);
+        let mut s = PowerSchedule::new();
+        s.reward(c.entries()[0].fingerprint);
+        s.reward_gap(c.entries()[1].fingerprint);
+        assert!(
+            s.energy(&c.entries()[1]) > s.energy(&c.entries()[0]),
+            "gap win {} should beat ordinary win {}",
+            s.energy(&c.entries()[1]),
+            s.energy(&c.entries()[0])
+        );
     }
 
     #[test]

@@ -61,12 +61,15 @@ allowed() {
 BANNED_DIRS=(crates/analyze/src crates/stats/src crates/core/src crates/env/src crates/recover/src)
 
 # Report-critical *files* inside otherwise-allowlisted crates. The
-# fuzzing service's scheduler, sync transport, serve endpoint, engine
-# and snapshot modules all feed serialized artifacts (`itr-fuzz-stats/v1`,
-# `itr-fuzz-sync/v1`, `itr-fuzz-serve/v1`, persisted corpora) whose
-# byte-identity per seed is an acceptance bar — they must stay hash-free
-# (BTreeMap keyed state only) rather than grow allowlist entries.
+# fuzzing service's scheduler, sync transport, serve endpoint, engine,
+# snapshot and directed-mutation modules all feed serialized artifacts
+# (`itr-fuzz-stats/v1`, `itr-fuzz-sync/v1`, `itr-fuzz-serve/v1`,
+# persisted corpora, and the gap-closure counters the `gap-ab` family
+# pins) whose byte-identity per seed is an acceptance bar — they must
+# stay hash-free (BTreeMap keyed state only) rather than grow allowlist
+# entries.
 BANNED_FILES=(
+  crates/fuzz/src/directed.rs
   crates/fuzz/src/engine.rs
   crates/fuzz/src/schedule.rs
   crates/fuzz/src/server.rs

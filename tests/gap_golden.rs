@@ -1,0 +1,99 @@
+//! Golden baseline for the static↔dynamic coverage-gap engine.
+//!
+//! Pins the `itr-gap-golden/v1` self-observed gap reports of three
+//! representative workloads (`sum_loop` and `crc32` kernels, the
+//! `vortex` mimic) at trace lengths 4/8/16 against
+//! `tests/golden_gap.json`, byte for byte. Regenerate after an
+//! intentional change with:
+//!
+//! ```text
+//! itr-analyze --workload sum_loop --workload crc32 --workload vortex \
+//!             --write-gap tests/golden_gap.json
+//! ```
+
+#![allow(clippy::unwrap_used)] // test code: panicking on broken expectations is the point
+
+use itr::analyze::{golden_document, GapObservations, GAP_GOLDEN_BUDGET, GAP_GOLDEN_SCHEMA};
+use itr::stats::json::Value;
+use itr::workloads::suite;
+
+/// Suite parameters pinned to the `itr-analyze` binary defaults, which
+/// is what the golden document was generated with.
+const SEED: u64 = 0x1712_2007;
+const MIMIC_INSTRS: u64 = 30_000;
+
+/// The three pinned workloads, in document order.
+const WORKLOADS: [&str; 3] = ["sum_loop", "crc32", "vortex"];
+
+/// Trace-length limits the document was generated with (the
+/// `AnalyzeConfig` / `--trace-lens` default).
+const LENS: [u32; 3] = [4, 8, 16];
+
+fn build_document() -> Value {
+    let workloads: Vec<_> = WORKLOADS
+        .iter()
+        .map(|name| suite::by_name(name, SEED, MIMIC_INSTRS).expect("pinned workload exists"))
+        .collect();
+    let programs: Vec<(&str, &itr::isa::Program)> =
+        workloads.iter().map(|w| (w.name.as_str(), &w.program)).collect();
+    golden_document(&programs, GAP_GOLDEN_BUDGET, &LENS)
+}
+
+#[test]
+fn gap_reports_match_golden_document_byte_for_byte() {
+    let golden = include_str!("golden_gap.json");
+    let built = build_document().to_json();
+    assert_eq!(
+        built, golden,
+        "gap reports drifted from tests/golden_gap.json — if the change is \
+         intentional, regenerate with `itr-analyze --workload sum_loop \
+         --workload crc32 --workload vortex --write-gap tests/golden_gap.json`"
+    );
+}
+
+#[test]
+fn golden_document_has_the_pinned_shape() {
+    let doc = Value::parse(include_str!("golden_gap.json")).unwrap();
+    assert_eq!(doc.get("schema").and_then(Value::as_str), Some(GAP_GOLDEN_SCHEMA));
+    assert_eq!(doc.get("budget").and_then(Value::as_u64), Some(GAP_GOLDEN_BUDGET));
+    let lens: Vec<u64> = doc
+        .get("lens")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(Value::as_u64)
+        .collect();
+    assert_eq!(lens, [4, 8, 16]);
+    let reports = doc.get("reports").and_then(Value::as_array).unwrap();
+    assert_eq!(reports.len(), WORKLOADS.len());
+    for (report, name) in reports.iter().zip(WORKLOADS) {
+        assert_eq!(report.get("name").and_then(Value::as_str), Some(name));
+        let edges = report.get("edges").unwrap();
+        let covered = edges.get("covered").and_then(Value::as_u64).unwrap();
+        let static_edges = edges.get("static").and_then(Value::as_u64).unwrap();
+        assert!(static_edges > 0, "{name}: no reachable CFG edges");
+        assert!(covered <= static_edges, "{name}: covered edges exceed static edges");
+        // Every report carries one length section per configured length.
+        let lens = report.get("lens").and_then(Value::as_array).unwrap();
+        assert_eq!(lens.len(), LENS.len(), "{name}: length sections");
+    }
+}
+
+#[test]
+fn self_observation_fully_covers_the_pinned_kernels() {
+    // Straight-line-plus-loop kernels exercise their whole CFG within
+    // the golden budget, so their reports must be fully closed; that is
+    // what makes the baseline a meaningful regression anchor (any gap
+    // appearing on a kernel is a tracker or enumerator bug, not a
+    // coverage shortfall).
+    for name in ["sum_loop", "crc32"] {
+        let w = suite::by_name(name, SEED, MIMIC_INSTRS).unwrap();
+        let obs = GapObservations::from_program(&w.program, GAP_GOLDEN_BUDGET, &LENS);
+        let report = itr::analyze::gap_report(name, &w.program, &LENS, &obs);
+        assert!(
+            report.is_closed(),
+            "{name}: expected a fully-closed gap report, got {} open gaps",
+            report.open_gaps()
+        );
+    }
+}
